@@ -1,0 +1,123 @@
+//! Criterion wall-clock benches of the Table 6 / Table 7 workloads.
+//!
+//! The paper's absolute numbers come from the simulated cost model (see
+//! the `table6`/`table7` binaries); these benches measure the real
+//! wall-clock cost of the same operation sequences on the PVM and the
+//! shadow baseline, confirming the structural shapes hold without the
+//! cost model: region ops independent of size, deferred copies cheap,
+//! real copies linear in pages touched.
+
+use chorus_bench::{pvm_world, shadow_world, PAGE};
+use chorus_gmi::{Gmi, Prot, VirtAddr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn table6_iter<G: Gmi>(gmi: &G, ctx: chorus_gmi::CtxId, size: u64, pages: u64) {
+    let base = VirtAddr(0x100_0000);
+    let cache = gmi.cache_create(None).unwrap();
+    let region = gmi
+        .region_create(ctx, base, size, Prot::RW, cache, 0)
+        .unwrap();
+    for p in 0..pages {
+        gmi.vm_write(ctx, VirtAddr(base.0 + p * PAGE), &[1])
+            .unwrap();
+    }
+    gmi.region_destroy(region).unwrap();
+    gmi.cache_destroy(cache).unwrap();
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_zero_fill");
+    for &(size_kb, pages) in &[(8u64, 0u64), (1024, 0), (8, 1), (1024, 32), (1024, 128)] {
+        let size = size_kb * 1024;
+        group.bench_function(
+            BenchmarkId::new("pvm", format!("{size_kb}KB_{pages}p")),
+            |b| {
+                let world = pvm_world(512);
+                let ctx = world.gmi.context_create().unwrap();
+                b.iter(|| table6_iter(&*world.gmi, ctx, size, pages));
+            },
+        );
+        group.bench_function(
+            BenchmarkId::new("shadow", format!("{size_kb}KB_{pages}p")),
+            |b| {
+                let world = shadow_world(512);
+                let ctx = world.gmi.context_create().unwrap();
+                b.iter(|| table6_iter(&*world.gmi, ctx, size, pages));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn table7_setup<G: Gmi>(gmi: &G, size: u64) -> (chorus_gmi::CtxId, chorus_gmi::CacheId) {
+    let ctx = gmi.context_create().unwrap();
+    let src_base = VirtAddr(0x100_0000);
+    let src = gmi.cache_create(None).unwrap();
+    gmi.region_create(ctx, src_base, size, Prot::RW, src, 0)
+        .unwrap();
+    for p in 0..size / PAGE {
+        gmi.vm_write(ctx, VirtAddr(src_base.0 + p * PAGE), &[p as u8])
+            .unwrap();
+    }
+    (ctx, src)
+}
+
+fn table7_iter<G: Gmi>(
+    gmi: &G,
+    ctx: chorus_gmi::CtxId,
+    src: chorus_gmi::CacheId,
+    size: u64,
+    pages: u64,
+    round: u8,
+) {
+    let src_base = VirtAddr(0x100_0000);
+    let cpy = gmi.cache_create(None).unwrap();
+    gmi.cache_copy(src, 0, cpy, 0, size).unwrap();
+    for p in 0..pages {
+        gmi.vm_write(ctx, VirtAddr(src_base.0 + p * PAGE), &[round])
+            .unwrap();
+    }
+    gmi.cache_destroy(cpy).unwrap();
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_copy_on_write");
+    for &(size_kb, pages) in &[(8u64, 0u64), (1024, 0), (8, 1), (1024, 32), (1024, 128)] {
+        let size = size_kb * 1024;
+        group.bench_function(
+            BenchmarkId::new("pvm", format!("{size_kb}KB_{pages}p")),
+            |b| {
+                let world = pvm_world(1024);
+                let (ctx, src) = table7_setup(&*world.gmi, size);
+                let mut round = 0u8;
+                b.iter(|| {
+                    round = round.wrapping_add(1);
+                    table7_iter(&*world.gmi, ctx, src, size, pages, round);
+                });
+            },
+        );
+        group.bench_function(
+            BenchmarkId::new("shadow", format!("{size_kb}KB_{pages}p")),
+            |b| {
+                let world = shadow_world(1024);
+                let (ctx, src) = table7_setup(&*world.gmi, size);
+                let mut round = 0u8;
+                b.iter(|| {
+                    round = round.wrapping_add(1);
+                    table7_iter(&*world.gmi, ctx, src, size, pages, round);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_table6, bench_table7
+}
+criterion_main!(tables);

@@ -1,0 +1,61 @@
+//! Ablation: the two deferred-copy techniques and the eager baseline
+//! (§4.3 rationale — "per-virtual-page to copy relatively small amounts
+//! of data (e.g. an IPC message)", history objects for large data).
+//!
+//! For each fragment size the full life cycle is measured: deferred
+//! copy, then the destination reads everything, then the destination
+//! dirties 25% of the pages, then destroy. Reported per technique,
+//! showing where the crossover between per-page stubs and history trees
+//! falls and what eager copying costs.
+//!
+//! Usage: `cargo run -p chorus-bench --bin ablation_copy_technique`
+
+use chorus_bench::{pvm_world, PAGE};
+use chorus_gmi::{CopyMode, Gmi};
+
+fn main() {
+    println!("Deferred-copy technique ablation (copy + read-all + dirty 25% + destroy)\n");
+    println!("  pages |   per-page stubs |   history tree |          eager");
+    for pages in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+        let mut row = Vec::new();
+        for mode in [CopyMode::PerPage, CopyMode::HistoryCow, CopyMode::Eager] {
+            let world = pvm_world(4096);
+            let src = world.gmi.cache_create(None).unwrap();
+            for p in 0..pages {
+                world
+                    .gmi
+                    .cache_write(src, p * PAGE, &[p as u8; 32])
+                    .unwrap();
+            }
+            let t0 = world.model.now();
+            let iters = 4;
+            for _ in 0..iters {
+                let dst = world.gmi.cache_create(None).unwrap();
+                world
+                    .gmi
+                    .cache_copy_with(src, 0, dst, 0, pages * PAGE, mode)
+                    .unwrap();
+                let mut buf = vec![0u8; 32];
+                for p in 0..pages {
+                    world.gmi.cache_read(dst, p * PAGE, &mut buf).unwrap();
+                }
+                for p in 0..pages.div_ceil(4) {
+                    world.gmi.cache_write(dst, p * PAGE, &[0xFF; 16]).unwrap();
+                }
+                world.gmi.cache_destroy(dst).unwrap();
+            }
+            row.push(world.model.now().since(t0).millis() / iters as f64);
+        }
+        println!(
+            "  {pages:>5} | {:>13.3} ms | {:>11.3} ms | {:>11.3} ms",
+            row[0], row[1], row[2]
+        );
+    }
+    println!(
+        "\nExpected shape: eager pays a full bcopy per page; both deferred\n\
+         techniques pay only for the dirtied quarter. Per-page stubs have\n\
+         the lower setup constant (no tree linking) but per-page stub\n\
+         bookkeeping; history trees amortize for large fragments — the\n\
+         PVM's Auto policy switches at 8 pages (64 KB, the IPC limit)."
+    );
+}

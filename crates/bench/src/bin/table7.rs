@@ -1,0 +1,33 @@
+//! Regenerates Table 7: performance of copy-on-write — deferred copy
+//! initialization plus forced real copies — for both memory managers,
+//! side by side with the paper's numbers.
+//!
+//! Usage: `cargo run -p chorus-bench --bin table7 [--json]`
+
+use chorus_bench::{paper, pvm_world, run_table7, shadow_world};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let pvm = pvm_world(512);
+    let chorus = run_table7(&pvm, "Chorus (PVM, history objects)");
+    let shadow = shadow_world(512);
+    let mach = run_table7(&shadow, "Mach-style (shadow objects)");
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({ "table": 7, "chorus": chorus, "mach_style": mach })
+        );
+        return;
+    }
+    println!("Table 7: copy-on-write (simulated Sun-3/60 costs)\n");
+    println!(
+        "{}",
+        chorus.render("deferred copy + N source pages modified + destroy")
+    );
+    println!("{}", paper::render("Chorus", &paper::TABLE7_CHORUS));
+    println!(
+        "{}",
+        mach.render("deferred copy + N source pages modified + destroy")
+    );
+    println!("{}", paper::render("Mach", &paper::TABLE7_MACH));
+}

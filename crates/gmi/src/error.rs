@@ -1,0 +1,155 @@
+//! GMI error type.
+//!
+//! The paper's interface "does not check for logical errors … assumed to
+//! have been checked by the upper layers", but "other problems, such as
+//! resource exhaustion, may cause error returns". This implementation is
+//! stricter than the paper's C++ original — logical errors are reported
+//! instead of being undefined behaviour — because a Rust library should
+//! never exhibit UB at a safe API.
+
+use crate::ids::{CacheId, CtxId, RegionId, SegmentId};
+use chorus_hal::{Access, VirtAddr};
+use core::fmt;
+
+/// Result alias used across the GMI.
+pub type Result<T> = core::result::Result<T, GmiError>;
+
+/// Errors returned by GMI operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GmiError {
+    /// The context handle does not name a live context.
+    NoSuchContext(CtxId),
+    /// The region handle does not name a live region.
+    NoSuchRegion(RegionId),
+    /// The cache handle does not name a live cache.
+    NoSuchCache(CacheId),
+    /// A new region would overlap an existing one (§2: regions are
+    /// non-overlapping).
+    RegionOverlap {
+        /// Context in which the overlap occurs.
+        ctx: CtxId,
+        /// Start of the conflicting request.
+        addr: VirtAddr,
+        /// Size of the conflicting request.
+        size: u64,
+    },
+    /// An access hit no region of the context ("segmentation fault",
+    /// §4.1.2).
+    SegmentationFault {
+        /// Context of the faulting access.
+        ctx: CtxId,
+        /// Faulting virtual address.
+        va: VirtAddr,
+        /// Attempted access.
+        access: Access,
+    },
+    /// The region exists but forbids the access (protection violation that
+    /// no deferred-copy mechanism can resolve).
+    ProtectionViolation {
+        /// Context of the faulting access.
+        ctx: CtxId,
+        /// Faulting virtual address.
+        va: VirtAddr,
+        /// Attempted access.
+        access: Access,
+    },
+    /// Physical memory is exhausted and page replacement found no victim.
+    OutOfMemory,
+    /// An address, offset or size violated page alignment requirements.
+    Unaligned {
+        /// The offending value.
+        value: u64,
+        /// What was being checked.
+        what: &'static str,
+    },
+    /// An offset/size pair exceeded its object's bounds.
+    OutOfRange {
+        /// The offending offset.
+        offset: u64,
+        /// The requested size.
+        size: u64,
+        /// What was being indexed.
+        what: &'static str,
+    },
+    /// A segment manager upcall failed.
+    SegmentIo {
+        /// The segment whose I/O failed.
+        segment: SegmentId,
+        /// Human-readable cause.
+        cause: String,
+    },
+    /// The operation conflicts with a memory lock (`lockInMemory`).
+    Locked,
+    /// A structurally invalid argument (e.g. zero-size region, split at
+    /// offset 0, copy with overlapping source and destination ranges).
+    InvalidArgument(&'static str),
+    /// The operation is not supported by this memory manager
+    /// implementation (e.g. the minimal real-time MM of §5.2).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for GmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmiError::NoSuchContext(id) => write!(f, "no such context {id:?}"),
+            GmiError::NoSuchRegion(id) => write!(f, "no such region {id:?}"),
+            GmiError::NoSuchCache(id) => write!(f, "no such cache {id:?}"),
+            GmiError::RegionOverlap { ctx, addr, size } => {
+                write!(
+                    f,
+                    "region [{addr:?}+{size:#x}) overlaps an existing region of {ctx:?}"
+                )
+            }
+            GmiError::SegmentationFault { ctx, va, access } => {
+                write!(f, "segmentation fault: {access:?} at {va:?} in {ctx:?}")
+            }
+            GmiError::ProtectionViolation { ctx, va, access } => {
+                write!(f, "protection violation: {access:?} at {va:?} in {ctx:?}")
+            }
+            GmiError::OutOfMemory => write!(f, "out of physical memory"),
+            GmiError::Unaligned { value, what } => {
+                write!(f, "{what} {value:#x} is not page aligned")
+            }
+            GmiError::OutOfRange { offset, size, what } => {
+                write!(f, "range [{offset:#x}+{size:#x}) out of bounds for {what}")
+            }
+            GmiError::SegmentIo { segment, cause } => {
+                write!(f, "segment I/O error on {segment:?}: {cause}")
+            }
+            GmiError::Locked => write!(f, "page is locked in memory"),
+            GmiError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            GmiError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GmiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GmiError::SegmentationFault {
+            ctx: CtxId::pack(1, 0),
+            va: VirtAddr(0x4000),
+            access: Access::Write,
+        };
+        let s = e.to_string();
+        assert!(s.contains("segmentation fault"), "{s}");
+        assert!(s.contains("0x4000"), "{s}");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GmiError::OutOfMemory, GmiError::OutOfMemory);
+        assert_ne!(GmiError::OutOfMemory, GmiError::Locked);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(GmiError::Locked);
+        assert_eq!(e.to_string(), "page is locked in memory");
+    }
+}

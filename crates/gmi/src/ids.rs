@@ -1,0 +1,90 @@
+//! Opaque identifiers used across the GMI.
+//!
+//! The interface must be implementable by different memory managers, so
+//! ids are opaque 64-bit handles: each implementation packs whatever it
+//! needs (typically an arena index and generation) into the raw value.
+
+use core::fmt;
+
+macro_rules! opaque_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Packs an (index, generation) pair into an opaque handle.
+            #[inline]
+            pub fn pack(index: u32, generation: u32) -> $name {
+                $name(((index as u64) << 32) | generation as u64)
+            }
+
+            /// Unpacks the (index, generation) pair.
+            #[inline]
+            pub fn unpack(self) -> (u32, u32) {
+                ((self.0 >> 32) as u32, self.0 as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let (i, g) = self.unpack();
+                write!(f, concat!($tag, "{}v{}"), i, g)
+            }
+        }
+    };
+}
+
+opaque_id! {
+    /// A context: a protected virtual address space (§3.2).
+    CtxId, "ctx"
+}
+opaque_id! {
+    /// A region: a contiguous portion of a context mapped to a cache.
+    RegionId, "rgn"
+}
+opaque_id! {
+    /// A local cache: the real memory currently in use for a segment.
+    CacheId, "cache"
+}
+
+/// A segment: a secondary-storage object managed *above* the GMI by
+/// segment managers (§2). For the memory manager it is purely a name to
+/// pass back in upcalls.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u64);
+
+impl fmt::Debug for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let id = CacheId::pack(0xDEAD, 0xBEEF);
+        assert_eq!(id.unpack(), (0xDEAD, 0xBEEF));
+        let id = RegionId::pack(u32::MAX, 0);
+        assert_eq!(id.unpack(), (u32::MAX, 0));
+    }
+
+    #[test]
+    fn ids_of_different_types_do_not_compare() {
+        // Compile-time property: CtxId and RegionId are distinct types.
+        let c = CtxId::pack(1, 0);
+        let r = RegionId::pack(1, 0);
+        assert_eq!(c.0, r.0); // Same raw bits...
+                              // ...but `c == r` would not compile, which is the point.
+    }
+
+    #[test]
+    fn debug_formats_are_distinct() {
+        assert_eq!(format!("{:?}", CtxId::pack(3, 1)), "ctx3v1");
+        assert_eq!(format!("{:?}", CacheId::pack(2, 0)), "cache2v0");
+        assert_eq!(format!("{:?}", SegmentId(9)), "seg9");
+    }
+}

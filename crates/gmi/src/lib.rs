@@ -1,0 +1,39 @@
+//! The Generic Memory management Interface (GMI).
+//!
+//! This crate is the reproduction of §3 of the paper: the generic,
+//! kernel-independent, architecture-independent interface between an
+//! operating-system kernel and a pluggable memory manager.
+//!
+//! - [`Gmi`] is the downward interface (paper Tables 1, 2 and 4): segment
+//!   access through caches (`copy`/`move`), address-space management
+//!   (contexts, regions), and cache management (`flush`, `sync`,
+//!   `invalidate`, protection and pinning control).
+//! - [`SegmentManager`] is the upward interface (paper Table 3): the
+//!   upcalls a memory manager performs against segment managers to move
+//!   data between a cache and its segment (`pullIn`, `getWriteAccess`,
+//!   `pushOut`, `segmentCreate`).
+//! - [`CacheIo`] is the subset of Table 4 a segment manager uses *while
+//!   servicing an upcall* (`fillUp`, `copyBack`, `moveBack`): unlike the
+//!   Table 1 `copy`/`move` operations these never fault — they are used to
+//!   resolve faults.
+//!
+//! Two memory managers implement this interface in the workspace: the
+//! paper's PVM with history objects (`chorus-pvm`) and a Mach-style
+//! shadow-object baseline (`chorus-shadow`). Everything above the GMI
+//! (the Nucleus layer, Chorus/MIX, the benches) is generic over [`Gmi`],
+//! reproducing the paper's "replaceable unit" property.
+
+pub mod conformance;
+pub mod error;
+pub mod ids;
+pub mod testing;
+pub mod traits;
+pub mod types;
+
+pub use error::{GmiError, Result};
+pub use ids::{CacheId, CtxId, RegionId, SegmentId};
+pub use traits::{CacheIo, Gmi, SegmentManager};
+pub use types::{CopyMode, RegionStatus};
+
+// Hardware-level types used throughout the interface.
+pub use chorus_hal::{Access, PageGeometry, Prot, VirtAddr};

@@ -1,0 +1,105 @@
+//! Value types exchanged across the GMI.
+
+use crate::ids::CacheId;
+use chorus_hal::{Prot, VirtAddr};
+
+/// Deferred-copy policy hint for [`crate::Gmi::cache_copy_with`].
+///
+/// §4 of the paper: the PVM uses *history objects* to defer copies of
+/// large data and a *per-virtual-page* technique for small amounts (IPC
+/// messages); both support copy-on-write and copy-on-reference. `Auto`
+/// lets the implementation pick by fragment size, which is the paper's
+/// production behaviour; the explicit variants exist for the ablation
+/// benches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CopyMode {
+    /// Let the memory manager choose a technique by fragment size.
+    #[default]
+    Auto,
+    /// Defer via the history-object tree, copy-on-write (§4.2).
+    HistoryCow,
+    /// Defer via the history-object tree, copy-on-reference (§4.2.2).
+    HistoryCor,
+    /// Defer per virtual page with copy-on-write stubs (§4.3).
+    PerPage,
+    /// Copy eagerly, page by page (no deferral; the pre-optimization
+    /// baseline).
+    Eager,
+}
+
+/// The result of `region.status()` / `context.getRegionList()` (Table 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RegionStatus {
+    /// Start address of the region in its context.
+    pub addr: VirtAddr,
+    /// Size of the region in bytes.
+    pub size: u64,
+    /// Protection applied to the whole region.
+    pub prot: Prot,
+    /// The cache the region maps.
+    pub cache: CacheId,
+    /// Start offset of the region within the cache's segment.
+    pub offset: u64,
+    /// Whether the region is currently locked in memory.
+    pub locked: bool,
+    /// Number of pages of the region currently resident and mapped.
+    pub resident_pages: u64,
+}
+
+impl RegionStatus {
+    /// End address (exclusive) of the region.
+    pub fn end(&self) -> VirtAddr {
+        VirtAddr(self.addr.0 + self.size)
+    }
+
+    /// True if `va` lies inside the region.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.addr && va < self.end()
+    }
+
+    /// Translates a virtual address inside the region to its offset in the
+    /// mapped segment (§4.1.2: "using the fault address, the region start
+    /// address … and the region start offset in the segment").
+    pub fn va_to_offset(&self, va: VirtAddr) -> u64 {
+        debug_assert!(self.contains(va));
+        self.offset + (va.0 - self.addr.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status() -> RegionStatus {
+        RegionStatus {
+            addr: VirtAddr(0x10000),
+            size: 0x4000,
+            prot: Prot::RW,
+            cache: CacheId::pack(0, 0),
+            offset: 0x2000,
+            locked: false,
+            resident_pages: 0,
+        }
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let s = status();
+        assert!(s.contains(VirtAddr(0x10000)));
+        assert!(s.contains(VirtAddr(0x13FFF)));
+        assert!(!s.contains(VirtAddr(0x14000)));
+        assert!(!s.contains(VirtAddr(0xFFFF)));
+    }
+
+    #[test]
+    fn va_to_offset_applies_region_shift() {
+        let s = status();
+        assert_eq!(s.va_to_offset(VirtAddr(0x10000)), 0x2000);
+        assert_eq!(s.va_to_offset(VirtAddr(0x10123)), 0x2123);
+    }
+
+    #[test]
+    fn copy_mode_default_is_auto() {
+        assert_eq!(CopyMode::default(), CopyMode::Auto);
+    }
+}

@@ -1,0 +1,153 @@
+//! Shared MMU conformance suite.
+//!
+//! Every [`Mmu`] back-end must pass these checks; they encode the contract
+//! the PVM's machine-independent layer relies on. Run from each back-end's
+//! test module, reproducing the paper's claim that the machine-dependent
+//! part is swappable without affecting the layers above.
+
+use crate::addr::{PhysAddr, VirtAddr, Vpn};
+use crate::frame::FrameNo;
+use crate::mmu::{Access, Mmu, MmuFault, Prot};
+
+/// Runs the full conformance suite against fresh MMUs built by `mk`.
+///
+/// # Panics
+///
+/// Panics (via assertions) on any contract violation.
+pub fn run<M: Mmu>(mk: impl Fn() -> M) {
+    basic_map_translate(&mk);
+    unmapped_access_faults(&mk);
+    protection_enforced(&mk);
+    contexts_are_isolated(&mk);
+    unmap_returns_frame(&mk);
+    protect_changes_take_effect(&mk);
+    system_pages_respected(&mk);
+    destroy_then_recreate(&mk);
+    query_is_side_effect_free(&mk);
+}
+
+fn page(m: &impl Mmu) -> u64 {
+    m.geometry().page_size()
+}
+
+fn basic_map_translate<M: Mmu>(mk: &impl Fn() -> M) {
+    let mut m = mk();
+    let c = m.ctx_create();
+    m.switch(c);
+    m.map(c, Vpn(2), FrameNo(5), Prot::RW);
+    let ps = page(&m);
+    let pa = m
+        .translate(c, VirtAddr(2 * ps + 17), Access::Read, false)
+        .unwrap();
+    assert_eq!(pa, PhysAddr(5 * ps + 17), "offset must be preserved");
+    assert_eq!(m.mapped_count(c), 1);
+}
+
+fn unmapped_access_faults<M: Mmu>(mk: &impl Fn() -> M) {
+    let mut m = mk();
+    let c = m.ctx_create();
+    m.switch(c);
+    let r = m.translate(c, VirtAddr(0), Access::Read, false);
+    assert!(
+        matches!(r, Err(MmuFault::NotMapped { .. })),
+        "expected NotMapped, got {r:?}"
+    );
+}
+
+fn protection_enforced<M: Mmu>(mk: &impl Fn() -> M) {
+    let mut m = mk();
+    let c = m.ctx_create();
+    m.switch(c);
+    m.map(c, Vpn(0), FrameNo(0), Prot::READ);
+    assert!(m.translate(c, VirtAddr(0), Access::Read, false).is_ok());
+    let w = m.translate(c, VirtAddr(0), Access::Write, false);
+    assert!(
+        matches!(w, Err(MmuFault::ProtectionViolation { .. })),
+        "expected violation, got {w:?}"
+    );
+    let x = m.translate(c, VirtAddr(0), Access::Execute, false);
+    assert!(matches!(x, Err(MmuFault::ProtectionViolation { .. })));
+}
+
+fn contexts_are_isolated<M: Mmu>(mk: &impl Fn() -> M) {
+    let mut m = mk();
+    let a = m.ctx_create();
+    let b = m.ctx_create();
+    m.map(a, Vpn(1), FrameNo(3), Prot::RW);
+    m.switch(b);
+    assert!(m
+        .translate(b, VirtAddr(page(&m)), Access::Read, false)
+        .is_err());
+    m.switch(a);
+    assert!(m
+        .translate(a, VirtAddr(page(&m)), Access::Read, false)
+        .is_ok());
+    assert_eq!(m.mapped_count(b), 0);
+}
+
+fn unmap_returns_frame<M: Mmu>(mk: &impl Fn() -> M) {
+    let mut m = mk();
+    let c = m.ctx_create();
+    m.switch(c);
+    m.map(c, Vpn(4), FrameNo(9), Prot::RW);
+    assert_eq!(m.unmap(c, Vpn(4)), Some(FrameNo(9)));
+    assert_eq!(m.unmap(c, Vpn(4)), None, "second unmap must be a no-op");
+    assert!(m
+        .translate(c, VirtAddr(4 * page(&m)), Access::Read, false)
+        .is_err());
+    assert_eq!(m.mapped_count(c), 0);
+}
+
+fn protect_changes_take_effect<M: Mmu>(mk: &impl Fn() -> M) {
+    let mut m = mk();
+    let c = m.ctx_create();
+    m.switch(c);
+    m.map(c, Vpn(0), FrameNo(1), Prot::RW);
+    // Touch through the TLB first so a stale entry would be caught.
+    assert!(m.translate(c, VirtAddr(0), Access::Write, false).is_ok());
+    assert!(m.protect(c, Vpn(0), Prot::READ));
+    assert!(m.translate(c, VirtAddr(0), Access::Write, false).is_err());
+    assert!(m.translate(c, VirtAddr(0), Access::Read, false).is_ok());
+    // Upgrade back.
+    assert!(m.protect(c, Vpn(0), Prot::RW));
+    assert!(m.translate(c, VirtAddr(0), Access::Write, false).is_ok());
+    assert!(
+        !m.protect(c, Vpn(7), Prot::RW),
+        "protect of unmapped page must return false"
+    );
+}
+
+fn system_pages_respected<M: Mmu>(mk: &impl Fn() -> M) {
+    let mut m = mk();
+    let c = m.ctx_create();
+    m.switch(c);
+    m.map(c, Vpn(0), FrameNo(0), Prot::RW.union(Prot::SYSTEM));
+    assert!(m.translate(c, VirtAddr(0), Access::Read, false).is_err());
+    assert!(m.translate(c, VirtAddr(0), Access::Read, true).is_ok());
+    assert!(m.translate(c, VirtAddr(0), Access::Write, true).is_ok());
+}
+
+fn destroy_then_recreate<M: Mmu>(mk: &impl Fn() -> M) {
+    let mut m = mk();
+    let a = m.ctx_create();
+    m.switch(a);
+    m.map(a, Vpn(0), FrameNo(0), Prot::RW);
+    m.ctx_destroy(a);
+    assert_eq!(
+        m.current(),
+        None,
+        "destroying the current context clears it"
+    );
+    let b = m.ctx_create();
+    m.switch(b);
+    assert_eq!(m.mapped_count(b), 0, "fresh context must be empty");
+    assert!(m.translate(b, VirtAddr(0), Access::Read, false).is_err());
+}
+
+fn query_is_side_effect_free<M: Mmu>(mk: &impl Fn() -> M) {
+    let mut m = mk();
+    let c = m.ctx_create();
+    m.map(c, Vpn(6), FrameNo(2), Prot::RX);
+    assert_eq!(m.query(c, Vpn(6)), Some((FrameNo(2), Prot::RX)));
+    assert_eq!(m.query(c, Vpn(7)), None);
+}

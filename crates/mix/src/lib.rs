@@ -1,0 +1,24 @@
+//! Chorus/MIX: a System V compatible Unix implementation on Chorus
+//! (§5.1.5), reduced to its memory-management essence.
+//!
+//! "Many of the functionalities of a standard Unix kernel are
+//! implemented by an actor, the *process manager*, which maps Unix
+//! process semantics onto the Chorus Nucleus objects. A standard Unix
+//! process is implemented as a Chorus actor hosting a single thread.
+//!
+//! The Unix exec invokes the Chorus rgnMap operation to map the text
+//! segment of the process, rgnInit for its data segment, and
+//! rgnAllocate for the stack. A Unix fork uses rgnMapFromActor to share
+//! the text segment between the parent and child processes. It invokes
+//! rgnInitFromActor to create the child's data and stack areas as
+//! copies of the parent's."
+//!
+//! [`ProcessManager`] implements exactly that, generic over the memory
+//! manager. Program images live in a [`ProgramStore`] backed by a file
+//! mapper (the "file system"); pipes are Nucleus ports.
+
+pub mod process;
+pub mod programs;
+
+pub use process::{Pid, ProcState, ProcessManager};
+pub use programs::{Program, ProgramStore};

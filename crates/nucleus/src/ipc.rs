@@ -1,0 +1,256 @@
+//! Ports and message queues (§5.1.1, §5.1.6).
+//!
+//! "Messages are not addressed directly to threads, but to intermediate
+//! entities called ports. A port is an address to which messages can be
+//! sent, and a queue holding the messages received but not yet
+//! consumed."
+//!
+//! This module holds the pure queueing machinery; the memory-management
+//! side of message transfer (the transit segment, `cache.copy` /
+//! `cache.move`) lives in [`crate::nucleus`], keeping IPC decoupled from
+//! memory management as §5.1.6 requires: IPC never creates, destroys or
+//! resizes regions.
+
+use crate::capability::PortName;
+use core::fmt;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// IPC failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpcError {
+    /// The port does not exist (or was destroyed).
+    NoSuchPort(PortName),
+    /// The message exceeds the 64 KB limit (§5.1.6: "to transfer large
+    /// or sparse data, users should call the memory management
+    /// operations, and not IPC").
+    MessageTooLarge {
+        /// Requested size.
+        size: u64,
+        /// The limit.
+        limit: u64,
+    },
+    /// No message arrived within the timeout.
+    Timeout,
+    /// No free transit slot (too many in-flight messages).
+    TransitFull,
+    /// An underlying memory-management error.
+    Vm(chorus_gmi::GmiError),
+}
+
+impl fmt::Display for IpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpcError::NoSuchPort(p) => write!(f, "no such port {p:?}"),
+            IpcError::MessageTooLarge { size, limit } => {
+                write!(f, "message of {size} bytes exceeds the {limit}-byte limit")
+            }
+            IpcError::Timeout => write!(f, "receive timed out"),
+            IpcError::TransitFull => write!(f, "no free transit slot"),
+            IpcError::Vm(e) => write!(f, "memory management error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IpcError {}
+
+impl From<chorus_gmi::GmiError> for IpcError {
+    fn from(e: chorus_gmi::GmiError) -> IpcError {
+        IpcError::Vm(e)
+    }
+}
+
+/// How a queued message's body is carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Small body copied inline (`bcopy` path).
+    Inline(Vec<u8>),
+    /// Body parked in a transit-segment slot (deferred-copy path).
+    Slot {
+        /// Slot index within the transit segment.
+        slot: usize,
+        /// Body length in bytes.
+        len: u64,
+    },
+}
+
+impl Message {
+    /// Body length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Message::Inline(v) => v.len() as u64,
+            Message::Slot { len, .. } => *len,
+        }
+    }
+
+    /// True for empty messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Identifier of a port within a [`Ports`] registry (equals its name).
+pub type PortId = PortName;
+
+#[derive(Default)]
+struct PortQueue {
+    queue: VecDeque<Message>,
+}
+
+/// The port registry: creation, send (enqueue) and blocking receive.
+pub struct Ports {
+    inner: Mutex<HashMap<PortName, PortQueue>>,
+    cv: Condvar,
+    next: Mutex<u64>,
+}
+
+impl Default for Ports {
+    fn default() -> Ports {
+        Ports::new()
+    }
+}
+
+impl Ports {
+    /// Creates an empty registry.
+    pub fn new() -> Ports {
+        Ports {
+            inner: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            next: Mutex::new(1),
+        }
+    }
+
+    /// Creates a port and returns its name.
+    pub fn create(&self) -> PortName {
+        let mut next = self.next.lock();
+        let name = PortName(*next);
+        *next += 1;
+        self.inner.lock().insert(name, PortQueue::default());
+        name
+    }
+
+    /// Destroys a port, returning any undelivered messages (so their
+    /// transit slots can be reclaimed).
+    pub fn destroy(&self, port: PortName) -> Vec<Message> {
+        let removed = self.inner.lock().remove(&port);
+        self.cv.notify_all();
+        removed.map(|q| q.queue.into()).unwrap_or_default()
+    }
+
+    /// Enqueues a message.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port does not exist.
+    pub fn enqueue(&self, port: PortName, msg: Message) -> Result<(), IpcError> {
+        let mut inner = self.inner.lock();
+        let q = inner.get_mut(&port).ok_or(IpcError::NoSuchPort(port))?;
+        q.queue.push_back(msg);
+        drop(inner);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Dequeues the next message, blocking up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// `Timeout` when nothing arrives; `NoSuchPort` if the port dies.
+    pub fn dequeue(&self, port: PortName, timeout: Duration) -> Result<Message, IpcError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            match inner.get_mut(&port) {
+                None => return Err(IpcError::NoSuchPort(port)),
+                Some(q) => {
+                    if let Some(m) = q.queue.pop_front() {
+                        return Ok(m);
+                    }
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(IpcError::Timeout);
+            }
+            self.cv.wait_for(&mut inner, deadline - now);
+        }
+    }
+
+    /// Number of queued messages (0 for dead ports).
+    pub fn queue_len(&self, port: PortName) -> usize {
+        self.inner
+            .lock()
+            .get(&port)
+            .map(|q| q.queue.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let ports = Ports::new();
+        let p = ports.create();
+        ports.enqueue(p, Message::Inline(vec![1])).unwrap();
+        ports.enqueue(p, Message::Inline(vec![2])).unwrap();
+        assert_eq!(
+            ports.dequeue(p, Duration::ZERO).unwrap(),
+            Message::Inline(vec![1])
+        );
+        assert_eq!(
+            ports.dequeue(p, Duration::ZERO).unwrap(),
+            Message::Inline(vec![2])
+        );
+        assert_eq!(
+            ports.dequeue(p, Duration::ZERO).unwrap_err(),
+            IpcError::Timeout
+        );
+    }
+
+    #[test]
+    fn send_to_dead_port_fails() {
+        let ports = Ports::new();
+        let p = ports.create();
+        ports.destroy(p);
+        assert_eq!(
+            ports.enqueue(p, Message::Inline(vec![])).unwrap_err(),
+            IpcError::NoSuchPort(p)
+        );
+    }
+
+    #[test]
+    fn destroy_returns_undelivered() {
+        let ports = Ports::new();
+        let p = ports.create();
+        ports
+            .enqueue(p, Message::Slot { slot: 3, len: 100 })
+            .unwrap();
+        let undelivered = ports.destroy(p);
+        assert_eq!(undelivered, vec![Message::Slot { slot: 3, len: 100 }]);
+    }
+
+    #[test]
+    fn blocking_receive_wakes_on_send() {
+        let ports = Arc::new(Ports::new());
+        let p = ports.create();
+        let ports2 = ports.clone();
+        let t = std::thread::spawn(move || ports2.dequeue(p, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        ports.enqueue(p, Message::Inline(vec![9])).unwrap();
+        assert_eq!(t.join().unwrap().unwrap(), Message::Inline(vec![9]));
+    }
+
+    #[test]
+    fn ports_are_unique() {
+        let ports = Ports::new();
+        let a = ports.create();
+        let b = ports.create();
+        assert_ne!(a, b);
+        assert_eq!(ports.queue_len(a), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! The Chorus Nucleus layer above the GMI (paper §5.1).
+//!
+//! An operating-system kernel integrating a GMI implementation "must
+//! provide a *segment manager* and a set of basic synchronization
+//! mechanisms" (§5). This crate provides the Nucleus side:
+//!
+//! - [`capability`]: sparse capabilities naming segments (mapper port +
+//!   opaque key, Amoeba-style — §5.1.1);
+//! - [`mapper`]: the mapper interface — independent actors implementing
+//!   segments on secondary storage with a read/write interface — plus
+//!   in-memory and swap mappers;
+//! - [`segment_manager`]: maps capabilities to GMI local caches,
+//!   translates GMI upcalls into mapper requests, lazily binds temporary
+//!   caches to swap segments, and implements *segment caching*: keeping
+//!   unreferenced caches alive so re-`exec`ing a recent program is cheap
+//!   (§5.1.3);
+//! - [`ipc`]: ports and message passing, decoupled from memory
+//!   management but using the per-page deferred copy and move semantics
+//!   through a fixed transit segment of 64 KB slots (§5.1.6);
+//! - [`nucleus`]: actors and the region operations `rgnAllocate`,
+//!   `rgnMap`, `rgnInit`, `rgnMapFromActor`, `rgnInitFromActor`
+//!   (§5.1.4).
+//!
+//! Everything is generic over [`chorus_gmi::Gmi`], reproducing the
+//! paper's claim that "the MM implementation is the only difference
+//! between these Nucleus versions".
+
+pub mod capability;
+pub mod dsm;
+pub mod ipc;
+pub mod mapper;
+pub mod nucleus;
+pub mod segment_manager;
+
+pub use capability::{Capability, PortName};
+pub use dsm::{DsmDirectory, DsmSiteManager, DsmStats};
+pub use ipc::{IpcError, Message, PortId, Ports};
+pub use mapper::{Mapper, MapperRegistry, MemMapper, SwapMapper};
+pub use nucleus::{Actor, Nucleus};
+pub use segment_manager::{NucleusSegmentManager, SegmentCachingStats};

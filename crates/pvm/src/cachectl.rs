@@ -1,0 +1,314 @@
+//! Cache management operations (Table 4): flush, sync, invalidate,
+//! protection control, pinning, destruction.
+//!
+//! These are the hooks a segment server uses "to control some aspects of
+//! caching", e.g. to implement distributed coherent virtual memory
+//! (§3.3.3): downgrade with `setProtection` so the next write triggers a
+//! `getWriteAccess` upcall, push replicas out with `sync`/`flush`, and
+//! revoke them with `invalidate`.
+
+use crate::descriptors::Slot;
+use crate::keys::{CacheKey, PageKey};
+use crate::state::{blocked, done, Attempt, Blocked, PvmState, StubsTo};
+use chorus_gmi::{GmiError, Result};
+use chorus_hal::Prot;
+
+impl PvmState {
+    fn range_pages(&self, cache: CacheKey, off: u64, size: u64) -> Result<Vec<(u64, Slot)>> {
+        let end = off.saturating_add(size);
+        Ok(self
+            .cache(cache)?
+            .entries
+            .range(off..end)
+            .map(|&o| {
+                (
+                    o,
+                    *self.global.get(&(cache, o)).expect("entry without slot"),
+                )
+            })
+            .collect())
+    }
+
+    /// Finds one dirty page in the range and starts cleaning it;
+    /// completes once no dirty page remains.
+    pub fn sync_attempt(&mut self, cache: CacheKey, off: u64, size: u64) -> Attempt<()> {
+        for (o, slot) in self.range_pages(cache, off, size)? {
+            match slot {
+                Slot::Present(p) => {
+                    let page = self.page(p);
+                    if page.cleaning {
+                        return blocked(Blocked::WaitStub);
+                    }
+                    if !page.dirty {
+                        continue;
+                    }
+                    let Some(segment) = self.cache(cache)?.segment else {
+                        return blocked(Blocked::NeedSegment { cache });
+                    };
+                    self.begin_cleaning(p);
+                    return blocked(Blocked::PushOut {
+                        cache,
+                        segment,
+                        offset: o,
+                        size: self.ps(),
+                        page: p,
+                    });
+                }
+                Slot::Sync => return blocked(Blocked::WaitStub),
+                Slot::Cow(_) => {}
+            }
+        }
+        done(())
+    }
+
+    /// Write-protects a page's mappings and marks it cleaning, so
+    /// concurrent writers fault and wait for the push-out to finish.
+    pub fn begin_cleaning(&mut self, page: PageKey) {
+        let mappings = self.page(page).mappings.clone();
+        for m in mappings {
+            if let Ok(c) = self.ctx(m.ctx) {
+                let mmu_ctx = c.mmu_ctx;
+                if let Some((_, prot)) = self.mmu.query(mmu_ctx, m.vpn) {
+                    self.mmu.protect(mmu_ctx, m.vpn, prot.remove(Prot::WRITE));
+                }
+            }
+        }
+        self.page_mut(page).cleaning = true;
+    }
+
+    /// `cache.flush(offset, size)`: sync, then discard the fragment.
+    pub fn flush_attempt(&mut self, cache: CacheKey, off: u64, size: u64) -> Attempt<()> {
+        match self.sync_attempt(cache, off, size)? {
+            crate::state::Outcome::Done(()) => {}
+            crate::state::Outcome::Blocked(b) => return blocked(b),
+        }
+        for (_o, slot) in self.range_pages(cache, off, size)? {
+            if let Slot::Present(p) = slot {
+                let page = self.page(p);
+                if page.lock_count > 0 {
+                    return Err(GmiError::Locked);
+                }
+                debug_assert!(!page.dirty, "flush after sync found a dirty page");
+                // Data is safely on the segment; ownership marks stay so
+                // later misses pull it back in.
+                self.free_page(p, StubsTo::Loc, true);
+            }
+        }
+        done(())
+    }
+
+    /// `cache.invalidate(offset, size)`: discard without write-back.
+    pub fn invalidate_attempt(&mut self, cache: CacheKey, off: u64, size: u64) -> Attempt<()> {
+        let end = off.saturating_add(size);
+        for (o, slot) in self.range_pages(cache, off, size)? {
+            match slot {
+                Slot::Sync => return blocked(Blocked::WaitStub),
+                Slot::Cow(src) => {
+                    self.unthread_cow_stub(cache, o, src);
+                    self.clear_slot(cache, o);
+                }
+                Slot::Present(p) => {
+                    if self.page(p).lock_count > 0 {
+                        return Err(GmiError::Locked);
+                    }
+                    // A history child's snapshot must survive the
+                    // invalidation of the local replica.
+                    if self.has_history_covering(cache, o) {
+                        match self.push_original_to_history(cache, o, p)? {
+                            crate::state::Outcome::Done(()) => {}
+                            crate::state::Outcome::Blocked(b) => return blocked(b),
+                        }
+                    }
+                    // Stub destinations still need the (pre-invalidation)
+                    // value: hand the page over rather than dropping it.
+                    if !self.page(p).stubs.is_empty() {
+                        self.donate_page_to_stubs(p);
+                    } else {
+                        self.free_page(p, StubsTo::AlreadyHandled, true);
+                    }
+                }
+            }
+        }
+        // The cache no longer has its own version of the range.
+        let owned: Vec<u64> = self.cache(cache)?.owned.range(off..end).copied().collect();
+        for o in owned {
+            if self
+                .loc_stubs
+                .get(&(cache, o))
+                .map(|l| !l.is_empty())
+                .unwrap_or(false)
+            {
+                return Err(GmiError::Unsupported(
+                    "invalidating swapped-out data with outstanding per-page stubs",
+                ));
+            }
+            self.cache_mut(cache)?.owned.remove(&o);
+        }
+        done(())
+    }
+
+    /// `cache.setProtection(offset, size, prot)`: grants or revokes write
+    /// access on the cached fragment (the coherence hook; read access of
+    /// resident data is never revoked — use `invalidate` for that).
+    pub fn cache_set_protection_locked(
+        &mut self,
+        cache: CacheKey,
+        off: u64,
+        size: u64,
+        prot: Prot,
+    ) -> Result<()> {
+        let write_ok = prot.contains(Prot::WRITE);
+        for (_o, slot) in self.range_pages(cache, off, size)? {
+            if let Slot::Present(p) = slot {
+                self.page_mut(p).seg_write_ok = write_ok;
+                if !write_ok {
+                    // A revocation also means the segment-level copy is
+                    // about to be the authoritative one elsewhere; the
+                    // next local write must upcall.
+                    self.reprotect_mappings(p);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `cache.lockInMemory(offset, size)`: pull the fragment in and pin
+    /// it (cache-level variant of region locking).
+    pub fn cache_lock_attempt(&mut self, cache: CacheKey, off: u64, size: u64) -> Attempt<()> {
+        let ps = self.ps();
+        let pages = self.geom.pages_for(size);
+        for k in 0..pages {
+            let o = self.geom.round_down(off) + k * ps;
+            match self.slot(cache, o) {
+                Some(Slot::Present(p)) => {
+                    if self.page(p).lock_count == 0 {
+                        self.page_mut(p).lock_count += 1;
+                    } else {
+                        // Already pinned by an earlier (blocked) attempt
+                        // of this same operation: leave as is.
+                    }
+                }
+                Some(Slot::Sync) => return blocked(Blocked::WaitStub),
+                _ => {
+                    // Materialize an own resident page with the current
+                    // value, then pin it on the retry.
+                    let page = match self.own_resident_page(cache, o)? {
+                        crate::state::Outcome::Done(p) => p,
+                        crate::state::Outcome::Blocked(b) => return blocked(b),
+                    };
+                    self.page_mut(page).lock_count += 1;
+                }
+            }
+        }
+        done(())
+    }
+
+    /// Materializes (without promoting) an own resident page holding the
+    /// current value of (cache, off).
+    fn own_resident_page(&mut self, cache: CacheKey, off: u64) -> Attempt<PageKey> {
+        use crate::resolve::Version;
+        let version = match self.resolve_version(cache, off, chorus_hal::Access::Read)? {
+            crate::state::Outcome::Done(v) => v,
+            crate::state::Outcome::Blocked(b) => return blocked(b),
+        };
+        if let Version::Page(p) = version {
+            if self.page(p).cache == cache {
+                return done(p);
+            }
+        }
+        let alloc = match version {
+            Version::Page(p) => self.alloc_frame_keeping(p)?,
+            Version::Zero => self.alloc_frame()?,
+        };
+        let frame = match alloc {
+            crate::state::Outcome::Done(f) => f,
+            crate::state::Outcome::Blocked(b) => return blocked(b),
+        };
+        match version {
+            Version::Page(p) => {
+                let src = self.page(p).frame;
+                self.phys.copy_frame(src, frame);
+                self.unmap_via(p, cache);
+            }
+            Version::Zero => self.phys.zero(frame),
+        }
+        if let Some(Slot::Cow(src)) = self.slot(cache, off) {
+            self.unthread_cow_stub(cache, off, src);
+        }
+        let writable = !self.has_history_covering(cache, off);
+        done(self.create_page(cache, off, frame, writable, true))
+    }
+
+    /// `cache.unlock(offset, size)`.
+    pub fn cache_unlock_locked(&mut self, cache: CacheKey, off: u64, size: u64) -> Result<()> {
+        let ps = self.ps();
+        let pages = self.geom.pages_for(size);
+        for k in 0..pages {
+            let o = self.geom.round_down(off) + k * ps;
+            self.unlock_one_page(cache, o)?;
+        }
+        Ok(())
+    }
+
+    /// `cache.destroy()` (one attempt): write permanent data back, hand
+    /// pages with outstanding stubs over, then either free everything or
+    /// become a zombie internal node if descendants remain (§4.2.2).
+    pub fn cache_destroy_attempt(&mut self, cache: CacheKey) -> Attempt<()> {
+        let desc = self.cache(cache)?;
+        if desc.mapped_regions > 0 {
+            return Err(GmiError::InvalidArgument(
+                "destroying a cache that is still mapped",
+            ));
+        }
+        // Permanent caches write modified data back first.
+        if desc.fully_backed {
+            match self.sync_attempt(cache, 0, u64::MAX)? {
+                crate::state::Outcome::Done(()) => {}
+                crate::state::Outcome::Blocked(b) => return blocked(b),
+            }
+        }
+        // Any page with threaded stubs is donated to its first stub —
+        // unless a history child still needs the original here, in which
+        // case the stubs get a materialized copy and the page stays for
+        // the child.
+        let offsets: Vec<u64> = self.cache(cache)?.entries.iter().copied().collect();
+        for o in offsets {
+            if let Some(Slot::Present(p)) = self.slot(cache, o) {
+                if self.page(p).lock_count > 0 {
+                    return Err(GmiError::Locked);
+                }
+                if !self.page(p).stubs.is_empty() {
+                    if self.has_history_covering(cache, o) {
+                        match self.materialize_stub_original(p)? {
+                            crate::state::Outcome::Done(()) => {}
+                            crate::state::Outcome::Blocked(b) => return blocked(b),
+                        }
+                    } else {
+                        self.donate_page_to_stubs(p);
+                    }
+                }
+            }
+        }
+        let has_dependents = {
+            let desc = self.cache(cache)?;
+            !desc.children.is_empty()
+                || self
+                    .loc_stubs
+                    .iter()
+                    .any(|(&(c, _), l)| c == cache && !l.is_empty())
+        };
+        if has_dependents {
+            // "remaining unmodified source data must be kept until the
+            // copy is deleted": become a zombie internal node.
+            let desc = self.cache_mut(cache)?;
+            desc.zombie = true;
+            desc.internal = true;
+            self.collapse_if_possible(cache);
+        } else {
+            let desc = self.cache_mut(cache)?;
+            desc.zombie = true;
+            self.collapse_if_possible(cache); // Reclaims immediately.
+        }
+        done(())
+    }
+}

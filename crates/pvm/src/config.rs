@@ -1,0 +1,55 @@
+//! PVM tunables.
+
+/// Configuration of a [`crate::Pvm`] instance.
+#[derive(Clone, Debug)]
+pub struct PvmConfig {
+    /// `CopyMode::Auto` uses the per-virtual-page technique for copies of
+    /// at most this many pages, and history objects above (§4.3: per-page
+    /// for "relatively small amounts of data (e.g. an IPC message)").
+    /// With the paper's 8 KB pages and 64 KB IPC messages the boundary is
+    /// 8 pages.
+    pub per_page_max_pages: u64,
+    /// Enable clock page replacement when the frame pool runs dry. When
+    /// disabled, exhaustion returns `GmiError::OutOfMemory` immediately
+    /// (useful for deterministic tests).
+    pub enable_pageout: bool,
+    /// Run the full structural invariant checker after every mutating
+    /// operation. Expensive; defaults to on only in debug builds.
+    pub check_invariants: bool,
+    /// Collapse single-child zombie history nodes by merging them into
+    /// their child (§4.2.5: the bounded analogue of Mach's shadow-chain
+    /// garbage collection, needed only for fork-exit-fork-exit chains).
+    pub collapse_zombies: bool,
+    /// Read-ahead: a `pullIn` may cover up to this many contiguous
+    /// owned-but-non-resident pages in one upcall (§3.3.3: "The MM may
+    /// unilaterally decide to cache a fragment of data"). 1 disables
+    /// clustering.
+    pub pull_cluster_pages: u64,
+}
+
+impl Default for PvmConfig {
+    fn default() -> PvmConfig {
+        PvmConfig {
+            per_page_max_pages: 8,
+            enable_pageout: true,
+            check_invariants: cfg!(debug_assertions),
+            collapse_zombies: true,
+            pull_cluster_pages: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_ipc_boundary() {
+        let c = PvmConfig::default();
+        // 8 pages * 8 KB = 64 KB, the paper's IPC message limit.
+        assert_eq!(c.per_page_max_pages * 8192, 64 * 1024);
+        assert!(c.enable_pageout);
+        assert!(c.collapse_zombies);
+        assert_eq!(c.pull_cluster_pages, 1, "clustering is opt-in");
+    }
+}

@@ -1,0 +1,401 @@
+//! The PVM descriptor types (paper Figure 2).
+//!
+//! - a **context descriptor** per context, holding the sorted list of its
+//!   regions;
+//! - a **region descriptor** per region: start address, size, access
+//!   rights, the cache it maps and the start offset in that segment;
+//! - a **cache descriptor** per local cache: segment identity, the set of
+//!   currently-cached page offsets, the (generalized, §4.2.4) parent
+//!   fragment list and the history link (§4.2.1);
+//! - a **real page descriptor** per resident page: back pointer to its
+//!   cache, offset in the segment, plus reverse mappings and the threaded
+//!   per-virtual-page stub list (§4.3).
+//!
+//! The paper's "single global map, hashing real page descriptors by the
+//! page's cache and its offset" lives in [`crate::state::PvmState`]; a
+//! [`Slot`] in that map holds a page, a synchronization page stub, or a
+//! copy-on-write page stub.
+
+use crate::keys::{CacheKey, CtxKey, PageKey, RegKey};
+use chorus_gmi::SegmentId;
+use chorus_hal::{FrameNo, MmuCtx, Prot, VirtAddr, Vpn};
+use std::collections::BTreeSet;
+
+/// A context descriptor: one protected virtual address space.
+#[derive(Debug)]
+pub(crate) struct ContextDesc {
+    /// The machine-dependent translation context.
+    pub mmu_ctx: MmuCtx,
+    /// Regions of the context, sorted by start address (non-overlapping).
+    pub regions: Vec<RegKey>,
+}
+
+/// A region descriptor: a contiguous window of a context mapped onto a
+/// cache.
+#[derive(Debug, Clone)]
+pub(crate) struct RegionDesc {
+    /// Owning context.
+    pub ctx: CtxKey,
+    /// Start virtual address (page aligned).
+    pub addr: VirtAddr,
+    /// Size in bytes (page aligned, non-zero).
+    pub size: u64,
+    /// Protection of the entire region (§3.2: one protection per region).
+    pub prot: Prot,
+    /// The cache this region maps.
+    pub cache: CacheKey,
+    /// Start offset of the window within the cache's segment.
+    pub offset: u64,
+    /// Whether `lockInMemory` is in effect.
+    pub locked: bool,
+}
+
+impl RegionDesc {
+    /// Exclusive end address.
+    pub fn end(&self) -> VirtAddr {
+        VirtAddr(self.addr.0 + self.size)
+    }
+
+    /// True if the region contains `va`.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.addr && va < self.end()
+    }
+
+    /// Segment offset corresponding to a virtual address in the region.
+    pub fn va_to_offset(&self, va: VirtAddr) -> u64 {
+        debug_assert!(self.contains(va));
+        self.offset + (va.0 - self.addr.0)
+    }
+
+    /// Virtual address corresponding to a segment offset, if the offset
+    /// falls inside the window.
+    #[allow(dead_code)] // Symmetry helper; exercised by unit tests.
+    pub fn offset_to_va(&self, offset: u64) -> Option<VirtAddr> {
+        if offset >= self.offset && offset < self.offset + self.size {
+            Some(VirtAddr(self.addr.0 + (offset - self.offset)))
+        } else {
+            None
+        }
+    }
+}
+
+/// One entry of a cache's generalized parent list (§4.2.4): the fragment
+/// `[child_off, child_off + size)` of this cache was copied from
+/// `[parent_off, parent_off + size)` of `parent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ParentFragment {
+    /// Start offset of the fragment in the child cache.
+    pub child_off: u64,
+    /// Fragment length in bytes.
+    pub size: u64,
+    /// The parent cache.
+    pub parent: CacheKey,
+    /// Start offset of the fragment in the parent cache.
+    pub parent_off: u64,
+    /// Copy-on-reference: materialize a private page on *any* first
+    /// access, not only on writes (§4.2.2).
+    pub cor: bool,
+}
+
+impl ParentFragment {
+    /// Exclusive end offset in the child (saturating: working history
+    /// objects use a full-coverage fragment of size `u64::MAX`).
+    pub fn child_end(&self) -> u64 {
+        self.child_off.saturating_add(self.size)
+    }
+
+    /// True if the fragment covers child offset `off`.
+    pub fn covers_child(&self, off: u64) -> bool {
+        off >= self.child_off && off < self.child_end()
+    }
+
+    /// True if the fragment's parent range covers parent offset `off`.
+    pub fn covers_parent(&self, off: u64) -> bool {
+        off >= self.parent_off && off < self.parent_off.saturating_add(self.size)
+    }
+
+    /// Maps a child offset to the corresponding parent offset.
+    pub fn to_parent(self, off: u64) -> u64 {
+        debug_assert!(self.covers_child(off));
+        self.parent_off + (off - self.child_off)
+    }
+
+    /// Maps a parent offset back to the corresponding child offset.
+    pub fn to_child(self, off: u64) -> u64 {
+        debug_assert!(self.covers_parent(off));
+        self.child_off + (off - self.parent_off)
+    }
+}
+
+/// A local cache descriptor: the real memory in use for one segment.
+#[derive(Debug, Default)]
+pub(crate) struct CacheDesc {
+    /// Identifier of the data segment, once known. Temporary caches get
+    /// one lazily through the `segmentCreate` upcall at first `pushOut`
+    /// (§5.1.2).
+    pub segment: Option<SegmentId>,
+    /// A permanent segment backs *every* offset of the cache, so a miss
+    /// with no parent coverage means `pullIn`, not zero-fill.
+    pub fully_backed: bool,
+    /// Offsets (page aligned) with a live [`Slot`] in the global map.
+    pub entries: BTreeSet<u64>,
+    /// Offsets this cache owns a private version of, resident or swapped
+    /// out. Misses on owned offsets are resolved by `pullIn`; misses on
+    /// un-owned offsets go up the history tree.
+    pub owned: BTreeSet<u64>,
+    /// Generalized parent list, sorted by `child_off`, non-overlapping.
+    pub parents: Vec<ParentFragment>,
+    /// The history object: this cache's single immediate descendant in
+    /// the history tree (§4.2.1 shape invariant).
+    pub history: Option<CacheKey>,
+    /// Caches whose parent fragments reference this cache (one entry per
+    /// fragment, so a child with two fragments appears twice).
+    pub children: Vec<CacheKey>,
+    /// Destroyed while descendants still depend on it: kept as an
+    /// internal node until they are gone (§4.2.2 "source deleted first").
+    pub zombie: bool,
+    /// Created unilaterally by the memory manager (a working history
+    /// object, §4.2.3).
+    pub internal: bool,
+    /// Number of regions currently mapping this cache.
+    pub mapped_regions: u32,
+}
+
+impl CacheDesc {
+    /// Finds the parent fragment covering child offset `off`, if any.
+    pub fn parent_at(&self, off: u64) -> Option<ParentFragment> {
+        // `parents` is sorted by child_off and non-overlapping.
+        let idx = self.parents.partition_point(|f| f.child_end() <= off);
+        self.parents
+            .get(idx)
+            .copied()
+            .filter(|f| f.covers_child(off))
+    }
+
+    /// True if this cache owns a version of `off` (resident or swapped).
+    pub fn owns(&self, off: u64) -> bool {
+        self.fully_backed || self.owned.contains(&off)
+    }
+
+    /// True if the cache can be reclaimed entirely (no users left).
+    pub fn is_reclaimable(&self) -> bool {
+        self.zombie && self.children.is_empty() && self.mapped_regions == 0
+    }
+
+    /// The single distinct child, if there is exactly one.
+    pub fn sole_child(&self) -> Option<CacheKey> {
+        let first = *self.children.first()?;
+        if self.children.iter().all(|&c| c == first) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+}
+
+/// One reverse mapping of a page: the page's frame is entered in the MMU
+/// at (`ctx`, `vpn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Mapping {
+    /// The mapped context.
+    pub ctx: CtxKey,
+    /// The virtual page within that context.
+    pub vpn: Vpn,
+    /// The cache through which the mapping was established. Descendant
+    /// caches may map an ancestor's page read-only; those mappings must
+    /// be shot down when the ancestor page is promoted to writable.
+    pub via: CacheKey,
+}
+
+/// A real page descriptor.
+#[derive(Debug)]
+pub(crate) struct PageDesc {
+    /// Back pointer to the owning cache.
+    pub cache: CacheKey,
+    /// The page's offset in the segment (page aligned).
+    pub offset: u64,
+    /// The physical frame holding the data.
+    pub frame: FrameNo,
+    /// History constraint: false while a history descendant may still
+    /// need this page's original value, so it must stay read-only.
+    pub writable: bool,
+    /// Coherence constraint: the segment manager granted write access
+    /// (`pullIn` access mode / `getWriteAccess`, Table 3).
+    pub seg_write_ok: bool,
+    /// Modified relative to the segment.
+    pub dirty: bool,
+    /// A `pushOut` is collecting this page; writers must wait.
+    pub cleaning: bool,
+    /// `lockInMemory` pin count.
+    pub lock_count: u32,
+    /// Clock algorithm reference bit.
+    pub ref_bit: bool,
+    /// Reverse mappings of this page's frame.
+    pub mappings: Vec<Mapping>,
+    /// Per-virtual-page copy-on-write stubs threaded on this source page
+    /// (§4.3: "all the stubs for some source page are threaded together
+    /// on a list attached to its page descriptor").
+    pub stubs: Vec<(CacheKey, u64)>,
+}
+
+impl PageDesc {
+    /// Creates a descriptor for a fresh page.
+    pub fn new(cache: CacheKey, offset: u64, frame: FrameNo) -> PageDesc {
+        PageDesc {
+            cache,
+            offset,
+            frame,
+            writable: true,
+            seg_write_ok: true,
+            dirty: false,
+            cleaning: false,
+            lock_count: 0,
+            ref_bit: true,
+            mappings: Vec::new(),
+            stubs: Vec::new(),
+        }
+    }
+
+    /// True if a write may currently be performed in place.
+    pub fn write_allowed(&self) -> bool {
+        self.writable && self.seg_write_ok && self.stubs.is_empty() && !self.cleaning
+    }
+
+    /// The hardware protection a mapping of this page may carry, given
+    /// the region's protection.
+    pub fn effective_prot(&self, region_prot: Prot) -> Prot {
+        if self.write_allowed() {
+            region_prot
+        } else {
+            region_prot.remove(Prot::WRITE)
+        }
+    }
+}
+
+/// What the source of a per-virtual-page copy-on-write stub points at
+/// (§4.3): the source page descriptor if resident, otherwise the source
+/// cache and offset; `Zero` records that the source was unpopulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CowSource {
+    /// The source page is resident.
+    Page(PageKey),
+    /// The source is not resident: (source cache, source offset).
+    Loc(CacheKey, u64),
+    /// The source had no data: materialize a zero-filled page.
+    Zero,
+}
+
+/// A slot of the global map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// A resident real page.
+    Present(PageKey),
+    /// A synchronization page stub: the page is in transit (`pullIn` or
+    /// `pushOut`); accessors sleep until it lands (§4.1.2).
+    Sync,
+    /// A per-virtual-page copy-on-write stub (§4.3).
+    Cow(CowSource),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chorus_hal::Id;
+
+    fn ck(i: u32) -> CacheKey {
+        Id::from_raw_parts(i, 0)
+    }
+
+    #[test]
+    fn region_va_offset_roundtrip() {
+        let r = RegionDesc {
+            ctx: Id::from_raw_parts(0, 0),
+            addr: VirtAddr(0x8000),
+            size: 0x4000,
+            prot: Prot::RW,
+            cache: ck(0),
+            offset: 0x2000,
+            locked: false,
+        };
+        assert!(r.contains(VirtAddr(0x8000)));
+        assert!(!r.contains(VirtAddr(0xC000)));
+        assert_eq!(r.va_to_offset(VirtAddr(0x9000)), 0x3000);
+        assert_eq!(r.offset_to_va(0x3000), Some(VirtAddr(0x9000)));
+        assert_eq!(r.offset_to_va(0x1000), None);
+        assert_eq!(r.offset_to_va(0x6000), None);
+    }
+
+    #[test]
+    fn parent_fragment_translation() {
+        let f = ParentFragment {
+            child_off: 0x1000,
+            size: 0x2000,
+            parent: ck(1),
+            parent_off: 0x5000,
+            cor: false,
+        };
+        assert!(f.covers_child(0x1000));
+        assert!(f.covers_child(0x2FFF));
+        assert!(!f.covers_child(0x3000));
+        assert_eq!(f.to_parent(0x1800), 0x5800);
+        assert_eq!(f.to_child(0x5800), 0x1800);
+        assert!(f.covers_parent(0x5000));
+        assert!(!f.covers_parent(0x7000));
+    }
+
+    #[test]
+    fn cache_parent_at_uses_sorted_fragments() {
+        let c = CacheDesc {
+            parents: vec![
+                ParentFragment {
+                    child_off: 0,
+                    size: 0x1000,
+                    parent: ck(1),
+                    parent_off: 0,
+                    cor: false,
+                },
+                ParentFragment {
+                    child_off: 0x2000,
+                    size: 0x1000,
+                    parent: ck(2),
+                    parent_off: 0x800,
+                    cor: true,
+                },
+            ],
+            ..CacheDesc::default()
+        };
+        assert_eq!(c.parent_at(0).unwrap().parent, ck(1));
+        assert_eq!(c.parent_at(0xFFF).unwrap().parent, ck(1));
+        assert!(c.parent_at(0x1000).is_none());
+        assert_eq!(c.parent_at(0x2000).unwrap().parent, ck(2));
+        assert!(c.parent_at(0x3000).is_none());
+    }
+
+    #[test]
+    fn cache_ownership() {
+        let mut c = CacheDesc::default();
+        assert!(!c.owns(0));
+        c.owned.insert(0x1000);
+        assert!(c.owns(0x1000));
+        assert!(!c.owns(0x2000));
+        c.fully_backed = true;
+        assert!(c.owns(0x2000));
+    }
+
+    #[test]
+    fn page_effective_prot_respects_constraints() {
+        let mut p = PageDesc::new(ck(0), 0, FrameNo(0));
+        assert_eq!(p.effective_prot(Prot::RW), Prot::RW);
+        p.writable = false;
+        assert_eq!(p.effective_prot(Prot::RW), Prot::READ);
+        p.writable = true;
+        p.stubs.push((ck(1), 0));
+        assert_eq!(p.effective_prot(Prot::RW), Prot::READ);
+        p.stubs.clear();
+        p.seg_write_ok = false;
+        assert!(!p.write_allowed());
+        p.seg_write_ok = true;
+        p.cleaning = true;
+        assert!(!p.write_allowed());
+    }
+}

@@ -1,0 +1,62 @@
+//! Internal arena key types and conversions to/from the opaque GMI ids.
+
+use crate::descriptors::{CacheDesc, ContextDesc, PageDesc, RegionDesc};
+use chorus_gmi::{CacheId, CtxId, RegionId};
+use chorus_hal::Id;
+
+/// Arena key of a context descriptor.
+pub(crate) type CtxKey = Id<ContextDesc>;
+/// Arena key of a region descriptor.
+pub(crate) type RegKey = Id<RegionDesc>;
+/// Arena key of a cache descriptor.
+pub(crate) type CacheKey = Id<CacheDesc>;
+/// Arena key of a real-page descriptor.
+pub(crate) type PageKey = Id<PageDesc>;
+
+/// Packs an internal key into an opaque public id.
+pub(crate) fn pub_ctx(k: CtxKey) -> CtxId {
+    CtxId::pack(k.index(), k.generation())
+}
+
+/// Packs an internal key into an opaque public id.
+pub(crate) fn pub_region(k: RegKey) -> RegionId {
+    RegionId::pack(k.index(), k.generation())
+}
+
+/// Packs an internal key into an opaque public id.
+pub(crate) fn pub_cache(k: CacheKey) -> CacheId {
+    CacheId::pack(k.index(), k.generation())
+}
+
+/// Reconstructs an internal key from a public id (validated at lookup).
+pub(crate) fn ctx_key(id: CtxId) -> CtxKey {
+    let (i, g) = id.unpack();
+    Id::from_raw_parts(i, g)
+}
+
+/// Reconstructs an internal key from a public id (validated at lookup).
+pub(crate) fn region_key(id: RegionId) -> RegKey {
+    let (i, g) = id.unpack();
+    Id::from_raw_parts(i, g)
+}
+
+/// Reconstructs an internal key from a public id (validated at lookup).
+pub(crate) fn cache_key(id: CacheId) -> CacheKey {
+    let (i, g) = id.unpack();
+    Id::from_raw_parts(i, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let k: CacheKey = Id::from_raw_parts(7, 3);
+        assert_eq!(cache_key(pub_cache(k)), k);
+        let k: CtxKey = Id::from_raw_parts(0, 0);
+        assert_eq!(ctx_key(pub_ctx(k)), k);
+        let k: RegKey = Id::from_raw_parts(u32::MAX, 1);
+        assert_eq!(region_key(pub_region(k)), k);
+    }
+}

@@ -1,0 +1,164 @@
+//! Frame allocation with clock page replacement.
+//!
+//! The data management policy (page-out decisions) belongs to the memory
+//! manager below the GMI (§3.3.3). When the frame pool is exhausted the
+//! clock sweep picks a victim: clean victims are evicted inline; dirty
+//! victims are first cleaned by a `pushOut` upcall (preceded, for
+//! segment-less temporary caches, by a `segmentCreate` upcall — the
+//! §5.1.2 lazy swap binding). Eviction keeps the cache's `owned` mark so
+//! a later miss pulls the page back in.
+
+use crate::descriptors::Slot;
+use crate::keys::PageKey;
+use crate::state::{blocked, done, Attempt, Blocked, PvmState, StubsTo};
+use chorus_gmi::GmiError;
+use chorus_hal::{FrameNo, OpKind, Prot};
+
+impl PvmState {
+    /// Allocates a frame, running page replacement when the pool is dry.
+    pub fn alloc_frame(&mut self) -> Attempt<FrameNo> {
+        if let Some(f) = self.phys.alloc() {
+            return done(f);
+        }
+        if !self.config.enable_pageout {
+            return Err(GmiError::OutOfMemory);
+        }
+        match self.select_victim() {
+            Some(victim) => {
+                let page = self.page(victim);
+                if page.dirty {
+                    self.start_clean(victim)
+                } else {
+                    self.evict(victim);
+                    match self.phys.alloc() {
+                        Some(f) => done(f),
+                        None => Err(GmiError::OutOfMemory),
+                    }
+                }
+            }
+            None => Err(GmiError::OutOfMemory),
+        }
+    }
+
+    /// Allocates a frame while `keep` is guaranteed to stay resident:
+    /// the inline eviction inside [`PvmState::alloc_frame`] must not pick
+    /// the page whose contents the caller is about to copy.
+    pub fn alloc_frame_keeping(&mut self, keep: PageKey) -> Attempt<FrameNo> {
+        self.page_mut(keep).lock_count += 1;
+        let result = self.alloc_frame();
+        // The page may only disappear while the caller is blocked (lock
+        // released); within this attempt it stayed pinned.
+        if self.pages.contains(keep) {
+            self.page_mut(keep).lock_count -= 1;
+        }
+        result
+    }
+
+    /// One clock sweep: clears reference bits, skips pinned/cleaning
+    /// pages and stub sources, compacts stale keys.
+    fn select_victim(&mut self) -> Option<PageKey> {
+        // Compact dead keys when they dominate the list.
+        if self.resident.len() > 64 {
+            let live = self
+                .resident
+                .iter()
+                .filter(|&&k| self.pages.contains(k))
+                .count();
+            if live * 2 < self.resident.len() {
+                self.resident.retain(|&k| self.pages.contains(k));
+                self.hand = 0;
+            }
+        }
+        let n = self.resident.len();
+        if n == 0 {
+            return None;
+        }
+        // Two full sweeps: the first clears reference bits, the second
+        // finds a victim even if everything was recently referenced.
+        for _ in 0..(2 * n) {
+            self.hand = (self.hand + 1) % self.resident.len();
+            let key = self.resident[self.hand];
+            let Some(page) = self.pages.get_mut(key) else {
+                continue;
+            };
+            if page.lock_count > 0 || page.cleaning {
+                continue;
+            }
+            if page.ref_bit {
+                page.ref_bit = false;
+                continue;
+            }
+            return Some(key);
+        }
+        None
+    }
+
+    /// Begins cleaning a dirty victim: downgrade its mappings so
+    /// re-dirtying faults, mark it cleaning, and request the `pushOut`
+    /// upcall (or first a `segmentCreate` if the cache has no segment
+    /// yet).
+    fn start_clean(&mut self, victim: PageKey) -> Attempt<FrameNo> {
+        let cache = self.page(victim).cache;
+        let offset = self.page(victim).offset;
+        let Some(desc) = self.caches.get(cache) else {
+            // Orphaned page: its cache died; just evict.
+            self.evict(victim);
+            return match self.phys.alloc() {
+                Some(f) => done(f),
+                None => Err(GmiError::OutOfMemory),
+            };
+        };
+        let Some(segment) = desc.segment else {
+            return blocked(Blocked::NeedSegment { cache });
+        };
+        // Write-protect every mapping so a concurrent write faults and
+        // waits for the cleaning to finish.
+        let mappings = self.page(victim).mappings.clone();
+        for m in mappings {
+            if let Ok(c) = self.ctx(m.ctx) {
+                let mmu_ctx = c.mmu_ctx;
+                if let Some((_, prot)) = self.mmu.query(mmu_ctx, m.vpn) {
+                    self.mmu.protect(mmu_ctx, m.vpn, prot.remove(Prot::WRITE));
+                }
+            }
+        }
+        self.page_mut(victim).cleaning = true;
+        let size = self.ps();
+        blocked(Blocked::PushOut {
+            cache,
+            segment,
+            offset,
+            size,
+            page: victim,
+        })
+    }
+
+    /// Called by the driver after a successful `pushOut`: the page is
+    /// clean and will be picked as a victim on the retry.
+    pub fn finish_clean(&mut self, page: PageKey, success: bool) {
+        if let Some(p) = self.pages.get_mut(page) {
+            p.cleaning = false;
+            if success {
+                p.dirty = false;
+                // Make it an immediate eviction candidate.
+                p.ref_bit = false;
+            }
+            self.stats.push_outs += success as u64;
+        }
+    }
+
+    /// Evicts a clean resident page: unmap, re-point stubs at the
+    /// segment location, drop the slot (ownership mark stays), release
+    /// the frame.
+    pub fn evict(&mut self, victim: PageKey) {
+        debug_assert!(!self.page(victim).dirty, "evicting a dirty page");
+        self.stats.evictions += 1;
+        self.charge(OpKind::UnmapPage);
+        self.free_page(victim, StubsTo::Loc, true);
+    }
+
+    /// True if (cache, off) currently holds a synchronization stub.
+    pub fn is_sync_stub(&self, cache: crate::keys::CacheKey, off: u64) -> bool {
+        matches!(self.global.get(&(cache, off)), Some(Slot::Sync))
+    }
+}

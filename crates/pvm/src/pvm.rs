@@ -1,0 +1,694 @@
+//! The public [`Pvm`] type: locking, the blocked-action driver, and the
+//! [`Gmi`] trait implementation.
+//!
+//! Locking discipline: all state lives behind one mutex. Attempts run
+//! under the lock and never sleep; when an attempt must wait (a page in
+//! transit) or perform an upcall (`pullIn`, `pushOut`, `segmentCreate`,
+//! `getWriteAccess`), it returns a [`Blocked`] action which the driver
+//! performs with the lock *released*, then retries the attempt. This is
+//! exactly the paper's synchronization-page-stub protocol (§4.1.2):
+//! concurrent accesses to an in-transit fragment sleep until the transfer
+//! completes.
+
+use crate::config::PvmConfig;
+use crate::descriptors::Slot;
+use crate::keys::{cache_key, ctx_key, pub_cache, pub_ctx, pub_region, region_key};
+use crate::state::{Attempt, Blocked, Outcome, PvmState};
+use crate::stats::PvmStats;
+use chorus_gmi::{
+    Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, RegionId,
+    RegionStatus, Result, SegmentId, SegmentManager, VirtAddr,
+};
+use chorus_hal::{CostModel, CostParams, Mmu, PhysicalMemory, SoftMmu, TwoLevelMmu};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which MMU back-end to instantiate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MmuChoice {
+    /// Hash-table page tables (Sun-3-like).
+    #[default]
+    Soft,
+    /// Explicit two-level page tables (PMMU/i386-like).
+    TwoLevel,
+}
+
+/// Construction options for a [`Pvm`].
+#[derive(Clone, Debug)]
+pub struct PvmOptions {
+    /// Page geometry (defaults to the paper's 8 KB pages).
+    pub geometry: PageGeometry,
+    /// Number of physical page frames to simulate.
+    pub frames: u32,
+    /// Per-operation simulated costs.
+    pub cost: CostParams,
+    /// MMU back-end.
+    pub mmu: MmuChoice,
+    /// PVM tunables.
+    pub config: PvmConfig,
+}
+
+impl Default for PvmOptions {
+    fn default() -> PvmOptions {
+        PvmOptions {
+            geometry: PageGeometry::sun3(),
+            frames: 1024,
+            cost: CostParams::zero(),
+            mmu: MmuChoice::Soft,
+            config: PvmConfig::default(),
+        }
+    }
+}
+
+/// The Paged Virtual memory Manager.
+pub struct Pvm {
+    state: Mutex<PvmState>,
+    stub_cv: Condvar,
+    seg_mgr: Arc<dyn SegmentManager>,
+    model: Arc<CostModel>,
+}
+
+impl Pvm {
+    /// Creates a PVM with the given options and segment manager.
+    pub fn new(options: PvmOptions, seg_mgr: Arc<dyn SegmentManager>) -> Pvm {
+        let model = Arc::new(CostModel::new(options.cost.clone()));
+        let phys = PhysicalMemory::new(options.geometry, options.frames, model.clone());
+        let mmu: Box<dyn Mmu> = match options.mmu {
+            MmuChoice::Soft => Box::new(SoftMmu::new(options.geometry, model.clone())),
+            MmuChoice::TwoLevel => Box::new(TwoLevelMmu::new(options.geometry, model.clone())),
+        };
+        Pvm {
+            state: Mutex::new(PvmState::new(
+                options.geometry,
+                phys,
+                mmu,
+                model.clone(),
+                options.config,
+            )),
+            stub_cv: Condvar::new(),
+            seg_mgr,
+            model,
+        }
+    }
+
+    /// The shared cost model (simulated clock + operation counts).
+    pub fn cost_model(&self) -> Arc<CostModel> {
+        self.model.clone()
+    }
+
+    /// Snapshot of the PVM event counters.
+    pub fn stats(&self) -> PvmStats {
+        self.state.lock().stats
+    }
+
+    /// Resets the PVM event counters (the cost model has its own reset).
+    pub fn reset_stats(&self) {
+        self.state.lock().stats = PvmStats::default();
+    }
+
+    /// Number of live cache descriptors (including zombies and working
+    /// objects) — used by tests and the ablation benches.
+    pub fn cache_count(&self) -> usize {
+        self.state.lock().caches.len()
+    }
+
+    /// Number of resident pages across all caches.
+    pub fn resident_page_count(&self) -> usize {
+        self.state.lock().pages.len()
+    }
+
+    /// Number of free physical frames.
+    pub fn free_frames(&self) -> u32 {
+        self.state.lock().phys.free_frames()
+    }
+
+    /// Physical memory statistics.
+    pub fn mem_stats(&self) -> chorus_hal::MemStats {
+        self.state.lock().phys.stats()
+    }
+
+    /// Runs the structural invariant checker (also run automatically when
+    /// `PvmConfig::check_invariants` is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violated invariant.
+    pub fn check_invariants(&self) {
+        self.state.lock().check_invariants();
+    }
+
+    // ----- the blocked-action driver ---------------------------------------
+
+    pub(crate) fn state_for_dump(&self) -> parking_lot::MutexGuard<'_, PvmState> {
+        self.state.lock()
+    }
+
+    pub(crate) fn run_pub<T>(&self, attempt: impl FnMut(&mut PvmState) -> Attempt<T>) -> Result<T> {
+        self.run(attempt)
+    }
+
+    fn run<T>(&self, mut attempt: impl FnMut(&mut PvmState) -> Attempt<T>) -> Result<T> {
+        let mut guard = self.state.lock();
+        loop {
+            match attempt(&mut guard)? {
+                Outcome::Done(v) => {
+                    if guard.config.check_invariants {
+                        guard.check_invariants();
+                    }
+                    drop(guard);
+                    // Wake anyone whose wait condition we may have
+                    // satisfied (stub resolution, promotion, cleaning).
+                    self.stub_cv.notify_all();
+                    return Ok(v);
+                }
+                Outcome::Blocked(action) => {
+                    guard = self.perform(guard, action)?;
+                }
+            }
+        }
+    }
+
+    /// Performs a blocked action, re-acquiring the lock afterwards.
+    fn perform<'a>(
+        &'a self,
+        mut guard: parking_lot::MutexGuard<'a, PvmState>,
+        action: Blocked,
+    ) -> Result<parking_lot::MutexGuard<'a, PvmState>> {
+        match action {
+            Blocked::WaitStub => {
+                // Bounded wait: progress is re-checked on every wakeup,
+                // and the timeout guards against lost notifications.
+                let _ = self.stub_cv.wait_for(&mut guard, Duration::from_millis(50));
+                Ok(guard)
+            }
+            Blocked::PullIn {
+                cache,
+                segment,
+                offset,
+                size,
+                access,
+            } => {
+                drop(guard);
+                let res =
+                    self.seg_mgr
+                        .pull_in(self, pub_cache(cache), segment, offset, size, access);
+                let mut guard = self.state.lock();
+                let ps = guard.ps();
+                // Clear any stub of the pulled range the mapper left
+                // unfilled (read-ahead pages may be declined; the
+                // faulting page itself must arrive).
+                let mut cur = offset;
+                while cur < offset + size {
+                    if guard.is_sync_stub(cache, cur) {
+                        guard.clear_slot(cache, cur);
+                    }
+                    cur += ps;
+                }
+                match res {
+                    Ok(()) => {
+                        guard.stats.pull_ins += 1;
+                        // One mapper round trip plus per-page transfer.
+                        guard.charge(chorus_hal::OpKind::IpcOp);
+                        guard.charge_n(chorus_hal::OpKind::SegmentIoPage, size / ps);
+                        if !matches!(
+                            guard.global.get(&(cache, offset)),
+                            Some(crate::descriptors::Slot::Present(_))
+                        ) && guard.caches.contains(cache)
+                        {
+                            // The mapper never delivered the faulting page.
+                            drop(guard);
+                            self.stub_cv.notify_all();
+                            return Err(GmiError::SegmentIo {
+                                segment,
+                                cause: "pullIn returned without fillUp".into(),
+                            });
+                        }
+                        Ok(guard)
+                    }
+                    Err(e) => {
+                        drop(guard);
+                        self.stub_cv.notify_all();
+                        Err(e)
+                    }
+                }
+            }
+            Blocked::PushOut {
+                cache,
+                segment,
+                offset,
+                size,
+                page,
+            } => {
+                drop(guard);
+                let res = self
+                    .seg_mgr
+                    .push_out(self, pub_cache(cache), segment, offset, size);
+                let mut guard = self.state.lock();
+                if res.is_ok() {
+                    guard.charge(chorus_hal::OpKind::IpcOp);
+                    guard.charge_n(chorus_hal::OpKind::SegmentIoPage, size / guard.ps());
+                }
+                guard.finish_clean(page, res.is_ok());
+                if let Err(e) = res {
+                    drop(guard);
+                    self.stub_cv.notify_all();
+                    return Err(e);
+                }
+                Ok(guard)
+            }
+            Blocked::NeedSegment { cache } => {
+                drop(guard);
+                let segment = self.seg_mgr.segment_create(pub_cache(cache));
+                let mut guard = self.state.lock();
+                if let Ok(c) = guard.cache_mut(cache) {
+                    if c.segment.is_none() {
+                        c.segment = Some(segment);
+                    }
+                }
+                Ok(guard)
+            }
+            Blocked::GetWriteAccess {
+                cache: _,
+                segment,
+                offset,
+                size,
+                page,
+            } => {
+                drop(guard);
+                let res = self.seg_mgr.get_write_access(segment, offset, size);
+                let mut guard = self.state.lock();
+                guard.stats.write_access_upcalls += 1;
+                match res {
+                    Ok(()) => {
+                        if guard.pages.contains(page) {
+                            guard.page_mut(page).seg_write_ok = true;
+                        }
+                        Ok(guard)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+}
+
+// ----- CacheIo: the non-faulting Table 4 data-transfer downcalls ---------
+
+impl CacheIo for Pvm {
+    fn fill_up(&self, cache: CacheId, offset: u64, data: &[u8]) -> Result<()> {
+        let key = cache_key(cache);
+        let ps = {
+            let guard = self.state.lock();
+            guard.cache(key)?;
+            guard.ps()
+        };
+        let mut cur = 0u64;
+        while cur < data.len() as u64 {
+            let page_off = offset + cur;
+            debug_assert!(
+                page_off.is_multiple_of(ps),
+                "fillUp chunks must start page-aligned"
+            );
+            let n = ps.min(data.len() as u64 - cur);
+            let chunk = &data[cur as usize..(cur + n) as usize];
+            self.run(|s| s.fill_up_page_attempt(key, page_off, chunk))?;
+            self.stub_cv.notify_all();
+            cur += n;
+        }
+        Ok(())
+    }
+
+    fn copy_back(&self, cache: CacheId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let key = cache_key(cache);
+        let guard = self.state.lock();
+        guard.copy_back_locked(key, offset, buf)
+    }
+
+    fn move_back(&self, cache: CacheId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let key = cache_key(cache);
+        let mut guard = self.state.lock();
+        guard.copy_back_locked(key, offset, buf)?;
+        // Remove the fragment from the cache, releasing the frames.
+        let ps = guard.ps();
+        let mut cur = 0u64;
+        while cur < buf.len() as u64 {
+            let o = offset + cur;
+            if let Some(Slot::Present(p)) = guard.slot(key, o) {
+                if guard.page(p).stubs.is_empty() && guard.page(p).lock_count == 0 {
+                    guard.free_page(p, crate::state::StubsTo::AlreadyHandled, true);
+                }
+            }
+            cur += ps;
+        }
+        drop(guard);
+        self.stub_cv.notify_all();
+        Ok(())
+    }
+}
+
+impl PvmState {
+    /// One attempt of delivering one page of `fillUp` data.
+    pub(crate) fn fill_up_page_attempt(
+        &mut self,
+        cache: crate::keys::CacheKey,
+        page_off: u64,
+        chunk: &[u8],
+    ) -> Attempt<()> {
+        if self.caches.get(cache).is_none() {
+            // The cache died while the pull was in flight; drop the data.
+            if self.global.get(&(cache, page_off)) == Some(&Slot::Sync) {
+                self.global.remove(&(cache, page_off));
+            }
+            return crate::state::done(());
+        }
+        match self.slot(cache, page_off) {
+            Some(Slot::Present(p)) => {
+                // Data already resident (e.g. a concurrent fill): refresh
+                // the bytes only if the page is clean.
+                if !self.page(p).dirty {
+                    let frame = self.page(p).frame;
+                    let mut full = vec![0u8; self.ps() as usize];
+                    full[..chunk.len()].copy_from_slice(chunk);
+                    self.phys.write(frame, 0, &full);
+                }
+                crate::state::done(())
+            }
+            _ => {
+                let frame = match self.alloc_frame()? {
+                    Outcome::Done(f) => f,
+                    Outcome::Blocked(b) => return crate::state::blocked(b),
+                };
+                // Partial trailing chunks are zero-padded.
+                self.phys.zero(frame);
+                self.phys.write(frame, 0, chunk);
+                if let Some(Slot::Cow(src)) = self.slot(cache, page_off) {
+                    self.unthread_cow_stub(cache, page_off, src);
+                }
+                let writable = !self.has_history_covering(cache, page_off);
+                self.create_page(cache, page_off, frame, writable, false);
+                crate::state::done(())
+            }
+        }
+    }
+
+    /// Non-faulting read of resident data (`copyBack`).
+    pub(crate) fn copy_back_locked(
+        &self,
+        cache: crate::keys::CacheKey,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        self.cache(cache)?;
+        let ps = self.ps();
+        let mut cur = 0u64;
+        while cur < buf.len() as u64 {
+            let o = offset + cur;
+            let page_off = self.geom.round_down(o);
+            let in_page = (page_off + ps - o).min(buf.len() as u64 - cur);
+            match self.global.get(&(cache, page_off)) {
+                Some(Slot::Present(p)) => {
+                    let frame = self.page(*p).frame;
+                    self.phys.read(
+                        frame,
+                        o - page_off,
+                        &mut buf[cur as usize..(cur + in_page) as usize],
+                    );
+                }
+                _ => {
+                    return Err(GmiError::OutOfRange {
+                        offset: page_off,
+                        size: ps,
+                        what: "copyBack of non-resident data",
+                    })
+                }
+            }
+            cur += in_page;
+        }
+        Ok(())
+    }
+}
+
+// ----- the GMI itself ------------------------------------------------------
+
+impl Gmi for Pvm {
+    fn cache_create(&self, segment: Option<SegmentId>) -> Result<CacheId> {
+        let mut guard = self.state.lock();
+        Ok(pub_cache(guard.cache_create_locked(segment)))
+    }
+
+    fn cache_destroy(&self, cache: CacheId) -> Result<()> {
+        let key = cache_key(cache);
+        self.run(|s| s.cache_destroy_attempt(key))
+    }
+
+    fn cache_copy_with(
+        &self,
+        src: CacheId,
+        src_offset: u64,
+        dst: CacheId,
+        dst_offset: u64,
+        size: u64,
+        mode: CopyMode,
+    ) -> Result<()> {
+        let (s, d) = (cache_key(src), cache_key(dst));
+        let mut progress = 0u64;
+        self.run(|st| {
+            st.cache_copy_attempt(s, src_offset, d, dst_offset, size, mode, &mut progress)
+        })
+    }
+
+    fn cache_move(
+        &self,
+        src: CacheId,
+        src_offset: u64,
+        dst: CacheId,
+        dst_offset: u64,
+        size: u64,
+    ) -> Result<()> {
+        let (s, d) = (cache_key(src), cache_key(dst));
+        let mut progress = 0u64;
+        self.run(|st| st.cache_move_attempt(s, src_offset, d, dst_offset, size, &mut progress))
+    }
+
+    fn cache_read(&self, cache: CacheId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let key = cache_key(cache);
+        let mut progress = 0u64;
+        self.run(|s| s.cache_read_attempt(key, offset, buf, &mut progress))
+    }
+
+    fn cache_write(&self, cache: CacheId, offset: u64, data: &[u8]) -> Result<()> {
+        let key = cache_key(cache);
+        let mut progress = 0u64;
+        self.run(|s| s.cache_write_attempt(key, offset, data, &mut progress))
+    }
+
+    fn context_create(&self) -> Result<CtxId> {
+        let mut guard = self.state.lock();
+        Ok(pub_ctx(guard.context_create_locked()))
+    }
+
+    fn context_destroy(&self, ctx: CtxId) -> Result<()> {
+        let mut guard = self.state.lock();
+        guard.context_destroy_locked(ctx_key(ctx))
+    }
+
+    fn context_switch(&self, ctx: CtxId) -> Result<()> {
+        let mut guard = self.state.lock();
+        guard.context_switch_locked(ctx_key(ctx))
+    }
+
+    fn region_list(&self, ctx: CtxId) -> Result<Vec<(RegionId, RegionStatus)>> {
+        let guard = self.state.lock();
+        let desc = guard.ctx(ctx_key(ctx))?;
+        desc.regions
+            .iter()
+            .map(|&r| Ok((pub_region(r), guard.region_status_locked(r)?)))
+            .collect()
+    }
+
+    fn find_region(&self, ctx: CtxId, va: VirtAddr) -> Result<RegionId> {
+        let guard = self.state.lock();
+        guard.find_region(ctx_key(ctx), va).map(pub_region)
+    }
+
+    fn region_create(
+        &self,
+        ctx: CtxId,
+        addr: VirtAddr,
+        size: u64,
+        prot: Prot,
+        cache: CacheId,
+        offset: u64,
+    ) -> Result<RegionId> {
+        let mut guard = self.state.lock();
+        guard
+            .region_create_locked(ctx_key(ctx), addr, size, prot, cache_key(cache), offset)
+            .map(pub_region)
+    }
+
+    fn region_split(&self, region: RegionId, offset: u64) -> Result<RegionId> {
+        let mut guard = self.state.lock();
+        guard
+            .region_split_locked(region_key(region), offset)
+            .map(pub_region)
+    }
+
+    fn region_set_protection(&self, region: RegionId, prot: Prot) -> Result<()> {
+        let mut guard = self.state.lock();
+        guard.region_set_protection_locked(region_key(region), prot)
+    }
+
+    fn region_lock_in_memory(&self, region: RegionId) -> Result<()> {
+        let key = region_key(region);
+        self.run(|s| s.region_lock_attempt(key))
+    }
+
+    fn region_unlock(&self, region: RegionId) -> Result<()> {
+        let mut guard = self.state.lock();
+        guard.region_unlock_locked(region_key(region))
+    }
+
+    fn region_status(&self, region: RegionId) -> Result<RegionStatus> {
+        let guard = self.state.lock();
+        guard.region_status_locked(region_key(region))
+    }
+
+    fn region_destroy(&self, region: RegionId) -> Result<()> {
+        let mut guard = self.state.lock();
+        guard.region_destroy_locked(region_key(region))
+    }
+
+    fn cache_flush(&self, cache: CacheId, offset: u64, size: u64) -> Result<()> {
+        let key = cache_key(cache);
+        self.run(|s| s.flush_attempt(key, offset, size))
+    }
+
+    fn cache_sync(&self, cache: CacheId, offset: u64, size: u64) -> Result<()> {
+        let key = cache_key(cache);
+        self.run(|s| s.sync_attempt(key, offset, size))
+    }
+
+    fn cache_invalidate(&self, cache: CacheId, offset: u64, size: u64) -> Result<()> {
+        let key = cache_key(cache);
+        self.run(|s| s.invalidate_attempt(key, offset, size))
+    }
+
+    fn cache_set_protection(
+        &self,
+        cache: CacheId,
+        offset: u64,
+        size: u64,
+        prot: Prot,
+    ) -> Result<()> {
+        let mut guard = self.state.lock();
+        guard.cache_set_protection_locked(cache_key(cache), offset, size, prot)
+    }
+
+    fn cache_lock_in_memory(&self, cache: CacheId, offset: u64, size: u64) -> Result<()> {
+        let key = cache_key(cache);
+        self.run(|s| s.cache_lock_attempt(key, offset, size))
+    }
+
+    fn cache_unlock(&self, cache: CacheId, offset: u64, size: u64) -> Result<()> {
+        let mut guard = self.state.lock();
+        guard.cache_unlock_locked(cache_key(cache), offset, size)
+    }
+
+    fn handle_fault(&self, ctx: CtxId, va: VirtAddr, access: Access) -> Result<()> {
+        let key = ctx_key(ctx);
+        let mut first = true;
+        self.run(|s| {
+            if first {
+                first = false;
+                s.stats.faults += 1;
+                s.charge(chorus_hal::OpKind::FaultEntry);
+            }
+            s.fault_attempt(key, va, access)
+        })
+    }
+
+    fn vm_read(&self, ctx: CtxId, va: VirtAddr, buf: &mut [u8]) -> Result<()> {
+        self.vm_access(ctx, va, Access::Read, AccessBuf::Read(buf))
+    }
+
+    fn vm_write(&self, ctx: CtxId, va: VirtAddr, buf: &[u8]) -> Result<()> {
+        self.vm_access(ctx, va, Access::Write, AccessBuf::Write(buf))
+    }
+
+    fn geometry(&self) -> PageGeometry {
+        self.state.lock().geom
+    }
+
+    fn cache_resident_pages(&self, cache: CacheId) -> Result<u64> {
+        let guard = self.state.lock();
+        let key = cache_key(cache);
+        let desc = guard.cache(key)?;
+        Ok(desc
+            .entries
+            .iter()
+            .filter(|&&o| matches!(guard.global.get(&(key, o)), Some(Slot::Present(_))))
+            .count() as u64)
+    }
+}
+
+enum AccessBuf<'a> {
+    Read(&'a mut [u8]),
+    Write(&'a [u8]),
+}
+
+impl Pvm {
+    /// The faulting user-access simulation loop: translate, fault,
+    /// retry — crossing page (and region) boundaries as needed.
+    fn vm_access(
+        &self,
+        ctx: CtxId,
+        va: VirtAddr,
+        access: Access,
+        mut buf: AccessBuf<'_>,
+    ) -> Result<()> {
+        let key = ctx_key(ctx);
+        let len = match &buf {
+            AccessBuf::Read(b) => b.len(),
+            AccessBuf::Write(b) => b.len(),
+        } as u64;
+        let ps = self.geometry().page_size();
+        let mut cur = 0u64;
+        while cur < len {
+            let addr = VirtAddr(va.0 + cur);
+            let page_rem = ps - (addr.0 % ps);
+            let n = page_rem.min(len - cur) as usize;
+            // Translate-or-fault loop for this chunk.
+            let mut tries = 0;
+            loop {
+                let mut guard = self.state.lock();
+                let mmu_ctx = guard.ctx(key)?.mmu_ctx;
+                match guard.mmu.translate(mmu_ctx, addr, access, false) {
+                    Ok(pa) => {
+                        match &mut buf {
+                            AccessBuf::Read(b) => {
+                                guard
+                                    .phys
+                                    .read_phys(pa, &mut b[cur as usize..cur as usize + n]);
+                            }
+                            AccessBuf::Write(b) => {
+                                guard
+                                    .phys
+                                    .write_phys(pa, &b[cur as usize..cur as usize + n]);
+                            }
+                        }
+                        break;
+                    }
+                    Err(_fault) => {
+                        drop(guard);
+                        self.handle_fault(ctx, addr, access)?;
+                        tries += 1;
+                        assert!(tries < 64, "fault livelock at {addr:?}");
+                    }
+                }
+            }
+            cur += n as u64;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,112 @@
+//! Current-version resolution: the upward walk of the history tree.
+//!
+//! "Each cache contains the current version of its own pages. Pages not
+//! present in some cache (cache misses) are found by looking upwards
+//! (towards the root) in the tree" (§4.2.1). The walk also follows
+//! per-virtual-page stub pointers (§4.3) and triggers `pullIn` for owned
+//! but swapped-out data.
+
+use crate::descriptors::{CowSource, Slot};
+use crate::keys::{CacheKey, PageKey};
+use crate::state::{blocked, done, Attempt, Blocked, PvmState};
+use chorus_gmi::GmiError;
+use chorus_hal::{Access, OpKind};
+
+/// The resolved current version of a (cache, offset) datum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Version {
+    /// A resident page holds the value (it may belong to the queried
+    /// cache itself or to an ancestor / stub source).
+    Page(PageKey),
+    /// No cache on the path and no segment holds the value: the logical
+    /// content is zeroes.
+    Zero,
+}
+
+impl PvmState {
+    /// Resolves the current logical version of offset `off` of `cache`.
+    ///
+    /// May request a `pullIn` (placing the synchronization stub first) or
+    /// a wait on an in-transit page.
+    pub fn resolve_version(
+        &mut self,
+        cache: CacheKey,
+        off: u64,
+        access: Access,
+    ) -> Attempt<Version> {
+        let mut x = cache;
+        let mut o = off;
+        // Cycle guard: a correct history tree is acyclic; bound the walk.
+        let mut steps = self.caches.len() + 2;
+        loop {
+            if steps == 0 {
+                panic!("history tree cycle detected at {x:?}+{o:#x}");
+            }
+            steps -= 1;
+            self.charge(OpKind::HistoryOp);
+            match self.slot(x, o) {
+                Some(Slot::Present(p)) => return done(Version::Page(p)),
+                Some(Slot::Sync) => return blocked(Blocked::WaitStub),
+                Some(Slot::Cow(CowSource::Page(p))) => {
+                    debug_assert!(self.pages.contains(p), "stub points at dead page");
+                    return done(Version::Page(p));
+                }
+                Some(Slot::Cow(CowSource::Loc(c2, o2))) => {
+                    x = c2;
+                    o = o2;
+                }
+                Some(Slot::Cow(CowSource::Zero)) => return done(Version::Zero),
+                None => {
+                    let desc = self.cache(x)?;
+                    if desc.owns(o) {
+                        // Owned but not resident: the data lives on the
+                        // segment. Place the synchronization page stub
+                        // and ask for a pull (§4.1.2); with clustering
+                        // enabled, adjacent owned-non-resident pages ride
+                        // along under their own stubs (read-ahead).
+                        let segment = desc.segment.ok_or(GmiError::InvalidArgument(
+                            "owned page with neither residence nor segment",
+                        ))?;
+                        let ps = self.ps();
+                        let mut pages = 1u64;
+                        while pages < self.config.pull_cluster_pages {
+                            let next = o + pages * ps;
+                            let desc = self.cache(x)?;
+                            if !desc.owns(next) || desc.entries.contains(&next) {
+                                break;
+                            }
+                            pages += 1;
+                        }
+                        for k in 0..pages {
+                            self.set_slot(x, o + k * ps, Slot::Sync);
+                        }
+                        return blocked(Blocked::PullIn {
+                            cache: x,
+                            segment,
+                            offset: o,
+                            size: pages * ps,
+                            access,
+                        });
+                    }
+                    match desc.parent_at(o) {
+                        Some(frag) => {
+                            o = frag.to_parent(o);
+                            x = frag.parent;
+                        }
+                        None => return done(Version::Zero),
+                    }
+                }
+            }
+        }
+    }
+
+    /// True if the fragment policy of `cache` at `off` is
+    /// copy-on-reference (materialize a private page on first access).
+    pub fn is_cor_at(&self, cache: CacheKey, off: u64) -> bool {
+        self.caches
+            .get(cache)
+            .and_then(|c| c.parent_at(off))
+            .map(|f| f.cor)
+            .unwrap_or(false)
+    }
+}

@@ -1,0 +1,461 @@
+//! The locked PVM state and its core bookkeeping helpers.
+//!
+//! All descriptor arenas, the global map, and the machine state (frame
+//! pool + MMU) live behind one mutex in [`crate::Pvm`]. Operations that
+//! must block (waiting on a synchronization page stub, performing a
+//! `pullIn`/`pushOut` upcall) never sleep while holding the lock: an
+//! *attempt* runs under the lock and either completes or returns a
+//! [`Blocked`] action; the driver in `pvm.rs` releases the lock, performs
+//! the action, and retries the attempt.
+
+use crate::config::PvmConfig;
+use crate::descriptors::{CacheDesc, ContextDesc, CowSource, Mapping, PageDesc, RegionDesc, Slot};
+use crate::keys::{CacheKey, CtxKey, PageKey, RegKey};
+use crate::stats::PvmStats;
+use chorus_gmi::{GmiError, Result, SegmentId};
+use chorus_hal::{
+    Access, Arena, CostModel, FrameNo, Mmu, OpKind, PageGeometry, PhysicalMemory, Prot, VirtAddr,
+    Vpn,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An action the caller must perform without the state lock, then retry.
+#[derive(Debug)]
+pub(crate) enum Blocked {
+    /// Wait for a synchronization page stub to resolve.
+    WaitStub,
+    /// Perform a `pullIn` upcall. The attempt has already placed a sync
+    /// stub at (cache, offset).
+    PullIn {
+        /// Target cache.
+        cache: CacheKey,
+        /// Its segment.
+        segment: SegmentId,
+        /// Page-aligned fragment offset.
+        offset: u64,
+        /// Fragment size.
+        size: u64,
+        /// Access mode for the pull.
+        access: Access,
+    },
+    /// Perform a `pushOut` upcall for a page being cleaned. The attempt
+    /// has already write-protected the page's mappings and set its
+    /// `cleaning` flag.
+    PushOut {
+        /// Source cache.
+        cache: CacheKey,
+        /// Its segment.
+        segment: SegmentId,
+        /// Page-aligned offset.
+        offset: u64,
+        /// Size to push.
+        size: u64,
+        /// The page being cleaned.
+        page: PageKey,
+    },
+    /// The cache needs a segment assigned (`segmentCreate` upcall,
+    /// §5.1.2: temporary caches get a swap segment at first push-out).
+    NeedSegment {
+        /// The segment-less cache.
+        cache: CacheKey,
+    },
+    /// Ask the segment manager for write access (`getWriteAccess`).
+    GetWriteAccess {
+        /// The cache whose page needs write access (kept for telemetry
+        /// in Debug output).
+        #[allow(dead_code)]
+        cache: CacheKey,
+        /// Its segment.
+        segment: SegmentId,
+        /// Page offset.
+        offset: u64,
+        /// Size (one page).
+        size: u64,
+        /// The page to mark writable on success.
+        page: PageKey,
+    },
+}
+
+/// Result of one locked attempt.
+pub(crate) enum Outcome<T> {
+    /// The operation completed.
+    Done(T),
+    /// The lock must be released and `Blocked` performed, then retry.
+    Blocked(Blocked),
+}
+
+/// `Result` of an attempt: hard error, completion, or blocked.
+pub(crate) type Attempt<T> = Result<Outcome<T>>;
+
+/// Shorthand for returning a blocked outcome.
+pub(crate) fn blocked<T>(b: Blocked) -> Attempt<T> {
+    Ok(Outcome::Blocked(b))
+}
+
+/// Shorthand for returning a completed outcome.
+pub(crate) fn done<T>(v: T) -> Attempt<T> {
+    Ok(Outcome::Done(v))
+}
+
+/// How [`PvmState::free_page`] should treat stubs threaded on the page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StubsTo {
+    /// Re-point stubs at (cache, offset) — the data survives on the
+    /// segment (eviction path; §4.3 "otherwise, it contains a pointer to
+    /// the source local-cache descriptor and its offset").
+    Loc,
+    /// The caller already materialized or dropped every stub.
+    AlreadyHandled,
+}
+
+/// The PVM state proper (everything behind the lock).
+pub(crate) struct PvmState {
+    pub geom: PageGeometry,
+    pub phys: PhysicalMemory,
+    pub mmu: Box<dyn Mmu>,
+    pub model: Arc<CostModel>,
+    pub contexts: Arena<ContextDesc>,
+    pub regions: Arena<RegionDesc>,
+    pub caches: Arena<CacheDesc>,
+    pub pages: Arena<PageDesc>,
+    /// The single global map (§4.1.1), hashing slots by (cache, offset).
+    pub global: HashMap<(CacheKey, u64), Slot>,
+    /// Per-virtual-page stubs whose source page is not resident, indexed
+    /// by (source cache, source offset) so a later pull re-threads them.
+    pub loc_stubs: HashMap<(CacheKey, u64), Vec<(CacheKey, u64)>>,
+    /// Owner page of each allocated frame (reverse of `PageDesc.frame`).
+    pub frame_owner: HashMap<u32, PageKey>,
+    /// Clock-replacement candidate list (may contain stale keys; the
+    /// sweep skips and compacts them).
+    pub resident: Vec<PageKey>,
+    /// Clock hand index into `resident`.
+    pub hand: usize,
+    /// The current user context.
+    pub current: Option<CtxKey>,
+    pub config: PvmConfig,
+    pub stats: PvmStats,
+}
+
+impl PvmState {
+    pub fn new(
+        geom: PageGeometry,
+        phys: PhysicalMemory,
+        mmu: Box<dyn Mmu>,
+        model: Arc<CostModel>,
+        config: PvmConfig,
+    ) -> PvmState {
+        PvmState {
+            geom,
+            phys,
+            mmu,
+            model,
+            contexts: Arena::new(),
+            regions: Arena::new(),
+            caches: Arena::new(),
+            pages: Arena::new(),
+            global: HashMap::new(),
+            loc_stubs: HashMap::new(),
+            frame_owner: HashMap::new(),
+            resident: Vec::new(),
+            hand: 0,
+            current: None,
+            config,
+            stats: PvmStats::default(),
+        }
+    }
+
+    // ----- lookups --------------------------------------------------------
+
+    pub fn ctx(&self, k: CtxKey) -> Result<&ContextDesc> {
+        self.contexts
+            .get(k)
+            .ok_or(GmiError::NoSuchContext(crate::keys::pub_ctx(k)))
+    }
+
+    pub fn ctx_mut(&mut self, k: CtxKey) -> Result<&mut ContextDesc> {
+        self.contexts
+            .get_mut(k)
+            .ok_or(GmiError::NoSuchContext(crate::keys::pub_ctx(k)))
+    }
+
+    pub fn region(&self, k: RegKey) -> Result<&RegionDesc> {
+        self.regions
+            .get(k)
+            .ok_or(GmiError::NoSuchRegion(crate::keys::pub_region(k)))
+    }
+
+    pub fn region_mut(&mut self, k: RegKey) -> Result<&mut RegionDesc> {
+        self.regions
+            .get_mut(k)
+            .ok_or(GmiError::NoSuchRegion(crate::keys::pub_region(k)))
+    }
+
+    pub fn cache(&self, k: CacheKey) -> Result<&CacheDesc> {
+        self.caches
+            .get(k)
+            .ok_or(GmiError::NoSuchCache(crate::keys::pub_cache(k)))
+    }
+
+    pub fn cache_mut(&mut self, k: CacheKey) -> Result<&mut CacheDesc> {
+        self.caches
+            .get_mut(k)
+            .ok_or(GmiError::NoSuchCache(crate::keys::pub_cache(k)))
+    }
+
+    /// Internal page lookup: pages are never exposed, so a dangling key
+    /// is a PVM bug.
+    pub fn page(&self, k: PageKey) -> &PageDesc {
+        self.pages.get(k).expect("dangling page key")
+    }
+
+    pub fn page_mut(&mut self, k: PageKey) -> &mut PageDesc {
+        self.pages.get_mut(k).expect("dangling page key")
+    }
+
+    // ----- geometry helpers ------------------------------------------------
+
+    #[inline]
+    pub fn ps(&self) -> u64 {
+        self.geom.page_size()
+    }
+
+    pub fn check_aligned(&self, value: u64, what: &'static str) -> Result<()> {
+        if self.geom.is_aligned(value) {
+            Ok(())
+        } else {
+            Err(GmiError::Unaligned { value, what })
+        }
+    }
+
+    // ----- global map ------------------------------------------------------
+
+    pub fn slot(&self, cache: CacheKey, off: u64) -> Option<Slot> {
+        self.model.charge(OpKind::GlobalMapOp);
+        self.global.get(&(cache, off)).copied()
+    }
+
+    /// Installs a slot, maintaining the cache's entry index.
+    pub fn set_slot(&mut self, cache: CacheKey, off: u64, slot: Slot) {
+        self.model.charge(OpKind::GlobalMapOp);
+        self.global.insert((cache, off), slot);
+        if let Some(c) = self.caches.get_mut(cache) {
+            c.entries.insert(off);
+        }
+    }
+
+    /// Removes a slot, maintaining the cache's entry index.
+    pub fn clear_slot(&mut self, cache: CacheKey, off: u64) -> Option<Slot> {
+        self.model.charge(OpKind::GlobalMapOp);
+        let old = self.global.remove(&(cache, off));
+        if old.is_some() {
+            if let Some(c) = self.caches.get_mut(cache) {
+                c.entries.remove(&off);
+            }
+        }
+        old
+    }
+
+    // ----- page lifecycle ---------------------------------------------------
+
+    /// Creates a real page descriptor for `frame` at (cache, offset),
+    /// replacing any stub there, and threads any location stubs waiting
+    /// for this (cache, offset).
+    pub fn create_page(
+        &mut self,
+        cache: CacheKey,
+        offset: u64,
+        frame: FrameNo,
+        writable: bool,
+        dirty: bool,
+    ) -> PageKey {
+        let mut desc = PageDesc::new(cache, offset, frame);
+        desc.writable = writable;
+        desc.dirty = dirty;
+        // Re-thread per-page stubs that were pointing at this location.
+        if let Some(waiting) = self.loc_stubs.remove(&(cache, offset)) {
+            desc.stubs = waiting;
+        }
+        let key = self.pages.insert(desc);
+        for &(dc, doff) in &self.page(key).stubs.clone() {
+            self.set_slot(dc, doff, Slot::Cow(CowSource::Page(key)));
+        }
+        self.set_slot(cache, offset, Slot::Present(key));
+        if let Some(c) = self.caches.get_mut(cache) {
+            c.owned.insert(offset);
+        }
+        self.frame_owner.insert(frame.0, key);
+        self.resident.push(key);
+        key
+    }
+
+    /// Removes a page: unmaps it everywhere, detaches stubs per
+    /// `stubs_to`, clears its slot, and releases (or returns) its frame.
+    ///
+    /// The `owned` mark is *not* cleared — the caller decides whether the
+    /// cache still logically owns the offset (eviction: yes; invalidate:
+    /// no).
+    pub fn free_page(&mut self, key: PageKey, stubs_to: StubsTo, release_frame: bool) -> FrameNo {
+        self.unmap_all(key);
+        let desc = self.pages.remove(key).expect("freeing a dead page");
+        match stubs_to {
+            StubsTo::Loc => {
+                for (dc, doff) in desc.stubs {
+                    self.set_slot(dc, doff, Slot::Cow(CowSource::Loc(desc.cache, desc.offset)));
+                    self.loc_stubs
+                        .entry((desc.cache, desc.offset))
+                        .or_default()
+                        .push((dc, doff));
+                }
+            }
+            StubsTo::AlreadyHandled => {
+                debug_assert!(desc.stubs.is_empty(), "free_page with live stubs");
+            }
+        }
+        // Only clear the slot if it still refers to this page (a sync
+        // stub may have replaced it during cleaning).
+        if self.global.get(&(desc.cache, desc.offset)) == Some(&Slot::Present(key)) {
+            self.clear_slot(desc.cache, desc.offset);
+        }
+        self.frame_owner.remove(&desc.frame.0);
+        if release_frame {
+            self.phys.release(desc.frame);
+        }
+        desc.frame
+    }
+
+    // ----- mapping bookkeeping ----------------------------------------------
+
+    /// Enters a mapping in the MMU and records it on the page.
+    pub fn map_page(&mut self, key: PageKey, ctx: CtxKey, vpn: Vpn, prot: Prot, via: CacheKey) {
+        // Remove any previous mapping at this (ctx, vpn) first.
+        self.unmap_va(ctx, vpn);
+        let mmu_ctx = self.ctx(ctx).expect("mapping into dead context").mmu_ctx;
+        let frame = self.page(key).frame;
+        self.mmu.map(mmu_ctx, vpn, frame, prot);
+        let page = self.page_mut(key);
+        page.mappings.push(Mapping { ctx, vpn, via });
+        page.ref_bit = true;
+    }
+
+    /// Removes the mapping at (ctx, vpn), if any, and unthreads it from
+    /// its page descriptor.
+    pub fn unmap_va(&mut self, ctx: CtxKey, vpn: Vpn) {
+        let Ok(desc) = self.ctx(ctx) else { return };
+        let mmu_ctx = desc.mmu_ctx;
+        if let Some(frame) = self.mmu.unmap(mmu_ctx, vpn) {
+            if let Some(&owner) = self.frame_owner.get(&frame.0) {
+                let page = self.page_mut(owner);
+                page.mappings.retain(|m| !(m.ctx == ctx && m.vpn == vpn));
+            }
+        }
+    }
+
+    /// Removes every MMU mapping of a page.
+    pub fn unmap_all(&mut self, key: PageKey) {
+        let mappings = core::mem::take(&mut self.page_mut(key).mappings);
+        for m in mappings {
+            if let Ok(desc) = self.ctx(m.ctx) {
+                let mmu_ctx = desc.mmu_ctx;
+                self.mmu.unmap(mmu_ctx, m.vpn);
+            }
+        }
+    }
+
+    /// Shoots down the mappings of a page that were established through
+    /// one particular cache — used when that cache materializes its own
+    /// version, so stale read mappings of the old version re-fault.
+    pub fn unmap_via(&mut self, key: PageKey, via: CacheKey) {
+        let (keep, drop): (Vec<Mapping>, Vec<Mapping>) =
+            self.page(key).mappings.iter().partition(|m| m.via != via);
+        for m in &drop {
+            if let Ok(desc) = self.ctx(m.ctx) {
+                let mmu_ctx = desc.mmu_ctx;
+                self.mmu.unmap(mmu_ctx, m.vpn);
+            }
+        }
+        self.page_mut(key).mappings = keep;
+    }
+
+    /// Shoots down mappings of a page established through caches other
+    /// than the owner (descendants reading the original); called before
+    /// the owner's copy is modified in place.
+    pub fn unmap_foreign(&mut self, key: PageKey) {
+        let owner = self.page(key).cache;
+        let (keep, drop): (Vec<Mapping>, Vec<Mapping>) =
+            self.page(key).mappings.iter().partition(|m| m.via == owner);
+        for m in &drop {
+            if let Ok(desc) = self.ctx(m.ctx) {
+                let mmu_ctx = desc.mmu_ctx;
+                self.mmu.unmap(mmu_ctx, m.vpn);
+            }
+        }
+        self.page_mut(key).mappings = keep;
+    }
+
+    /// Re-applies the protection of every current mapping of a page,
+    /// given each mapping's region protection recomputed from scratch.
+    pub fn reprotect_mappings(&mut self, key: PageKey) {
+        let mappings = self.page(key).mappings.clone();
+        for m in mappings {
+            let Some(region_prot) = self.region_prot_at(m.ctx, m.vpn) else {
+                continue;
+            };
+            let page = self.page(key);
+            let eff = if m.via == page.cache {
+                page.effective_prot(region_prot)
+            } else {
+                // Foreign (descendant) mappings of an ancestor page are
+                // always read-only.
+                region_prot.remove(Prot::WRITE)
+            };
+            let mmu_ctx = self.ctx(m.ctx).expect("mapping into dead context").mmu_ctx;
+            self.mmu.protect(mmu_ctx, m.vpn, eff);
+        }
+    }
+
+    /// The protection of the region covering (ctx, vpn), if any.
+    fn region_prot_at(&self, ctx: CtxKey, vpn: Vpn) -> Option<Prot> {
+        let va = self.geom.base(vpn);
+        let reg = self.find_region(ctx, va).ok()?;
+        Some(self.region(reg).ok()?.prot)
+    }
+
+    // ----- region lookup ----------------------------------------------------
+
+    /// Finds the region of `ctx` containing `va` (§4.1.2's search in the
+    /// sorted region list).
+    pub fn find_region(&self, ctx: CtxKey, va: VirtAddr) -> Result<RegKey> {
+        let desc = self.ctx(ctx)?;
+        // Regions are sorted by start address; find the last region whose
+        // start is <= va and check containment.
+        let idx = desc
+            .regions
+            .partition_point(|&r| self.regions.get(r).map(|d| d.addr <= va).unwrap_or(false));
+        if idx > 0 {
+            let key = desc.regions[idx - 1];
+            if let Some(r) = self.regions.get(key) {
+                if r.contains(va) {
+                    return Ok(key);
+                }
+            }
+        }
+        Err(GmiError::SegmentationFault {
+            ctx: crate::keys::pub_ctx(ctx),
+            va,
+            access: Access::Read,
+        })
+    }
+
+    // ----- charging ----------------------------------------------------------
+
+    #[inline]
+    pub fn charge(&self, op: OpKind) {
+        self.model.charge(op);
+    }
+
+    #[inline]
+    pub fn charge_n(&self, op: OpKind, n: u64) {
+        self.model.charge_n(op, n);
+    }
+}

@@ -1,0 +1,40 @@
+//! PVM event counters.
+
+/// Counters of notable PVM events, exposed for tests and benches.
+///
+/// These complement the cost-model operation counts with events that are
+/// specific to the PVM's algorithms (history pushes, stub waits, zombie
+/// merges, ...).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PvmStats {
+    /// Page faults handled (§4.1.2 entry).
+    pub faults: u64,
+    /// Faults resolved by allocating a zero-filled page.
+    pub zero_fills: u64,
+    /// Faults resolved by a `pullIn` upcall.
+    pub pull_ins: u64,
+    /// `pushOut` upcalls performed.
+    pub push_outs: u64,
+    /// Write violations resolved by materializing a private copy
+    /// (copy-on-write resolution, either technique).
+    pub cow_copies: u64,
+    /// Originals preserved into a history object before a source write.
+    pub history_pushes: u64,
+    /// Own read-only pages promoted to writable.
+    pub promotes: u64,
+    /// Working history objects created to preserve the tree shape
+    /// invariant (§4.2.3).
+    pub working_objects: u64,
+    /// Single-child zombie nodes merged into their child.
+    pub zombie_merges: u64,
+    /// Times a thread blocked on a synchronization page stub.
+    pub stub_waits: u64,
+    /// Pages evicted by the clock algorithm.
+    pub evictions: u64,
+    /// Frames transferred cache-to-cache by `move` without copying.
+    pub moved_frames: u64,
+    /// Per-virtual-page copy-on-write stubs created (§4.3).
+    pub cow_stubs_created: u64,
+    /// `getWriteAccess` upcalls performed.
+    pub write_access_upcalls: u64,
+}

@@ -1,0 +1,342 @@
+//! Copy/move semantics across all deferred-copy techniques (§3.3.1,
+//! §4.3).
+
+mod common;
+
+use chorus_gmi::{CopyMode, Gmi, GmiError, Prot, VirtAddr};
+use chorus_pvm::SlotDump;
+use common::*;
+
+#[test]
+fn per_page_copy_defers_and_isolates() {
+    let (pvm, _) = setup(64);
+    let src = pvm.cache_create(None).unwrap();
+    pvm.write_logical(src, 0, &pattern(0x10, (4 * PS) as usize))
+        .unwrap();
+    let dst = pvm.cache_create(None).unwrap();
+    let copies_before = pvm.mem_stats().copied;
+    pvm.cache_copy_with(src, 0, dst, 0, 4 * PS, CopyMode::PerPage)
+        .unwrap();
+    // Nothing copied yet; four stubs installed.
+    assert_eq!(pvm.mem_stats().copied, copies_before);
+    assert_eq!(pvm.stats().cow_stubs_created, 4);
+    let dump = pvm.dump_caches();
+    let stub_count = dump
+        .cache(dst)
+        .unwrap()
+        .slots
+        .iter()
+        .filter(|(_, s)| matches!(s, SlotDump::CowStub))
+        .count();
+    assert_eq!(stub_count, 4);
+
+    // Reads through the stub see the source value without copying.
+    assert_eq!(
+        pvm.read_logical(dst, PS, 8).unwrap(),
+        pattern(0x10, (4 * PS) as usize)[PS as usize..PS as usize + 8]
+    );
+    assert_eq!(
+        pvm.mem_stats().copied,
+        copies_before,
+        "reads do not materialize"
+    );
+
+    // "When a write violation occurs on a copy-on-write page stub, a new
+    // page frame is allocated with a copy of the source page."
+    pvm.write_logical(dst, 0, b"DIFF").unwrap();
+    assert_eq!(pvm.read_logical(src, 0, 4).unwrap(), pattern(0x10, 4));
+    let mut expect = pattern(0x10, PS as usize);
+    expect[..4].copy_from_slice(b"DIFF");
+    assert_eq!(pvm.read_logical(dst, 0, PS as usize).unwrap(), expect);
+}
+
+#[test]
+fn per_page_source_write_preserves_stub_values() {
+    let (pvm, _) = setup(64);
+    let src = pvm.cache_create(None).unwrap();
+    pvm.write_logical(src, 0, &pattern(0x40, PS as usize))
+        .unwrap();
+    let dst = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, dst, 0, PS, CopyMode::PerPage)
+        .unwrap();
+    // Writing the *source* must not change what the stub destination
+    // reads.
+    pvm.write_logical(src, 0, &pattern(0x99, PS as usize))
+        .unwrap();
+    assert_eq!(
+        pvm.read_logical(dst, 0, PS as usize).unwrap(),
+        pattern(0x40, PS as usize)
+    );
+    assert_eq!(
+        pvm.read_logical(src, 0, PS as usize).unwrap(),
+        pattern(0x99, PS as usize)
+    );
+}
+
+#[test]
+fn per_page_multiple_destinations_thread_on_source() {
+    let (pvm, _) = setup(64);
+    let src = pvm.cache_create(None).unwrap();
+    pvm.write_logical(src, 0, &pattern(0x40, PS as usize))
+        .unwrap();
+    // Copy the same source page to three destinations ("the source page
+    // is accessible, for reads, through any cache to which it was
+    // copied").
+    let dsts: Vec<_> = (0..3)
+        .map(|_| {
+            let d = pvm.cache_create(None).unwrap();
+            pvm.cache_copy_with(src, 0, d, 0, PS, CopyMode::PerPage)
+                .unwrap();
+            d
+        })
+        .collect();
+    for &d in &dsts {
+        assert_eq!(pvm.read_logical(d, 0, 8).unwrap(), pattern(0x40, 8));
+    }
+    // Source write: one original materialization serves all stubs.
+    pvm.write_logical(src, 0, &pattern(0x99, PS as usize))
+        .unwrap();
+    for &d in &dsts {
+        assert_eq!(
+            pvm.read_logical(d, 0, PS as usize).unwrap(),
+            pattern(0x40, PS as usize),
+            "{d:?}"
+        );
+    }
+    // Each destination can still diverge independently.
+    pvm.write_logical(dsts[1], 0, b"mine").unwrap();
+    assert_eq!(pvm.read_logical(dsts[0], 0, 4).unwrap(), pattern(0x40, 4));
+    assert_eq!(pvm.read_logical(dsts[1], 0, 4).unwrap(), b"mine");
+    assert_eq!(pvm.read_logical(dsts[2], 0, 4).unwrap(), pattern(0x40, 4));
+}
+
+#[test]
+fn move_transfers_frames_without_copying() {
+    let (pvm, _) = setup(64);
+    let src = pvm.cache_create(None).unwrap();
+    pvm.write_logical(src, 0, &pattern(0x33, (4 * PS) as usize))
+        .unwrap();
+    let dst = pvm.cache_create(None).unwrap();
+    let copies_before = pvm.mem_stats().copied;
+    pvm.cache_move(src, 0, dst, 0, 4 * PS).unwrap();
+    assert_eq!(pvm.mem_stats().copied, copies_before, "move must not bcopy");
+    assert_eq!(pvm.stats().moved_frames, 4);
+    assert_eq!(
+        pvm.read_logical(dst, 0, (4 * PS) as usize).unwrap(),
+        pattern(0x33, (4 * PS) as usize)
+    );
+    // Source content is undefined; its pages are gone.
+    assert_eq!(pvm.cache_resident_pages(src).unwrap(), 0);
+}
+
+#[test]
+fn move_with_offset_shift() {
+    let (pvm, _) = setup(64);
+    let src = pvm.cache_create(None).unwrap();
+    pvm.write_logical(src, 2 * PS, &pattern(0x44, (2 * PS) as usize))
+        .unwrap();
+    let dst = pvm.cache_create(None).unwrap();
+    pvm.cache_move(src, 2 * PS, dst, 6 * PS, 2 * PS).unwrap();
+    assert_eq!(
+        pvm.read_logical(dst, 6 * PS, (2 * PS) as usize).unwrap(),
+        pattern(0x44, (2 * PS) as usize)
+    );
+}
+
+#[test]
+fn move_of_cow_protected_pages_falls_back_to_stubs() {
+    let (pvm, _) = setup(64);
+    let src = pvm.cache_create(None).unwrap();
+    pvm.write_logical(src, 0, &pattern(0x55, (2 * PS) as usize))
+        .unwrap();
+    // src now has a history child: its frames cannot be stolen.
+    let child = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, child, 0, 2 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    let dst = pvm.cache_create(None).unwrap();
+    pvm.cache_move(src, 0, dst, 0, 2 * PS).unwrap();
+    assert_eq!(
+        pvm.stats().moved_frames,
+        0,
+        "protected frames must not be stolen"
+    );
+    // Both the history child and the move destination read the data.
+    assert_eq!(pvm.read_logical(child, 0, 8).unwrap(), pattern(0x55, 8));
+    assert_eq!(pvm.read_logical(dst, 0, 8).unwrap(), pattern(0x55, 8));
+}
+
+#[test]
+fn eager_copy_handles_unaligned_ranges() {
+    let (pvm, _) = setup(64);
+    let src = pvm.cache_create(None).unwrap();
+    let data = pattern(0x21, (3 * PS) as usize);
+    pvm.write_logical(src, 0, &data).unwrap();
+    let dst = pvm.cache_create(None).unwrap();
+    // Unaligned offsets and size: byte-exact copy.
+    pvm.cache_copy_with(src, 13, dst, 7, 2 * PS + 11, CopyMode::Eager)
+        .unwrap();
+    assert_eq!(
+        pvm.read_logical(dst, 7, (2 * PS + 11) as usize).unwrap(),
+        data[13..13 + (2 * PS + 11) as usize]
+    );
+    // Immediately isolated (eager = real copy).
+    pvm.write_logical(src, 13, b"XX").unwrap();
+    assert_eq!(pvm.read_logical(dst, 7, 2).unwrap(), data[13..15]);
+}
+
+#[test]
+fn auto_mode_picks_technique_by_size() {
+    let (pvm, _) = setup(200);
+    let src = pvm.cache_create(None).unwrap();
+    pvm.write_logical(src, 0, &pattern(1, (20 * PS) as usize))
+        .unwrap();
+    // Small aligned copy (<= 8 pages): per-page stubs.
+    let d1 = pvm.cache_create(None).unwrap();
+    pvm.cache_copy(src, 0, d1, 0, 4 * PS).unwrap();
+    assert_eq!(pvm.stats().cow_stubs_created, 4);
+    assert_eq!(pvm.stats().working_objects, 0);
+    let h_before = pvm.dump_caches().cache(src).unwrap().history;
+    assert_eq!(h_before, None, "per-page copies do not build history trees");
+    // Large aligned copy: history objects.
+    let d2 = pvm.cache_create(None).unwrap();
+    pvm.cache_copy(src, 0, d2, 0, 20 * PS).unwrap();
+    assert_eq!(pvm.dump_caches().cache(src).unwrap().history, Some(d2));
+    // Unaligned copy: eager (no new stubs or history links; real byte
+    // copies are charged).
+    let d3 = pvm.cache_create(None).unwrap();
+    let stubs_before = pvm.stats().cow_stubs_created;
+    let bcopy_before = pvm.cost_model().count(chorus_hal::OpKind::BcopyPage);
+    pvm.cache_copy(src, 1, d3, 0, PS).unwrap();
+    assert_eq!(pvm.stats().cow_stubs_created, stubs_before);
+    assert!(pvm.cost_model().count(chorus_hal::OpKind::BcopyPage) > bcopy_before);
+    assert_eq!(
+        pvm.read_logical(d3, 0, PS as usize).unwrap(),
+        pattern(1, (20 * PS) as usize)[1..1 + PS as usize]
+    );
+}
+
+#[test]
+fn deferred_copy_rejects_unaligned_and_self() {
+    let (pvm, _) = setup(16);
+    let a = pvm.cache_create(None).unwrap();
+    let b = pvm.cache_create(None).unwrap();
+    assert!(matches!(
+        pvm.cache_copy_with(a, 1, b, 0, PS, CopyMode::HistoryCow),
+        Err(GmiError::Unaligned { .. })
+    ));
+    assert!(matches!(
+        pvm.cache_copy_with(a, 0, b, 0, PS - 1, CopyMode::PerPage),
+        Err(GmiError::Unaligned { .. })
+    ));
+    assert!(matches!(
+        pvm.cache_copy_with(a, 0, a, PS, PS, CopyMode::HistoryCow),
+        Err(GmiError::InvalidArgument(_))
+    ));
+    // Overlapping eager self-copy is rejected; disjoint is fine.
+    pvm.write_logical(a, 0, &pattern(5, PS as usize)).unwrap();
+    assert!(matches!(
+        pvm.cache_copy_with(a, 0, a, 4, PS, CopyMode::Eager),
+        Err(GmiError::InvalidArgument(_))
+    ));
+    pvm.cache_copy_with(a, 0, a, 4 * PS, PS, CopyMode::Eager)
+        .unwrap();
+    assert_eq!(pvm.read_logical(a, 4 * PS, 8).unwrap(), pattern(5, 8));
+}
+
+#[test]
+fn copy_zero_size_is_noop() {
+    let (pvm, _) = setup(8);
+    let a = pvm.cache_create(None).unwrap();
+    let b = pvm.cache_create(None).unwrap();
+    for mode in [
+        CopyMode::Auto,
+        CopyMode::HistoryCow,
+        CopyMode::PerPage,
+        CopyMode::Eager,
+    ] {
+        pvm.cache_copy_with(a, 0, b, 0, 0, mode).unwrap();
+    }
+    assert_eq!(pvm.cache_count(), 2);
+}
+
+#[test]
+fn per_page_copy_through_mapped_regions() {
+    // The IPC scenario: copy a message between two mapped segments and
+    // access both sides through their mappings.
+    let (pvm, _) = setup(64);
+    let sender = pvm.cache_create(None).unwrap();
+    let receiver = pvm.cache_create(None).unwrap();
+    let ctx = pvm.context_create().unwrap();
+    pvm.region_create(ctx, VirtAddr(0x1000), 2 * PS, Prot::RW, sender, 0)
+        .unwrap();
+    pvm.region_create(ctx, VirtAddr(0x8000), 2 * PS, Prot::RW, receiver, 0)
+        .unwrap();
+    write(&pvm, ctx, 0x1000, &pattern(0xAB, (2 * PS) as usize));
+    pvm.cache_copy_with(sender, 0, receiver, 0, 2 * PS, CopyMode::PerPage)
+        .unwrap();
+    // The receiver's mapping reads the message...
+    assert_eq!(
+        read(&pvm, ctx, 0x8000, (2 * PS) as usize),
+        pattern(0xAB, (2 * PS) as usize)
+    );
+    // ...the sender reuses its buffer...
+    write(&pvm, ctx, 0x1000, &pattern(0xCD, (2 * PS) as usize));
+    // ...and the receiver still sees the original message.
+    assert_eq!(
+        read(&pvm, ctx, 0x8000, (2 * PS) as usize),
+        pattern(0xAB, (2 * PS) as usize)
+    );
+}
+
+#[test]
+fn copy_from_segment_backed_cache_pulls_through() {
+    let (pvm, mgr) = setup(64);
+    let content = pattern(0x60, (4 * PS) as usize);
+    let seg = mgr.create_segment(&content);
+    let file = pvm.cache_create(Some(seg)).unwrap();
+    let anon = pvm.cache_create(None).unwrap();
+    // Deferred copy from a file cache with nothing resident.
+    pvm.cache_copy_with(file, 0, anon, 0, 4 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    assert_eq!(
+        pvm.read_logical(anon, PS, 16).unwrap(),
+        content[PS as usize..PS as usize + 16]
+    );
+    assert!(
+        pvm.stats().pull_ins >= 1,
+        "data pulled through the copy chain"
+    );
+    // Writes in the copy do not touch the file.
+    pvm.write_logical(anon, PS, b"local").unwrap();
+    assert_eq!(mgr.segment_data(seg), content);
+    assert_eq!(
+        pvm.read_logical(file, PS, 5).unwrap(),
+        content[PS as usize..PS as usize + 5]
+    );
+}
+
+#[test]
+fn move_into_larger_message_slot_then_back() {
+    // Round-trip through a "transit slot" as IPC does (§5.1.6):
+    // sender -> transit (copy), transit -> receiver (move).
+    let (pvm, _) = setup(64);
+    let sender = pvm.cache_create(None).unwrap();
+    let transit = pvm.cache_create(None).unwrap();
+    let receiver = pvm.cache_create(None).unwrap();
+    let msg = pattern(0x7E, (2 * PS) as usize);
+    pvm.write_logical(sender, 0, &msg).unwrap();
+    pvm.cache_copy_with(sender, 0, transit, 4 * PS, 2 * PS, CopyMode::PerPage)
+        .unwrap();
+    pvm.cache_move(transit, 4 * PS, receiver, 0, 2 * PS)
+        .unwrap();
+    assert_eq!(pvm.read_logical(receiver, 0, msg.len()).unwrap(), msg);
+    // Transit slot is empty again and reusable.
+    assert_eq!(pvm.cache_resident_pages(transit).unwrap(), 0);
+    pvm.write_logical(sender, 0, &pattern(0x11, (2 * PS) as usize))
+        .unwrap();
+    assert_eq!(
+        pvm.read_logical(receiver, 0, msg.len()).unwrap(),
+        msg,
+        "receiver isolated"
+    );
+}

@@ -1,0 +1,50 @@
+//! The PVM must pass the generic GMI conformance suite.
+
+use chorus_gmi::conformance::{self, Fixture};
+use chorus_gmi::testing::MemSegmentManager;
+use chorus_hal::{CostParams, PageGeometry};
+use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use std::sync::Arc;
+
+#[test]
+fn pvm_passes_gmi_conformance() {
+    conformance::run(|| {
+        let mgr = Arc::new(MemSegmentManager::new());
+        let gmi = Arc::new(Pvm::new(
+            PvmOptions {
+                geometry: PageGeometry::new(256),
+                frames: 128,
+                cost: CostParams::zero(),
+                config: PvmConfig {
+                    check_invariants: true,
+                    ..PvmConfig::default()
+                },
+                ..PvmOptions::default()
+            },
+            mgr.clone(),
+        ));
+        Fixture { gmi, mgr }
+    });
+}
+
+#[test]
+fn pvm_passes_gmi_conformance_under_pressure() {
+    // A small pool: the same contract must hold with constant pageout.
+    conformance::run(|| {
+        let mgr = Arc::new(MemSegmentManager::new());
+        let gmi = Arc::new(Pvm::new(
+            PvmOptions {
+                geometry: PageGeometry::new(256),
+                frames: 6,
+                cost: CostParams::zero(),
+                config: PvmConfig {
+                    check_invariants: true,
+                    ..PvmConfig::default()
+                },
+                ..PvmOptions::default()
+            },
+            mgr.clone(),
+        ));
+        Fixture { gmi, mgr }
+    });
+}

@@ -1,0 +1,524 @@
+//! History-object scenarios from Figure 3 of the paper (§4.2).
+//!
+//! Each test scripts the exact sequence of copies and writes from one
+//! sub-figure and asserts both the data semantics (copies see snapshot
+//! values; sources keep their own) and the tree structure (history links,
+//! working objects, page ownership).
+
+mod common;
+
+use chorus_gmi::{CopyMode, Gmi};
+use chorus_pvm::SlotDump;
+use common::*;
+
+/// Four pages of distinct content, like the paper's pages 1..4.
+fn filled_source(pvm: &std::sync::Arc<chorus_pvm::Pvm>) -> chorus_gmi::CacheId {
+    let src = pvm.cache_create(None).unwrap();
+    for page in 0..4u8 {
+        pvm.write_logical(
+            src,
+            page as u64 * PS,
+            &pattern(0x10 * (page + 1), PS as usize),
+        )
+        .unwrap();
+    }
+    src
+}
+
+#[test]
+fn fig3a_simple_copy_on_write() {
+    let (pvm, _) = setup(64);
+    let src = filled_source(&pvm);
+    let cpy1 = pvm.cache_create(None).unwrap();
+    // Copy pages 1-3 (offsets 0..3*PS) of src into cpy1.
+    pvm.cache_copy_with(src, 0, cpy1, 0, 3 * PS, CopyMode::HistoryCow)
+        .unwrap();
+
+    // Tree: src.history == cpy1; cpy1's parent fragment covers 0..3PS.
+    let dump = pvm.dump_caches();
+    assert_eq!(dump.cache(src).unwrap().history, Some(cpy1));
+    let frag = &dump.cache(cpy1).unwrap().parents[0];
+    assert_eq!((frag.0, frag.1, frag.2, frag.3), (0, 3 * PS, src, 0));
+
+    // Source pages are now read-only (grey frames in the figure).
+    for (off, slot) in &dump.cache(src).unwrap().slots {
+        if *off < 3 * PS {
+            assert_eq!(
+                *slot,
+                SlotDump::Page {
+                    writable: false,
+                    dirty: true
+                },
+                "src@{off:#x}"
+            );
+        }
+    }
+
+    // "Page 2 has been updated in src": the original lands in cpy1.
+    let orig_p2 = pvm.read_logical(src, PS, PS as usize).unwrap();
+    pvm.write_logical(src, PS, &pattern(0xE0, PS as usize))
+        .unwrap();
+    assert_eq!(
+        pvm.read_logical(cpy1, PS, PS as usize).unwrap(),
+        orig_p2,
+        "copy sees snapshot"
+    );
+    assert_eq!(
+        pvm.read_logical(src, PS, PS as usize).unwrap(),
+        pattern(0xE0, PS as usize)
+    );
+
+    // "Page 3 has been updated in cpy1": src keeps its value.
+    let src_p3 = pvm.read_logical(src, 2 * PS, PS as usize).unwrap();
+    pvm.write_logical(cpy1, 2 * PS, &pattern(0xD0, PS as usize))
+        .unwrap();
+    assert_eq!(pvm.read_logical(src, 2 * PS, PS as usize).unwrap(), src_p3);
+    assert_eq!(
+        pvm.read_logical(cpy1, 2 * PS, PS as usize).unwrap(),
+        pattern(0xD0, PS as usize)
+    );
+
+    // "A cache miss on page 1 in cpy1 is resolved by looking it up in
+    // src": no private page materialized for reads.
+    let p1 = pvm.read_logical(cpy1, 0, PS as usize).unwrap();
+    assert_eq!(p1, pattern(0x10, PS as usize));
+    let dump = pvm.dump_caches();
+    let cpy1_pages: Vec<u64> = dump
+        .cache(cpy1)
+        .unwrap()
+        .slots
+        .iter()
+        .filter(|(_, s)| matches!(s, SlotDump::Page { .. }))
+        .map(|(o, _)| *o)
+        .collect();
+    assert_eq!(
+        cpy1_pages,
+        vec![PS, 2 * PS],
+        "cpy1 owns exactly pages 2 (original) and 3 (own)"
+    );
+    assert_eq!(pvm.stats().history_pushes, 1);
+    assert_eq!(pvm.stats().working_objects, 0);
+}
+
+#[test]
+fn fig3a_copy_deleted_first_discards_cleanly() {
+    let (pvm, _) = setup(64);
+    let src = filled_source(&pvm);
+    let cpy1 = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, cpy1, 0, 3 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    pvm.write_logical(cpy1, 0, b"child data").unwrap();
+    let before = pvm.cache_count();
+    // "When the copy segment is deleted, its cache may simply be
+    // discarded. This is the normal case in Unix."
+    pvm.cache_destroy(cpy1).unwrap();
+    assert_eq!(pvm.cache_count(), before - 1);
+    // Source is fully intact and writable again after the next write.
+    pvm.write_logical(src, 0, &pattern(0x99, PS as usize))
+        .unwrap();
+    assert_eq!(
+        pvm.read_logical(src, 0, PS as usize).unwrap(),
+        pattern(0x99, PS as usize)
+    );
+    // No history push happened for that write (no descendant remains).
+    assert_eq!(pvm.stats().history_pushes, 0);
+}
+
+#[test]
+fn fig3a_source_deleted_first_keeps_data_for_copy() {
+    let (pvm, _) = setup(64);
+    let src = filled_source(&pvm);
+    let cpy1 = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, cpy1, 0, 3 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    let p1 = pvm.read_logical(src, 0, PS as usize).unwrap();
+    // "In the case where the source is deleted first..., remaining
+    // unmodified source data must be kept until the copy is deleted."
+    pvm.cache_destroy(src).unwrap();
+    assert_eq!(pvm.read_logical(cpy1, 0, PS as usize).unwrap(), p1);
+    // Destroying the copy finally releases everything.
+    pvm.cache_destroy(cpy1).unwrap();
+    assert_eq!(pvm.cache_count(), 0);
+    assert_eq!(pvm.resident_page_count(), 0);
+}
+
+#[test]
+fn fig3b_copy_of_copy() {
+    let (pvm, _) = setup(64);
+    let src = filled_source(&pvm);
+    let cpy1 = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, cpy1, 0, 3 * PS, CopyMode::HistoryCow)
+        .unwrap();
+
+    // "Page 2 of src is modified" before the second copy.
+    pvm.write_logical(src, PS, &pattern(0xE0, PS as usize))
+        .unwrap();
+
+    // "Then cpy1 is copied-on-write to copyOfCpy1."
+    let copy_of_cpy1 = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(cpy1, 0, copy_of_cpy1, 0, 3 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    let dump = pvm.dump_caches();
+    assert_eq!(dump.cache(cpy1).unwrap().history, Some(copy_of_cpy1));
+    assert_eq!(dump.cache(src).unwrap().history, Some(cpy1));
+
+    // "Page 3 of cpy1 is modified: both src and copyOfCpy1 get a page
+    // frame with the original value" — src already has it; copyOfCpy1
+    // receives a private copy of the original.
+    let orig_p3 = pvm.read_logical(src, 2 * PS, PS as usize).unwrap();
+    pvm.write_logical(cpy1, 2 * PS, &pattern(0xD0, PS as usize))
+        .unwrap();
+    assert_eq!(
+        pvm.read_logical(copy_of_cpy1, 2 * PS, PS as usize).unwrap(),
+        orig_p3
+    );
+    assert_eq!(pvm.read_logical(src, 2 * PS, PS as usize).unwrap(), orig_p3);
+    let dump = pvm.dump_caches();
+    assert!(
+        dump.cache(copy_of_cpy1)
+            .unwrap()
+            .slots
+            .iter()
+            .any(|&(o, s)| o == 2 * PS && matches!(s, SlotDump::Page { .. })),
+        "copyOfCpy1 got its own frame with the original of page 3"
+    );
+
+    // "Page 1 of both copies is read from src."
+    assert_eq!(
+        pvm.read_logical(cpy1, 0, PS as usize).unwrap(),
+        pattern(0x10, PS as usize)
+    );
+    assert_eq!(
+        pvm.read_logical(copy_of_cpy1, 0, PS as usize).unwrap(),
+        pattern(0x10, PS as usize)
+    );
+    // "Page 2 of copyOfCpy1 is read from cpy1" — i.e. the snapshot cpy1
+    // saw (the pre-modification original).
+    assert_eq!(
+        pvm.read_logical(copy_of_cpy1, PS, PS as usize).unwrap(),
+        pvm.read_logical(cpy1, PS, PS as usize).unwrap()
+    );
+    assert_eq!(
+        pvm.read_logical(cpy1, PS, PS as usize).unwrap(),
+        pattern(0x20, PS as usize)
+    );
+}
+
+#[test]
+fn fig3c_second_copy_inserts_working_object() {
+    let (pvm, _) = setup(64);
+    let src = filled_source(&pvm);
+    let cpy1 = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, cpy1, 0, 4 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    let cpy2 = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, cpy2, 0, 4 * PS, CopyMode::HistoryCow)
+        .unwrap();
+
+    // "An intermediate working cache w1 must be created... w1 is the
+    // history object of src and the parent of both cpy1 and cpy2."
+    assert_eq!(pvm.stats().working_objects, 1);
+    let dump = pvm.dump_caches();
+    let w1 = dump.cache(src).unwrap().history.unwrap();
+    assert_ne!(w1, cpy1);
+    assert_ne!(w1, cpy2);
+    let wdump = dump.cache(w1).unwrap();
+    assert!(wdump.internal, "w1 is an internal working object");
+    assert_eq!(dump.cache(cpy1).unwrap().parents[0].2, w1);
+    assert_eq!(dump.cache(cpy2).unwrap().parents[0].2, w1);
+    assert_eq!(wdump.parents[0].2, src);
+
+    // Modify page 3 of src, page 3 of cpy1, page 4 of cpy2 (figure).
+    let orig_p3 = pvm.read_logical(src, 2 * PS, PS as usize).unwrap();
+    let orig_p4 = pvm.read_logical(src, 3 * PS, PS as usize).unwrap();
+    pvm.write_logical(src, 2 * PS, &pattern(0xE0, PS as usize))
+        .unwrap();
+    pvm.write_logical(cpy1, 2 * PS, &pattern(0xD0, PS as usize))
+        .unwrap();
+    pvm.write_logical(cpy2, 3 * PS, &pattern(0xC0, PS as usize))
+        .unwrap();
+
+    // The original of src page 3 went into w1, where BOTH copies find it.
+    let dump = pvm.dump_caches();
+    assert!(
+        dump.cache(w1)
+            .unwrap()
+            .slots
+            .iter()
+            .any(|&(o, s)| o == 2 * PS && matches!(s, SlotDump::Page { .. })),
+        "w1 holds the original of page 3"
+    );
+    // cpy2 reads the original page 3 through w1.
+    assert_eq!(
+        pvm.read_logical(cpy2, 2 * PS, PS as usize).unwrap(),
+        orig_p3
+    );
+    // cpy1 has its own page 3.
+    assert_eq!(
+        pvm.read_logical(cpy1, 2 * PS, PS as usize).unwrap(),
+        pattern(0xD0, PS as usize)
+    );
+    // cpy1's page 4 resolves through w1 to src's (unmodified) page 4.
+    assert_eq!(
+        pvm.read_logical(cpy1, 3 * PS, PS as usize).unwrap(),
+        orig_p4
+    );
+    // src sees only its own modification.
+    assert_eq!(pvm.read_logical(src, 3 * PS, PS as usize).unwrap(), orig_p4);
+}
+
+#[test]
+fn fig3d_third_copy_chains_working_objects() {
+    let (pvm, _) = setup(96);
+    let src = filled_source(&pvm);
+    let copies: Vec<_> = (0..3)
+        .map(|_| {
+            let c = pvm.cache_create(None).unwrap();
+            pvm.cache_copy_with(src, 0, c, 0, 4 * PS, CopyMode::HistoryCow)
+                .unwrap();
+            c
+        })
+        .collect();
+    // "Two working history objects are created."
+    assert_eq!(pvm.stats().working_objects, 2);
+    let dump = pvm.dump_caches();
+    let w2 = dump.cache(src).unwrap().history.unwrap();
+    let w2d = dump.cache(w2).unwrap();
+    assert!(w2d.internal);
+    // The newest copy hangs off w2; the older pair hangs off w1 below w2.
+    assert_eq!(dump.cache(copies[2]).unwrap().parents[0].2, w2);
+    let w1 = dump.cache(copies[0]).unwrap().parents[0].2;
+    assert_eq!(dump.cache(copies[1]).unwrap().parents[0].2, w1);
+    assert_eq!(dump.cache(w1).unwrap().parents[0].2, w2);
+    assert_eq!(w2d.parents[0].2, src);
+
+    // Writes in src propagate originals into w2, visible to all copies.
+    let orig = pvm.read_logical(src, 0, PS as usize).unwrap();
+    pvm.write_logical(src, 0, &pattern(0xF0, PS as usize))
+        .unwrap();
+    for &c in &copies {
+        assert_eq!(pvm.read_logical(c, 0, PS as usize).unwrap(), orig);
+    }
+
+    // Each copy can diverge independently.
+    for (i, &c) in copies.iter().enumerate() {
+        pvm.write_logical(c, PS, &pattern(0x30 + i as u8, PS as usize))
+            .unwrap();
+    }
+    for (i, &c) in copies.iter().enumerate() {
+        assert_eq!(
+            pvm.read_logical(c, PS, PS as usize).unwrap(),
+            pattern(0x30 + i as u8, PS as usize)
+        );
+    }
+    assert_eq!(
+        pvm.read_logical(src, PS, PS as usize).unwrap(),
+        pattern(0x20, PS as usize)
+    );
+}
+
+#[test]
+fn copy_on_reference_materializes_on_first_read() {
+    let (pvm, _) = setup(64);
+    let src = filled_source(&pvm);
+    let cpy = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, cpy, 0, 2 * PS, CopyMode::HistoryCor)
+        .unwrap();
+    // A mapped *read* materializes a private page under
+    // copy-on-reference ("access to any of its pages will fault; at that
+    // point a copy is allocated in cpy1").
+    let ctx = pvm.context_create().unwrap();
+    pvm.region_create(
+        ctx,
+        chorus_gmi::VirtAddr(0x1000),
+        2 * PS,
+        chorus_gmi::Prot::RW,
+        cpy,
+        0,
+    )
+    .unwrap();
+    let before = pvm.stats().cow_copies;
+    assert_eq!(
+        read(&pvm, ctx, 0x1000, PS as usize),
+        pattern(0x10, PS as usize)
+    );
+    assert_eq!(
+        pvm.stats().cow_copies,
+        before + 1,
+        "COR read allocates a private copy"
+    );
+    let dump = pvm.dump_caches();
+    assert!(dump
+        .cache(cpy)
+        .unwrap()
+        .slots
+        .iter()
+        .any(|&(o, s)| o == 0 && matches!(s, SlotDump::Page { .. })));
+    // Under plain COW, the same read shares the source frame instead.
+    let cow = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, cow, 0, 2 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    let ctx2 = pvm.context_create().unwrap();
+    pvm.region_create(
+        ctx2,
+        chorus_gmi::VirtAddr(0x1000),
+        2 * PS,
+        chorus_gmi::Prot::RW,
+        cow,
+        0,
+    )
+    .unwrap();
+    let before = pvm.stats().cow_copies;
+    assert_eq!(
+        read(&pvm, ctx2, 0x1000, PS as usize),
+        pattern(0x10, PS as usize)
+    );
+    assert_eq!(
+        pvm.stats().cow_copies,
+        before,
+        "COW read shares the ancestor frame"
+    );
+}
+
+#[test]
+fn copy_into_existing_segment_fragment_parents() {
+    let (pvm, _) = setup(64);
+    // dst is itself a copy of a (§4.2.4: destination already has a
+    // parent), then receives a second copy of a different fragment from
+    // another source.
+    let a = pvm.cache_create(None).unwrap();
+    pvm.write_logical(a, 0, &pattern(0xAA, (4 * PS) as usize))
+        .unwrap();
+    let b = pvm.cache_create(None).unwrap();
+    pvm.write_logical(b, 0, &pattern(0xBB, (2 * PS) as usize))
+        .unwrap();
+
+    let dst = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(a, 0, dst, 0, 4 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    // Overwrite the middle two pages from b.
+    pvm.cache_copy_with(b, 0, dst, PS, 2 * PS, CopyMode::HistoryCow)
+        .unwrap();
+
+    let dump = pvm.dump_caches();
+    let parents = &dump.cache(dst).unwrap().parents;
+    assert_eq!(
+        parents.len(),
+        3,
+        "fragment list split into three: {parents:?}"
+    );
+    assert_eq!(parents[0].2, a);
+    assert_eq!(parents[1].2, b);
+    assert_eq!(parents[2].2, a);
+    assert_eq!(parents[1].0, PS);
+    assert_eq!(parents[2].0, 3 * PS);
+    assert_eq!(
+        parents[2].3,
+        3 * PS,
+        "clipped fragment keeps parent offset alignment"
+    );
+
+    // Logical contents: a-page, b-page, b-page, a-page.
+    assert_eq!(
+        pvm.read_logical(dst, 0, PS as usize).unwrap(),
+        pattern(0xAA, PS as usize)
+    );
+    assert_eq!(
+        pvm.read_logical(dst, PS, PS as usize).unwrap(),
+        pattern(0xBB, PS as usize)
+    );
+    let a_page3: Vec<u8> = pattern(0xAA, (4 * PS) as usize)[(3 * PS) as usize..].to_vec();
+    assert_eq!(pvm.read_logical(dst, 3 * PS, PS as usize).unwrap(), a_page3);
+
+    // COW isolation still holds for every fragment.
+    pvm.write_logical(dst, PS, &pattern(1, PS as usize))
+        .unwrap();
+    assert_eq!(
+        pvm.read_logical(b, 0, PS as usize).unwrap(),
+        pattern(0xBB, PS as usize)
+    );
+    pvm.write_logical(a, 0, &pattern(2, PS as usize)).unwrap();
+    assert_eq!(
+        pvm.read_logical(dst, 0, PS as usize).unwrap(),
+        pattern(0xAA, PS as usize)
+    );
+}
+
+#[test]
+fn overwriting_copied_range_preserves_history_for_descendants() {
+    let (pvm, _) = setup(64);
+    let src = filled_source(&pvm);
+    let mid = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, mid, 0, 2 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    pvm.write_logical(mid, 0, &pattern(0x55, PS as usize))
+        .unwrap();
+    // mid is then copied to leaf...
+    let leaf = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(mid, 0, leaf, 0, 2 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    // ...and mid's range is overwritten by a fresh copy from elsewhere.
+    let other = pvm.cache_create(None).unwrap();
+    pvm.write_logical(other, 0, &pattern(0x77, (2 * PS) as usize))
+        .unwrap();
+    pvm.cache_copy_with(other, 0, mid, 0, 2 * PS, CopyMode::HistoryCow)
+        .unwrap();
+    // leaf still sees mid's value from copy time.
+    assert_eq!(
+        pvm.read_logical(leaf, 0, PS as usize).unwrap(),
+        pattern(0x55, PS as usize)
+    );
+    assert_eq!(
+        pvm.read_logical(leaf, PS, PS as usize).unwrap(),
+        pattern(0x20, PS as usize),
+        "leaf page 2 resolves through mid's old parent (src)"
+    );
+    // mid now reads the new content.
+    assert_eq!(
+        pvm.read_logical(mid, 0, PS as usize).unwrap(),
+        pattern(0x77, PS as usize)
+    );
+}
+
+#[test]
+fn zombie_chain_merges_on_child_exit() {
+    // The §4.2.5 "exceptional" case: a process forks, exits, its child
+    // forks and exits, etc. History chains must not grow without bound.
+    let (pvm, _) = setup(200);
+    let mut cur = pvm.cache_create(None).unwrap();
+    pvm.write_logical(cur, 0, &pattern(0x42, (2 * PS) as usize))
+        .unwrap();
+    for i in 0..10 {
+        let child = pvm.cache_create(None).unwrap();
+        pvm.cache_copy_with(cur, 0, child, 0, 2 * PS, CopyMode::HistoryCow)
+            .unwrap();
+        // Child modifies one page (so merges have real work).
+        pvm.write_logical(child, 0, &pattern(i as u8, 8)).unwrap();
+        // Parent exits; child lives on.
+        pvm.cache_destroy(cur).unwrap();
+        cur = child;
+    }
+    assert!(
+        pvm.stats().zombie_merges >= 9,
+        "chain merged: {:?}",
+        pvm.stats()
+    );
+    assert!(
+        pvm.cache_count() <= 3,
+        "zombie chain should collapse, have {} caches",
+        pvm.cache_count()
+    );
+    // Final content: the last child's own write over the oldest data.
+    let mut expect = pattern(0x42, (2 * PS) as usize);
+    expect[..8].copy_from_slice(&pattern(9, 8));
+    assert_eq!(pvm.read_logical(cur, 0, (2 * PS) as usize).unwrap(), expect);
+}
+
+fn setup(
+    frames: u32,
+) -> (
+    std::sync::Arc<chorus_pvm::Pvm>,
+    std::sync::Arc<chorus_gmi::testing::MemSegmentManager>,
+) {
+    common::setup(frames)
+}

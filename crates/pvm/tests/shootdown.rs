@@ -1,0 +1,62 @@
+//! Regression: two contexts share one copy cache; one reads (mapping an
+//! ancestor page read-only through the cache), the other materializes
+//! the cache's own page. The reader's stale mapping must be shot down
+//! so it re-faults onto the cache's own page and observes later writes.
+
+mod common;
+
+use chorus_gmi::{CopyMode, Gmi, Prot, VirtAddr};
+use common::*;
+
+#[test]
+fn reader_mapping_follows_cow_materialization() {
+    let (pvm, _) = setup(64);
+    let src = pvm.cache_create(None).unwrap();
+    pvm.write_logical(src, 0, &pattern(0x10, (2 * PS) as usize))
+        .unwrap();
+    let cpy = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, cpy, 0, 2 * PS, CopyMode::HistoryCow)
+        .unwrap();
+
+    // Two contexts map the SAME copy cache.
+    let reader = pvm.context_create().unwrap();
+    let writer = pvm.context_create().unwrap();
+    pvm.region_create(reader, VirtAddr(0x1000), 2 * PS, Prot::RW, cpy, 0)
+        .unwrap();
+    pvm.region_create(writer, VirtAddr(0x8000), 2 * PS, Prot::RW, cpy, 0)
+        .unwrap();
+
+    // Reader maps the ancestor's page read-only through cpy.
+    assert_eq!(read(&pvm, reader, 0x1000, 8), pattern(0x10, 8));
+    // Writer materializes cpy's own page and modifies it.
+    write(&pvm, writer, 0x8000, b"NEWDATA!");
+    // The reader shares the SAME cache: it must see the write.
+    assert_eq!(read(&pvm, reader, 0x1000, 8), b"NEWDATA!");
+    // And the source is untouched.
+    assert_eq!(pvm.read_logical(src, 0, 8).unwrap(), pattern(0x10, 8));
+}
+
+#[test]
+fn reader_mapping_follows_per_page_stub_materialization() {
+    let (pvm, _) = setup(64);
+    let src = pvm.cache_create(None).unwrap();
+    pvm.write_logical(src, 0, &pattern(0x33, PS as usize))
+        .unwrap();
+    let cpy = pvm.cache_create(None).unwrap();
+    pvm.cache_copy_with(src, 0, cpy, 0, PS, CopyMode::PerPage)
+        .unwrap();
+
+    let reader = pvm.context_create().unwrap();
+    let writer = pvm.context_create().unwrap();
+    pvm.region_create(reader, VirtAddr(0x1000), PS, Prot::RW, cpy, 0)
+        .unwrap();
+    pvm.region_create(writer, VirtAddr(0x8000), PS, Prot::RW, cpy, 0)
+        .unwrap();
+
+    // Reader maps the stub source read-only through cpy.
+    assert_eq!(read(&pvm, reader, 0x1000, 4), pattern(0x33, 4));
+    // Writer's fault replaces the stub with cpy's own page.
+    write(&pvm, writer, 0x8000, b"COW!");
+    assert_eq!(read(&pvm, reader, 0x1000, 4), b"COW!");
+    assert_eq!(pvm.read_logical(src, 0, 4).unwrap(), pattern(0x33, 4));
+}

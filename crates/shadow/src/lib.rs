@@ -1,0 +1,26 @@
+//! A Mach-style shadow-object memory manager: the baseline the paper
+//! compares history objects against (§4.2.5, [Rashid et al. 88]).
+//!
+//! When a deferred copy is made, "the source is set read-only, and two
+//! new memory objects, the shadow objects, are created. The shadows are
+//! to keep the pages modified by the source and copy objects
+//! respectively; the original pages remain in the source object."
+//! Successive copies build *chains* of shadows; the current state of an
+//! entity is dispersed across its object and the chain below it, and the
+//! actual reference of a cache changes dynamically as it is copied —
+//! exactly the two difficulties §4.2.5 lists. Long chains are bounded by
+//! the shadow-chain *collapse* (merging a singly-referenced object into
+//! the shadow above it), "a major complication of the Mach algorithm".
+//!
+//! [`ShadowVm`] implements the same [`chorus_gmi::Gmi`] trait as the PVM
+//! and runs on the same simulated hardware and cost model, so every
+//! bench and the differential test harness run identically against both
+//! managers. Being a comparator, it is deliberately simpler than the
+//! PVM: deferral is always per-object (no per-page stub technique, no
+//! frame-stealing move), and there is no page replacement — frame
+//! exhaustion reports `OutOfMemory`.
+
+mod objects;
+mod svm;
+
+pub use svm::{ShadowOptions, ShadowStats, ShadowVm};

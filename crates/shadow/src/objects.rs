@@ -1,0 +1,201 @@
+//! Memory objects, shadow chains, address-map entries.
+//!
+//! Mirrors Mach's VM data model at the granularity needed for the
+//! paper's comparison: a *cache* (GMI handle) is an address-map entry
+//! holding a list of parts, each part mapping a range onto a memory
+//! object at an offset; memory objects form shadow chains through their
+//! `shadow` link, with the original data at the bottom (possibly backed
+//! by a pager/segment).
+
+use chorus_gmi::SegmentId;
+use chorus_hal::{FrameNo, Id, MmuCtx, Prot, VirtAddr, Vpn};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub(crate) type ObjKey = Id<MemObject>;
+pub(crate) type EntryKey = Id<EntryDesc>;
+pub(crate) type SPageKey = Id<SPage>;
+pub(crate) type SCtxKey = Id<SContext>;
+pub(crate) type SRegKey = Id<SRegion>;
+
+/// A resident page of a memory object.
+#[derive(Debug)]
+pub(crate) struct SPage {
+    pub object: ObjKey,
+    pub offset: u64,
+    pub frame: FrameNo,
+    pub dirty: bool,
+    pub lock_count: u32,
+    pub mappings: Vec<(SCtxKey, Vpn)>,
+    /// Pages of non-top objects are immutable (copy-on-write sources).
+    pub immutable: bool,
+}
+
+impl SPage {
+    pub fn new(object: ObjKey, offset: u64, frame: FrameNo) -> SPage {
+        SPage {
+            object,
+            offset,
+            frame,
+            dirty: false,
+            lock_count: 0,
+            mappings: Vec::new(),
+            immutable: false,
+        }
+    }
+}
+
+/// A Mach-style memory object.
+#[derive(Debug, Default)]
+pub(crate) struct MemObject {
+    /// The pager (segment) backing this object, if any. Shadow objects
+    /// acquire one lazily when first paged out.
+    pub pager: Option<SegmentId>,
+    /// Permanent pager: every offset is backed.
+    pub fully_backed: bool,
+    /// Resident pages by object offset.
+    pub pages: BTreeMap<u64, SPageKey>,
+    /// Offsets with a private version on the pager (swapped out).
+    pub owned: BTreeSet<u64>,
+    /// The object shadowed by this one (toward the original data);
+    /// offsets are identical along the chain.
+    pub shadow: Option<ObjKey>,
+    /// Reference count: entry parts + shadows above pointing here.
+    pub refs: u32,
+}
+
+impl MemObject {
+    /// True if this object has a private version of `off` (resident or
+    /// swapped out).
+    #[cfg_attr(not(test), allow(dead_code))] // Used by unit tests; kept as API.
+    pub fn has_version(&self, off: u64) -> bool {
+        self.pages.contains_key(&off) || self.owned.contains(&off) || self.fully_backed
+    }
+}
+
+/// One part of an address-map entry: `[off, off+size)` of the entry maps
+/// onto `object` starting at `obj_off`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EntryPart {
+    pub off: u64,
+    pub size: u64,
+    pub object: ObjKey,
+    pub obj_off: u64,
+}
+
+impl EntryPart {
+    pub fn end(&self) -> u64 {
+        self.off.saturating_add(self.size)
+    }
+
+    pub fn covers(&self, off: u64) -> bool {
+        off >= self.off && off < self.end()
+    }
+
+    pub fn to_obj(self, off: u64) -> u64 {
+        debug_assert!(self.covers(off));
+        self.obj_off + (off - self.off)
+    }
+}
+
+/// A GMI cache handle: an address-map entry (whose object references
+/// change dynamically as it is copied — §4.2.5 problem 2).
+#[derive(Debug, Default)]
+pub(crate) struct EntryDesc {
+    /// Parts sorted by `off`, non-overlapping.
+    pub parts: Vec<EntryPart>,
+    /// Regions currently mapping this entry.
+    pub mapped_regions: u32,
+}
+
+impl EntryDesc {
+    pub fn part_at(&self, off: u64) -> Option<EntryPart> {
+        let idx = self.parts.partition_point(|p| p.end() <= off);
+        self.parts.get(idx).copied().filter(|p| p.covers(off))
+    }
+}
+
+/// An address space.
+#[derive(Debug)]
+pub(crate) struct SContext {
+    pub mmu_ctx: MmuCtx,
+    pub regions: Vec<SRegKey>,
+}
+
+/// A mapped window of an entry.
+#[derive(Debug, Clone)]
+pub(crate) struct SRegion {
+    pub ctx: SCtxKey,
+    pub addr: VirtAddr,
+    pub size: u64,
+    pub prot: Prot,
+    pub entry: EntryKey,
+    pub offset: u64,
+    pub locked: bool,
+}
+
+impl SRegion {
+    pub fn end(&self) -> VirtAddr {
+        VirtAddr(self.addr.0 + self.size)
+    }
+
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.addr && va < self.end()
+    }
+
+    pub fn va_to_offset(&self, va: VirtAddr) -> u64 {
+        debug_assert!(self.contains(va));
+        self.offset + (va.0 - self.addr.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_part_translation() {
+        let p = EntryPart {
+            off: 0x100,
+            size: 0x200,
+            object: Id::from_raw_parts(0, 0),
+            obj_off: 0x1000,
+        };
+        assert!(p.covers(0x100));
+        assert!(p.covers(0x2FF));
+        assert!(!p.covers(0x300));
+        assert_eq!(p.to_obj(0x180), 0x1080);
+    }
+
+    #[test]
+    fn entry_part_at_sorted() {
+        let mut e = EntryDesc::default();
+        let o: ObjKey = Id::from_raw_parts(0, 0);
+        e.parts = vec![
+            EntryPart {
+                off: 0,
+                size: 0x100,
+                object: o,
+                obj_off: 0,
+            },
+            EntryPart {
+                off: 0x200,
+                size: 0x100,
+                object: o,
+                obj_off: 0x500,
+            },
+        ];
+        assert!(e.part_at(0).is_some());
+        assert!(e.part_at(0x100).is_none());
+        assert_eq!(e.part_at(0x210).unwrap().to_obj(0x210), 0x510);
+    }
+
+    #[test]
+    fn object_version_query() {
+        let mut o = MemObject::default();
+        assert!(!o.has_version(0));
+        o.owned.insert(0x40);
+        assert!(o.has_version(0x40));
+        o.fully_backed = true;
+        assert!(o.has_version(0x9999));
+    }
+}

@@ -1,0 +1,477 @@
+//! Differential model testing: random operation sequences are applied
+//! both to a memory manager under test and to a trivially-correct oracle
+//! that tracks the logical bytes of every cache. After every step the
+//! full logical contents must agree.
+//!
+//! The same harness runs against the PVM (history objects) and — once a
+//! second `Gmi` implementation is in scope — against the Mach-style
+//! shadow baseline, which also makes the two implementations
+//! behaviourally equivalent by transitivity. Frame pools are kept small
+//! so page replacement, lazy swap binding and stub re-pointing all fire
+//! during the random walks.
+
+use chorus_gmi::testing::MemSegmentManager;
+use chorus_gmi::{CacheId, CopyMode, Gmi};
+use chorus_hal::{CostParams, PageGeometry};
+use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const PS: u64 = 64;
+const PAGES: u64 = 6;
+const SIZE: usize = (PS * PAGES) as usize;
+const MAX_CACHES: usize = 6;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create,
+    Destroy {
+        idx: usize,
+    },
+    Write {
+        idx: usize,
+        off: u16,
+        len: u8,
+        seed: u8,
+    },
+    CopyHistory {
+        src: usize,
+        dst: usize,
+        src_page: u8,
+        dst_page: u8,
+        pages: u8,
+        cor: bool,
+    },
+    CopyPerPage {
+        src: usize,
+        dst: usize,
+        src_page: u8,
+        dst_page: u8,
+        pages: u8,
+    },
+    CopyEager {
+        src: usize,
+        dst: usize,
+        src_off: u16,
+        dst_off: u16,
+        len: u8,
+    },
+    Move {
+        src: usize,
+        dst: usize,
+        src_page: u8,
+        dst_page: u8,
+        pages: u8,
+    },
+    Sync {
+        idx: usize,
+    },
+    Flush {
+        idx: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Create),
+        1 => (0..MAX_CACHES).prop_map(|idx| Op::Destroy { idx }),
+        6 => (0..MAX_CACHES, 0..SIZE as u16, 1..64u8, any::<u8>())
+            .prop_map(|(idx, off, len, seed)| Op::Write { idx, off, len, seed }),
+        3 => (0..MAX_CACHES, 0..MAX_CACHES, 0..PAGES as u8, 0..PAGES as u8, 1..=PAGES as u8, any::<bool>())
+            .prop_map(|(src, dst, src_page, dst_page, pages, cor)| Op::CopyHistory {
+                src, dst, src_page, dst_page, pages, cor
+            }),
+        3 => (0..MAX_CACHES, 0..MAX_CACHES, 0..PAGES as u8, 0..PAGES as u8, 1..=PAGES as u8)
+            .prop_map(|(src, dst, src_page, dst_page, pages)| Op::CopyPerPage {
+                src, dst, src_page, dst_page, pages
+            }),
+        2 => (0..MAX_CACHES, 0..MAX_CACHES, 0..SIZE as u16, 0..SIZE as u16, 1..96u8)
+            .prop_map(|(src, dst, src_off, dst_off, len)| Op::CopyEager {
+                src, dst, src_off, dst_off, len
+            }),
+        2 => (0..MAX_CACHES, 0..MAX_CACHES, 0..PAGES as u8, 0..PAGES as u8, 1..=PAGES as u8)
+            .prop_map(|(src, dst, src_page, dst_page, pages)| Op::Move {
+                src, dst, src_page, dst_page, pages
+            }),
+        1 => (0..MAX_CACHES).prop_map(|idx| Op::Sync { idx }),
+        1 => (0..MAX_CACHES).prop_map(|idx| Op::Flush { idx }),
+    ]
+}
+
+/// The oracle: plain byte arrays plus an "undefined" mask (move leaves
+/// its source undefined, so those bytes are exempt from comparison).
+struct Model {
+    caches: Vec<Option<(Vec<u8>, Vec<bool>)>>,
+}
+
+impl Model {
+    fn new() -> Model {
+        Model { caches: Vec::new() }
+    }
+
+    fn live(&self, idx: usize) -> Option<usize> {
+        // Map a raw index onto the idx-th live slot, wrapping.
+        let live: Vec<usize> = self
+            .caches
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            None
+        } else {
+            Some(live[idx % live.len()])
+        }
+    }
+}
+
+fn clamp_range(off: u64, len: u64) -> (u64, u64) {
+    let off = off.min(SIZE as u64 - 1);
+    let len = len.min(SIZE as u64 - off).max(1);
+    (off, len)
+}
+
+fn clamp_pages(page: u8, pages: u8) -> (u64, u64) {
+    let page = (page as u64).min(PAGES - 1);
+    let pages = (pages as u64).min(PAGES - page).max(1);
+    (page * PS, pages * PS)
+}
+
+fn run_differential<G: Gmi>(gmi: &G, ops: &[Op]) {
+    let mut model = Model::new();
+    let mut ids: Vec<Option<CacheId>> = Vec::new();
+
+    for op in ops {
+        match op.clone() {
+            Op::Create => {
+                if model.caches.iter().filter(|c| c.is_some()).count() >= MAX_CACHES {
+                    continue;
+                }
+                let id = gmi.cache_create(None).unwrap();
+                model
+                    .caches
+                    .push(Some((vec![0u8; SIZE], vec![false; SIZE])));
+                ids.push(Some(id));
+            }
+            Op::Destroy { idx } => {
+                let Some(i) = model.live(idx) else { continue };
+                gmi.cache_destroy(ids[i].take().unwrap()).unwrap();
+                model.caches[i] = None;
+            }
+            Op::Write {
+                idx,
+                off,
+                len,
+                seed,
+            } => {
+                let Some(i) = model.live(idx) else { continue };
+                let (off, len) = clamp_range(off as u64, len as u64);
+                let data: Vec<u8> = (0..len)
+                    .map(|k| seed.wrapping_add(k as u8).wrapping_mul(31))
+                    .collect();
+                gmi.cache_write(ids[i].unwrap(), off, &data).unwrap();
+                let (bytes, undef) = model.caches[i].as_mut().unwrap();
+                bytes[off as usize..(off + len) as usize].copy_from_slice(&data);
+                undef[off as usize..(off + len) as usize].fill(false);
+            }
+            Op::CopyHistory {
+                src,
+                dst,
+                src_page,
+                dst_page,
+                pages,
+                cor,
+            } => {
+                let (Some(s), Some(d)) = (model.live(src), model.live(dst.wrapping_add(1))) else {
+                    continue;
+                };
+                if s == d {
+                    continue;
+                }
+                let (so, mut sz) = clamp_pages(src_page, pages);
+                let (dof, dsz) = clamp_pages(dst_page, pages);
+                sz = sz.min(dsz);
+                let mode = if cor {
+                    CopyMode::HistoryCor
+                } else {
+                    CopyMode::HistoryCow
+                };
+                gmi.cache_copy_with(ids[s].unwrap(), so, ids[d].unwrap(), dof, sz, mode)
+                    .unwrap();
+                model_copy(&mut model, s, d, so, dof, sz);
+            }
+            Op::CopyPerPage {
+                src,
+                dst,
+                src_page,
+                dst_page,
+                pages,
+            } => {
+                let (Some(s), Some(d)) = (model.live(src), model.live(dst.wrapping_add(1))) else {
+                    continue;
+                };
+                if s == d {
+                    continue;
+                }
+                let (so, mut sz) = clamp_pages(src_page, pages);
+                let (dof, dsz) = clamp_pages(dst_page, pages);
+                sz = sz.min(dsz);
+                gmi.cache_copy_with(
+                    ids[s].unwrap(),
+                    so,
+                    ids[d].unwrap(),
+                    dof,
+                    sz,
+                    CopyMode::PerPage,
+                )
+                .unwrap();
+                model_copy(&mut model, s, d, so, dof, sz);
+            }
+            Op::CopyEager {
+                src,
+                dst,
+                src_off,
+                dst_off,
+                len,
+            } => {
+                let (Some(s), Some(d)) = (model.live(src), model.live(dst.wrapping_add(1))) else {
+                    continue;
+                };
+                if s == d {
+                    continue;
+                }
+                let (so, mut sz) = clamp_range(src_off as u64, len as u64);
+                let (dof, dsz) = clamp_range(dst_off as u64, len as u64);
+                sz = sz.min(dsz);
+                gmi.cache_copy_with(
+                    ids[s].unwrap(),
+                    so,
+                    ids[d].unwrap(),
+                    dof,
+                    sz,
+                    CopyMode::Eager,
+                )
+                .unwrap();
+                model_copy(&mut model, s, d, so, dof, sz);
+            }
+            Op::Move {
+                src,
+                dst,
+                src_page,
+                dst_page,
+                pages,
+            } => {
+                let (Some(s), Some(d)) = (model.live(src), model.live(dst.wrapping_add(1))) else {
+                    continue;
+                };
+                if s == d {
+                    continue;
+                }
+                let (so, mut sz) = clamp_pages(src_page, pages);
+                let (dof, dsz) = clamp_pages(dst_page, pages);
+                sz = sz.min(dsz);
+                gmi.cache_move(ids[s].unwrap(), so, ids[d].unwrap(), dof, sz)
+                    .unwrap();
+                model_copy(&mut model, s, d, so, dof, sz);
+                // The source fragment becomes undefined.
+                let (_, undef) = model.caches[s].as_mut().unwrap();
+                undef[so as usize..(so + sz) as usize].fill(true);
+            }
+            Op::Sync { idx } => {
+                let Some(i) = model.live(idx) else { continue };
+                gmi.cache_sync(ids[i].unwrap(), 0, SIZE as u64).unwrap();
+            }
+            Op::Flush { idx } => {
+                let Some(i) = model.live(idx) else { continue };
+                gmi.cache_flush(ids[i].unwrap(), 0, SIZE as u64).unwrap();
+            }
+        }
+
+        // Full-state comparison after every operation.
+        for (i, entry) in model.caches.iter().enumerate() {
+            let Some((bytes, undef)) = entry else {
+                continue;
+            };
+            let mut got = vec![0u8; SIZE];
+            gmi.cache_read(ids[i].unwrap(), 0, &mut got).unwrap();
+            for k in 0..SIZE {
+                if !undef[k] {
+                    assert_eq!(
+                        got[k], bytes[k],
+                        "cache #{i} byte {k} diverged after {op:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn model_copy(model: &mut Model, s: usize, d: usize, so: u64, dof: u64, sz: u64) {
+    let (src_bytes, src_undef) = model.caches[s].as_ref().unwrap().clone();
+    let (bytes, undef) = model.caches[d].as_mut().unwrap();
+    bytes[dof as usize..(dof + sz) as usize]
+        .copy_from_slice(&src_bytes[so as usize..(so + sz) as usize]);
+    undef[dof as usize..(dof + sz) as usize]
+        .copy_from_slice(&src_undef[so as usize..(so + sz) as usize]);
+}
+
+fn pvm_under_test(frames: u32) -> Arc<Pvm> {
+    let mgr = Arc::new(MemSegmentManager::new());
+    Arc::new(Pvm::new(
+        PvmOptions {
+            geometry: PageGeometry::new(PS),
+            frames,
+            cost: CostParams::zero(),
+            config: PvmConfig {
+                check_invariants: true,
+                ..PvmConfig::default()
+            },
+            ..PvmOptions::default()
+        },
+        mgr,
+    ))
+}
+
+fn shadow_under_test(frames: u32) -> Arc<chorus_shadow::ShadowVm> {
+    let mgr = Arc::new(MemSegmentManager::new());
+    Arc::new(chorus_shadow::ShadowVm::new(
+        chorus_shadow::ShadowOptions {
+            geometry: PageGeometry::new(PS),
+            frames,
+            cost: CostParams::zero(),
+            collapse_chains: true,
+        },
+        mgr,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pvm_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let pvm = pvm_under_test(256);
+        run_differential(&*pvm, &ops);
+        pvm.check_invariants();
+    }
+
+    #[test]
+    fn pvm_matches_model_under_memory_pressure(ops in proptest::collection::vec(op_strategy(), 1..50)) {
+        // A pool smaller than one cache's full size: constant eviction.
+        let pvm = pvm_under_test(16);
+        run_differential(&*pvm, &ops);
+        pvm.check_invariants();
+    }
+
+    /// The Mach-style baseline must agree with the same oracle — and
+    /// hence, by transitivity, with the PVM: the two deferred-copy
+    /// algorithms are behaviourally equivalent (only their structure and
+    /// costs differ). The baseline has no page replacement, so the frame
+    /// pool is sized to the working set.
+    #[test]
+    fn shadow_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let vm = shadow_under_test(4096);
+        run_differential(&*vm, &ops);
+    }
+}
+
+/// Regression: exact shrunk case from an earlier divergence (runs
+/// against both managers).
+#[test]
+fn regression_eager_perpage_history_pvm() {
+    let vm = pvm_under_test(256);
+    regression_ops_1(&*vm);
+    vm.check_invariants();
+}
+
+#[test]
+fn shadow_regression_eager_perpage_history() {
+    let vm = shadow_under_test(4096);
+    regression_ops_1(&*vm);
+}
+
+fn regression_ops_1<G: Gmi>(vm: &G) {
+    let ops = vec![
+        Op::Create,
+        Op::Create,
+        Op::CopyEager {
+            src: 1,
+            dst: 5,
+            src_off: 0,
+            dst_off: 300,
+            len: 21,
+        },
+        Op::CopyPerPage {
+            src: 0,
+            dst: 0,
+            src_page: 5,
+            dst_page: 1,
+            pages: 1,
+        },
+        Op::CopyHistory {
+            src: 1,
+            dst: 1,
+            src_page: 1,
+            dst_page: 0,
+            pages: 1,
+            cor: false,
+        },
+        Op::Write {
+            idx: 0,
+            off: 284,
+            len: 37,
+            seed: 0,
+        },
+        Op::Create,
+        Op::Create,
+        Op::Create,
+        Op::Write {
+            idx: 1,
+            off: 63,
+            len: 2,
+            seed: 0,
+        },
+    ];
+    run_differential(vm, &ops);
+}
+
+/// Regression: zombie-merge chain leaving a dangling history pointer.
+#[test]
+fn regression_merge_dangling_history_pvm() {
+    let vm = pvm_under_test(256);
+    let ops = vec![
+        Op::Create,
+        Op::Create,
+        Op::Create,
+        Op::Create,
+        Op::CopyHistory {
+            src: 5,
+            dst: 2,
+            src_page: 0,
+            dst_page: 0,
+            pages: 1,
+            cor: false,
+        },
+        Op::CopyHistory {
+            src: 1,
+            dst: 1,
+            src_page: 2,
+            dst_page: 0,
+            pages: 1,
+            cor: false,
+        },
+        Op::Destroy { idx: 5 },
+        Op::CopyHistory {
+            src: 2,
+            dst: 3,
+            src_page: 0,
+            dst_page: 1,
+            pages: 1,
+            cor: false,
+        },
+        Op::Destroy { idx: 4 },
+    ];
+    run_differential(&*vm, &ops);
+    vm.check_invariants();
+}

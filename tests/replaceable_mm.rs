@@ -1,0 +1,242 @@
+//! The paper's "replaceable unit" claim (§5.2): "The MM implementation
+//! is the only difference between these Nucleus versions. All the other
+//! Nucleus components, which access memory management facilities via
+//! the GMI, are unaffected."
+//!
+//! This test runs the *entire* upper stack — Nucleus (segment manager,
+//! segment caching, rgn* ops, transit-segment IPC) and Chorus/MIX
+//! (fork/exec/exit/wait/pipes) — over both memory managers, asserting
+//! identical observable behaviour. The stack is written once, generic
+//! over `Gmi`; only the constructor below differs.
+
+use chorus_gmi::Gmi;
+use chorus_hal::{CostParams, PageGeometry};
+use chorus_mix::{ProcessManager, ProgramStore};
+use chorus_nucleus::{MemMapper, Nucleus, NucleusSegmentManager, PortName, SwapMapper};
+use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use chorus_shadow::{ShadowOptions, ShadowVm};
+use chorus_vm::gmi::VirtAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PS: u64 = 256;
+
+fn stack<G: Gmi>(
+    gmi: Arc<G>,
+    seg_mgr: Arc<NucleusSegmentManager>,
+    files: Arc<MemMapper>,
+) -> ProcessManager<G> {
+    let nucleus = Arc::new(Nucleus::new(gmi, seg_mgr, 8));
+    let store = Arc::new(ProgramStore::new(files, PS));
+    store.register("sh", b"shell-text", b"shell-data");
+    store.register(
+        "worker",
+        &vec![0xAAu8; (2 * PS) as usize],
+        &vec![0xBBu8; PS as usize],
+    );
+    ProcessManager::new(nucleus, store)
+}
+
+fn managers() -> (Arc<NucleusSegmentManager>, Arc<MemMapper>) {
+    let seg_mgr = Arc::new(NucleusSegmentManager::new());
+    let files = Arc::new(MemMapper::new(PortName(1)));
+    let swap = Arc::new(SwapMapper::new(PortName(2)));
+    seg_mgr.register_mapper(PortName(1), files.clone());
+    seg_mgr.register_mapper(PortName(2), swap);
+    seg_mgr.set_default_mapper(PortName(2));
+    (seg_mgr, files)
+}
+
+/// The scripted workload, written once for any `Gmi`.
+fn unix_workload<G: Gmi>(pm: &ProcessManager<G>) -> Vec<Vec<u8>> {
+    let mut observations = Vec::new();
+    let mut observe = |buf: &[u8]| observations.push(buf.to_vec());
+
+    let shell = pm.spawn("sh").unwrap();
+    let mut buf = vec![0u8; 10];
+    pm.read_mem(shell, pm.data_base(), &mut buf).unwrap();
+    observe(&buf); // Initialized data.
+
+    // Fork + COW isolation.
+    pm.write_mem(shell, pm.heap_base(), b"heap-state").unwrap();
+    let child = pm.fork(shell).unwrap();
+    pm.write_mem(child, pm.heap_base(), b"child-own!").unwrap();
+    pm.read_mem(shell, pm.heap_base(), &mut buf).unwrap();
+    observe(&buf); // Parent unaffected.
+    pm.read_mem(child, pm.heap_base(), &mut buf).unwrap();
+    observe(&buf); // Child's own.
+
+    // exec replaces the image.
+    pm.exec(child, "worker").unwrap();
+    pm.read_mem(child, pm.text_base(), &mut buf).unwrap();
+    observe(&buf);
+    pm.read_mem(child, pm.data_base(), &mut buf).unwrap();
+    observe(&buf);
+
+    // Pipe a message child -> shell through the transit segment.
+    let pipe = pm.pipe();
+    pm.write_mem(child, pm.heap_base(), &vec![0x5A; (2 * PS) as usize])
+        .unwrap();
+    pm.pipe_write(child, pipe, pm.heap_base(), 2 * PS).unwrap();
+    pm.exit(child, 7).unwrap();
+    observe(&[pm.wait(shell).unwrap().1 as u8]);
+    let n = pm
+        .pipe_read(shell, pipe, pm.heap_base(), 8 * PS, Duration::from_secs(1))
+        .unwrap();
+    let mut msg = vec![0u8; n as usize];
+    pm.read_mem(shell, pm.heap_base(), &mut msg).unwrap();
+    observe(&msg);
+
+    // A fork-exit storm.
+    for i in 0..5u8 {
+        let c = pm.fork(shell).unwrap();
+        pm.write_mem(c, pm.data_base(), &[i]).unwrap();
+        pm.exit(c, i as i32).unwrap();
+        observe(&[pm.wait(shell).unwrap().1 as u8]);
+    }
+    pm.read_mem(shell, pm.data_base(), &mut buf).unwrap();
+    observe(&buf); // Shell data never perturbed by children.
+
+    observations
+}
+
+#[test]
+fn nucleus_and_mix_behave_identically_over_both_memory_managers() {
+    // PVM stack.
+    let (seg_mgr, files) = managers();
+    let pvm = Arc::new(Pvm::new(
+        PvmOptions {
+            geometry: PageGeometry::new(PS),
+            frames: 1024,
+            cost: CostParams::zero(),
+            config: PvmConfig {
+                check_invariants: true,
+                ..PvmConfig::default()
+            },
+            ..PvmOptions::default()
+        },
+        seg_mgr.clone(),
+    ));
+    let pm = stack(pvm, seg_mgr, files);
+    let pvm_obs = unix_workload(&pm);
+
+    // Shadow stack: same code, different manager.
+    let (seg_mgr, files) = managers();
+    let shadow = Arc::new(ShadowVm::new(
+        ShadowOptions {
+            geometry: PageGeometry::new(PS),
+            frames: 4096,
+            cost: CostParams::zero(),
+            collapse_chains: true,
+        },
+        seg_mgr.clone(),
+    ));
+    let pm = stack(shadow, seg_mgr, files);
+    let shadow_obs = unix_workload(&pm);
+
+    assert_eq!(pvm_obs.len(), shadow_obs.len());
+    for (i, (a, b)) in pvm_obs.iter().zip(&shadow_obs).enumerate() {
+        assert_eq!(a, b, "observation {i} diverged between memory managers");
+    }
+}
+
+#[test]
+fn minimal_rt_mm_runs_the_same_workload() {
+    // The paper's third implementation (§5.2): the minimal real-time MM
+    // copies eagerly and never pages, yet the identical Nucleus + MIX
+    // stack must observe the same results.
+    let (seg_mgr, files) = managers();
+    let rt = Arc::new(chorus_rtmm::MinimalMm::new(
+        chorus_rtmm::MinimalOptions {
+            geometry: PageGeometry::new(PS),
+            frames: 4096,
+            cost: CostParams::zero(),
+        },
+        seg_mgr.clone(),
+    ));
+    let pm = stack(rt, seg_mgr, files);
+    let rt_obs = unix_workload(&pm);
+
+    let (seg_mgr, files) = managers();
+    let pvm = Arc::new(Pvm::new(
+        PvmOptions {
+            geometry: PageGeometry::new(PS),
+            frames: 1024,
+            cost: CostParams::zero(),
+            config: PvmConfig {
+                check_invariants: true,
+                ..PvmConfig::default()
+            },
+            ..PvmOptions::default()
+        },
+        seg_mgr.clone(),
+    ));
+    let pm = stack(pvm, seg_mgr, files);
+    assert_eq!(rt_obs, unix_workload(&pm));
+}
+
+#[test]
+fn mmu_backends_behave_identically_under_the_full_stack() {
+    let mut results = Vec::new();
+    for mmu in [chorus_pvm::MmuChoice::Soft, chorus_pvm::MmuChoice::TwoLevel] {
+        let (seg_mgr, files) = managers();
+        let pvm = Arc::new(Pvm::new(
+            PvmOptions {
+                geometry: PageGeometry::new(PS),
+                frames: 1024,
+                cost: CostParams::zero(),
+                mmu,
+                config: PvmConfig {
+                    check_invariants: true,
+                    ..PvmConfig::default()
+                },
+            },
+            seg_mgr.clone(),
+        ));
+        let pm = stack(pvm, seg_mgr, files);
+        results.push(unix_workload(&pm));
+    }
+    assert_eq!(results[0], results[1]);
+}
+
+#[test]
+fn workload_survives_memory_pressure_on_the_pvm() {
+    // The same workload with a pool far below the working set: pageout,
+    // lazy swap binding and re-pull must be transparent.
+    let (seg_mgr, files) = managers();
+    let pvm = Arc::new(Pvm::new(
+        PvmOptions {
+            geometry: PageGeometry::new(PS),
+            frames: 4,
+            cost: CostParams::zero(),
+            config: PvmConfig {
+                check_invariants: true,
+                ..PvmConfig::default()
+            },
+            ..PvmOptions::default()
+        },
+        seg_mgr.clone(),
+    ));
+    let pm = stack(pvm.clone(), seg_mgr, files);
+    let pressured = unix_workload(&pm);
+    assert!(pvm.stats().evictions > 0, "pressure must actually evict");
+
+    // Reference run with ample memory.
+    let (seg_mgr, files) = managers();
+    let roomy = Arc::new(Pvm::new(
+        PvmOptions {
+            geometry: PageGeometry::new(PS),
+            frames: 1024,
+            cost: CostParams::zero(),
+            config: PvmConfig {
+                check_invariants: true,
+                ..PvmConfig::default()
+            },
+            ..PvmOptions::default()
+        },
+        seg_mgr.clone(),
+    ));
+    let pm = stack(roomy, seg_mgr, files);
+    assert_eq!(pressured, unix_workload(&pm));
+    let _ = VirtAddr(0); // Imported for symmetry with sibling tests.
+}
