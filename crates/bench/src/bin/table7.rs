@@ -14,8 +14,9 @@ fn main() {
     let mach = run_table7(&shadow, "Mach-style (shadow objects)");
     if json {
         println!(
-            "{}",
-            serde_json::json!({ "table": 7, "chorus": chorus, "mach_style": mach })
+            "{{\"table\":7,\"chorus\":{},\"mach_style\":{}}}",
+            chorus.to_json(),
+            mach.to_json()
         );
         return;
     }

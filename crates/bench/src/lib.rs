@@ -87,7 +87,7 @@ pub fn shadow_world(frames: u32) -> World<ShadowVm> {
 }
 
 /// One cell of a Table 6/7 matrix: simulated milliseconds.
-#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Cell {
     /// Simulated milliseconds (cost model).
     pub sim_ms: f64,
@@ -96,7 +96,7 @@ pub struct Cell {
 }
 
 /// A full benchmark matrix (rows = region sizes, cols = touched pages).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Matrix {
     /// Label, e.g. "Chorus (PVM)" or "Mach-style (shadow)".
     pub label: String,
@@ -133,6 +133,73 @@ impl Matrix {
         let row = REGION_SIZES.iter().position(|&s| s == size)?;
         let col = TOUCH_PAGES.iter().position(|&p| p == pages)?;
         self.cells[row][col]
+    }
+
+    /// JSON encoding, shape-compatible with the former serde derive:
+    /// `{"label":"...","cells":[[{"sim_ms":..,"wall_us":..}|null,..],..]}`.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .cells
+            .iter()
+            .map(|row| {
+                let cols: Vec<String> = row
+                    .iter()
+                    .map(|cell| match cell {
+                        Some(c) => c.to_json(),
+                        None => "null".to_string(),
+                    })
+                    .collect();
+                format!("[{}]", cols.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"label\":{},\"cells\":[{}]}}",
+            json::string(&self.label),
+            rows.join(",")
+        )
+    }
+}
+
+impl Cell {
+    /// JSON encoding: `{"sim_ms":..,"wall_us":..}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sim_ms\":{},\"wall_us\":{}}}",
+            json::number(self.sim_ms),
+            json::number(self.wall_us)
+        )
+    }
+}
+
+/// Minimal JSON encoding helpers for the `--json` output of the bench
+/// binaries (the workspace builds offline, without serde).
+pub mod json {
+    /// Encodes a string with the escapes JSON requires.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Encodes an `f64` (JSON has no NaN/infinity; those become null).
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
     }
 }
 

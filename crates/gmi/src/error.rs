@@ -77,7 +77,30 @@ pub enum GmiError {
         segment: SegmentId,
         /// Human-readable cause.
         cause: String,
+        /// Whether the failure is worth retrying: `true` for conditions
+        /// expected to heal (a dropped mapper reply, a truncated read,
+        /// transient device congestion), `false` for failures the mapper
+        /// itself declares final (bad capability, media error, access
+        /// denied). Retry policy and cache quarantine key off this flag.
+        transient: bool,
     },
+    /// A mapper upcall exceeded its (simulated-time) deadline, including
+    /// all retries. Always considered transient: a later operation may
+    /// find the mapper responsive again.
+    MapperTimeout {
+        /// The segment whose mapper timed out.
+        segment: SegmentId,
+    },
+    /// The mapper behind a segment is permanently gone (crashed port,
+    /// unregistered mapper). Never retried; triggers cache quarantine.
+    MapperUnavailable {
+        /// The orphaned segment.
+        segment: SegmentId,
+    },
+    /// The cache was quarantined after a permanent mapper failure:
+    /// operations on it fail cleanly instead of exposing pages whose
+    /// backing store is unreachable or inconsistent.
+    CachePoisoned(CacheId),
     /// The operation conflicts with a memory lock (`lockInMemory`).
     Locked,
     /// A structurally invalid argument (e.g. zero-size region, split at
@@ -113,12 +136,45 @@ impl fmt::Display for GmiError {
             GmiError::OutOfRange { offset, size, what } => {
                 write!(f, "range [{offset:#x}+{size:#x}) out of bounds for {what}")
             }
-            GmiError::SegmentIo { segment, cause } => {
-                write!(f, "segment I/O error on {segment:?}: {cause}")
+            GmiError::SegmentIo {
+                segment,
+                cause,
+                transient,
+            } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "{kind} segment I/O error on {segment:?}: {cause}")
+            }
+            GmiError::MapperTimeout { segment } => {
+                write!(f, "mapper deadline exceeded for {segment:?}")
+            }
+            GmiError::MapperUnavailable { segment } => {
+                write!(f, "mapper permanently unavailable for {segment:?}")
+            }
+            GmiError::CachePoisoned(cache) => {
+                write!(
+                    f,
+                    "cache {cache:?} is quarantined after a permanent mapper failure"
+                )
             }
             GmiError::Locked => write!(f, "page is locked in memory"),
             GmiError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
             GmiError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl GmiError {
+    /// True if retrying the failed operation could plausibly succeed.
+    ///
+    /// Drives the PVM's [`RetryPolicy`](crate::RetryPolicy): transient
+    /// errors are retried with backoff until the per-upcall deadline;
+    /// permanent errors propagate immediately (and, for pull/push
+    /// failures, quarantine the affected cache).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            GmiError::SegmentIo { transient, .. } => *transient,
+            GmiError::MapperTimeout { .. } => true,
+            _ => false,
         }
     }
 }
@@ -151,5 +207,43 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(GmiError::Locked);
         assert_eq!(e.to_string(), "page is locked in memory");
+    }
+
+    #[test]
+    fn transient_classification() {
+        let transient = GmiError::SegmentIo {
+            segment: SegmentId(1),
+            cause: "dropped reply".into(),
+            transient: true,
+        };
+        let permanent = GmiError::SegmentIo {
+            segment: SegmentId(1),
+            cause: "bad capability".into(),
+            transient: false,
+        };
+        assert!(transient.is_transient());
+        assert!(!permanent.is_transient());
+        assert!(GmiError::MapperTimeout {
+            segment: SegmentId(2)
+        }
+        .is_transient());
+        assert!(!GmiError::MapperUnavailable {
+            segment: SegmentId(2)
+        }
+        .is_transient());
+        assert!(!GmiError::CachePoisoned(CacheId::pack(1, 0)).is_transient());
+        assert!(!GmiError::OutOfMemory.is_transient());
+    }
+
+    #[test]
+    fn display_names_failure_class() {
+        let e = GmiError::SegmentIo {
+            segment: SegmentId(3),
+            cause: "x".into(),
+            transient: true,
+        };
+        assert!(e.to_string().starts_with("transient"), "{e}");
+        let e = GmiError::CachePoisoned(CacheId::pack(7, 0));
+        assert!(e.to_string().contains("quarantined"), "{e}");
     }
 }

@@ -26,12 +26,14 @@
 pub mod conformance;
 pub mod error;
 pub mod ids;
+pub mod retry;
 pub mod testing;
 pub mod traits;
 pub mod types;
 
 pub use error::{GmiError, Result};
 pub use ids::{CacheId, CtxId, RegionId, SegmentId};
+pub use retry::RetryPolicy;
 pub use traits::{CacheIo, Gmi, SegmentManager};
 pub use types::{CopyMode, RegionStatus};
 

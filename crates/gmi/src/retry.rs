@@ -1,0 +1,140 @@
+//! Retry policy for mapper upcalls.
+//!
+//! The paper delegates data policies to *external* segment managers via
+//! `pullIn`/`pushOut` upcalls (§4.1.2) — an unreliable RPC edge once
+//! mappers live outside the kernel. [`RetryPolicy`] describes how a GMI
+//! implementation reacts to a failed upcall: how many attempts to make,
+//! how long to back off between them (charged to the *simulated* clock,
+//! so retries are visible in the cost model alongside I/O and IPC), and
+//! the overall deadline after which the upcall is abandoned with
+//! [`MapperTimeout`](crate::GmiError::MapperTimeout).
+//!
+//! Only errors whose [`GmiError::is_transient`](crate::GmiError::is_transient)
+//! is true are retried; permanent errors propagate on first failure.
+
+/// Backoff and deadline parameters for retrying failed mapper upcalls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of upcall attempts (1 = no retry). Zero is treated
+    /// as one attempt.
+    pub max_attempts: u32,
+    /// Simulated-nanosecond backoff before the first retry.
+    pub initial_backoff_ns: u64,
+    /// Each subsequent backoff multiplies the previous one by this
+    /// factor (exponential backoff). Zero is treated as one (constant
+    /// backoff).
+    pub backoff_multiplier: u32,
+    /// Upper bound on a single backoff interval.
+    pub max_backoff_ns: u64,
+    /// Total simulated-time budget for one upcall including every retry
+    /// and backoff; when exceeded the upcall fails with `MapperTimeout`.
+    /// Zero disables the deadline.
+    pub deadline_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts with 1 ms → 2 ms → 4 ms backoff, 100 ms cap, and a
+    /// one-second per-upcall deadline (all simulated time). On the
+    /// calibrated Sun-3/60 model a pull round trip is ~20 ms, so the
+    /// default rides out a couple of dropped replies without masking a
+    /// dead mapper for long.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            initial_backoff_ns: 1_000_000,
+            backoff_multiplier: 2,
+            max_backoff_ns: 100_000_000,
+            deadline_ns: 1_000_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and imposes no deadline: upcall
+    /// errors propagate exactly as the mapper reported them.
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            initial_backoff_ns: 0,
+            backoff_multiplier: 1,
+            max_backoff_ns: 0,
+            deadline_ns: 0,
+        }
+    }
+
+    /// The backoff to charge before retry number `retry` (1-based: the
+    /// first retry is 1), capped at `max_backoff_ns`.
+    pub fn backoff_ns(&self, retry: u32) -> u64 {
+        if retry == 0 || self.initial_backoff_ns == 0 {
+            return 0;
+        }
+        let mult = self.backoff_multiplier.max(1) as u64;
+        let mut backoff = self.initial_backoff_ns;
+        for _ in 1..retry {
+            backoff = backoff.saturating_mul(mult);
+            if backoff >= self.max_backoff_ns && self.max_backoff_ns != 0 {
+                break;
+            }
+        }
+        if self.max_backoff_ns != 0 {
+            backoff.min(self.max_backoff_ns)
+        } else {
+            backoff
+        }
+    }
+
+    /// Effective attempt ceiling (at least one).
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            initial_backoff_ns: 1_000,
+            backoff_multiplier: 2,
+            max_backoff_ns: 5_000,
+            deadline_ns: 0,
+        };
+        assert_eq!(p.backoff_ns(0), 0);
+        assert_eq!(p.backoff_ns(1), 1_000);
+        assert_eq!(p.backoff_ns(2), 2_000);
+        assert_eq!(p.backoff_ns(3), 4_000);
+        assert_eq!(p.backoff_ns(4), 5_000);
+        assert_eq!(p.backoff_ns(30), 5_000);
+    }
+
+    #[test]
+    fn no_retry_is_single_attempt() {
+        let p = RetryPolicy::no_retry();
+        assert_eq!(p.attempts(), 1);
+        assert_eq!(p.backoff_ns(1), 0);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_safe() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            initial_backoff_ns: 1,
+            backoff_multiplier: 0,
+            max_backoff_ns: 0,
+            deadline_ns: 0,
+        };
+        assert_eq!(p.attempts(), 1);
+        // Multiplier 0 behaves as constant backoff, no cap applied.
+        assert_eq!(p.backoff_ns(5), 1);
+        // Saturation instead of overflow for huge retry counts.
+        let q = RetryPolicy {
+            initial_backoff_ns: u64::MAX / 2,
+            max_backoff_ns: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(q.backoff_ns(10), u64::MAX);
+    }
+}

@@ -179,6 +179,7 @@ impl SegmentManager for MemSegmentManager {
                 return Err(GmiError::SegmentIo {
                     segment,
                     cause: "injected pull failure".into(),
+                    transient: true,
                 });
             }
         }
@@ -198,6 +199,7 @@ impl SegmentManager for MemSegmentManager {
             Err(GmiError::SegmentIo {
                 segment,
                 cause: "write access denied".into(),
+                transient: false,
             })
         } else {
             Ok(())

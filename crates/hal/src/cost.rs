@@ -113,6 +113,9 @@ op_kinds! {
     /// One mapper request round trip (IPC to the mapper port plus the
     /// device seek), charged once per pullIn/pushOut upcall.
     IpcOp = "ipc_op",
+    /// One retry of a failed mapper upcall (the backoff delay itself is
+    /// charged separately via [`CostModel::advance_ns`]).
+    MapperRetry = "mapper_retry",
 }
 
 const N_OPS: usize = OpKind::ALL.len();
@@ -156,6 +159,7 @@ impl CostParams {
         p.set(OpKind::TlbMiss, 1_000);
         p.set(OpKind::SegmentIoPage, 2_000_000);
         p.set(OpKind::IpcOp, 20_000_000);
+        p.set(OpKind::MapperRetry, 50_000);
         p
     }
 
@@ -218,6 +222,17 @@ impl CostModel {
     #[inline]
     pub fn now(&self) -> SimTime {
         SimTime(self.clock_ns.load(Ordering::Relaxed))
+    }
+
+    /// Advances the simulated clock by `ns` nanoseconds without touching
+    /// any operation counter. Used for time that passes *waiting* rather
+    /// than computing — e.g. the exponential backoff between mapper
+    /// retries.
+    #[inline]
+    pub fn advance_ns(&self, ns: u64) {
+        if ns != 0 {
+            self.clock_ns.fetch_add(ns, Ordering::Relaxed);
+        }
     }
 
     /// Count of operations of one kind since the last reset.
@@ -316,6 +331,14 @@ mod tests {
         m.charge(OpKind::TlbFlush);
         let s = m.snapshot();
         assert_eq!(s.counts, vec![(OpKind::TlbFlush, 1)]);
+    }
+
+    #[test]
+    fn advance_ns_moves_clock_without_counting() {
+        let m = CostModel::counting();
+        m.advance_ns(123_456);
+        assert_eq!(m.now().nanos(), 123_456);
+        assert!(m.snapshot().counts.is_empty());
     }
 
     #[test]

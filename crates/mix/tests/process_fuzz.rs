@@ -77,7 +77,7 @@ fn build() -> ProcessManager<Pvm> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     #[test]
     fn process_trees_match_data_model(ops in proptest::collection::vec(op(), 1..60)) {

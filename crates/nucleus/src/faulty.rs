@@ -1,0 +1,341 @@
+//! Fault-injecting mapper decorator.
+//!
+//! Mappers are independent actors reached over IPC (§5.1.1), so the
+//! kernel must survive every way their replies can go wrong: transient
+//! I/O errors, permanent death, slow replies, truncated replies, and a
+//! crash-restart in the middle of a run. [`FaultyMapper`] wraps any
+//! [`Mapper`] and injects exactly those failures, driven by a seeded
+//! deterministic RNG so every test run is reproducible from its seed
+//! alone.
+//!
+//! Delays are charged to the *simulated* clock (the PVM's
+//! [`CostModel`]) rather than to wall time, which makes per-upcall
+//! deadlines observable without slow tests.
+
+use crate::capability::Capability;
+use crate::mapper::Mapper;
+use chorus_gmi::{GmiError, Result, SegmentId};
+use chorus_hal::CostModel;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// What failures to inject, and how often. All probabilities are
+/// per-mille (0..=1000) so plans stay integer-only and deterministic.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// RNG seed; two mappers with the same plan inject the same faults.
+    pub seed: u64,
+    /// Probability of a transient I/O error per operation.
+    pub transient_per_mille: u32,
+    /// Probability of permanent mapper death per operation. Permanent
+    /// death is sticky: every later operation fails with
+    /// [`GmiError::MapperUnavailable`].
+    pub permanent_per_mille: u32,
+    /// Probability of a slow reply per operation.
+    pub delay_per_mille: u32,
+    /// Simulated nanoseconds a slow reply takes.
+    pub delay_ns: u64,
+    /// Probability that a read reply is truncated (short data).
+    pub truncate_per_mille: u32,
+    /// Crash-once window: the operation with this index (0-based)
+    /// fails transiently, simulating a mapper restart; operations
+    /// after it succeed again.
+    pub crash_at_op: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_per_mille: 0,
+            permanent_per_mille: 0,
+            delay_per_mille: 0,
+            delay_ns: 0,
+            truncate_per_mille: 0,
+            crash_at_op: None,
+        }
+    }
+
+    /// A plan injecting only transient errors at `per_mille`.
+    pub fn transient(seed: u64, per_mille: u32) -> FaultPlan {
+        FaultPlan {
+            transient_per_mille: per_mille,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+}
+
+/// One injected fault, for assertions in tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// A transient I/O error was returned.
+    Transient,
+    /// The mapper died permanently.
+    Permanent,
+    /// The reply was delayed by the given simulated nanoseconds.
+    Delay(u64),
+    /// A read reply was cut short to the given length.
+    Truncated(usize),
+    /// The crash-once window fired.
+    Crash,
+}
+
+/// splitmix64: a tiny, high-quality deterministic PRNG. Good enough
+/// for fault scheduling and has no dependencies.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `per_mille`/1000.
+    fn hit(&mut self, per_mille: u32) -> bool {
+        per_mille > 0 && (self.next() % 1000) < u64::from(per_mille)
+    }
+}
+
+/// A decorator injecting faults into an inner mapper according to a
+/// [`FaultPlan`].
+pub struct FaultyMapper {
+    inner: Arc<dyn Mapper>,
+    plan: Mutex<FaultPlan>,
+    rng: Mutex<SplitMix64>,
+    ops: Mutex<u64>,
+    dead: AtomicBool,
+    log: Mutex<Vec<InjectedFault>>,
+    /// When set, delays advance this simulated clock.
+    clock: Mutex<Option<Arc<CostModel>>>,
+}
+
+impl FaultyMapper {
+    /// Wraps `inner`, injecting faults per `plan`.
+    pub fn new(inner: Arc<dyn Mapper>, plan: FaultPlan) -> FaultyMapper {
+        FaultyMapper {
+            inner,
+            plan: Mutex::new(plan),
+            rng: Mutex::new(SplitMix64(plan.seed)),
+            ops: Mutex::new(0),
+            dead: AtomicBool::new(false),
+            log: Mutex::new(Vec::new()),
+            clock: Mutex::new(None),
+        }
+    }
+
+    /// Attaches the simulated clock that injected delays advance.
+    pub fn attach_clock(&self, clock: Arc<CostModel>) {
+        *self.clock.lock() = Some(clock);
+    }
+
+    /// Replaces the fault plan at runtime and revives a dead mapper —
+    /// the "mapper restarted" transition recovery tests need. The RNG
+    /// keeps its position so the overall schedule stays deterministic.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        // plan.seed is deliberately not re-applied to the running RNG.
+        *self.plan.lock() = plan;
+        self.dead.store(false, Ordering::SeqCst);
+    }
+
+    /// Drains the log of injected faults.
+    pub fn take_log(&self) -> Vec<InjectedFault> {
+        std::mem::take(&mut self.log.lock())
+    }
+
+    /// True once a permanent fault has fired.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    fn record(&self, fault: InjectedFault) {
+        self.log.lock().push(fault);
+    }
+
+    /// Runs the common pre-operation fault schedule. Returns
+    /// `Ok(truncate)` where `truncate` says whether a read reply should
+    /// be cut short.
+    fn inject(&self, segment: SegmentId) -> Result<bool> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(GmiError::MapperUnavailable { segment });
+        }
+        let plan = *self.plan.lock();
+        let op = {
+            let mut ops = self.ops.lock();
+            let op = *ops;
+            *ops += 1;
+            op
+        };
+        if plan.crash_at_op == Some(op) {
+            self.record(InjectedFault::Crash);
+            return Err(GmiError::SegmentIo {
+                segment,
+                cause: "mapper crashed (restarting)".into(),
+                transient: true,
+            });
+        }
+        let mut rng = self.rng.lock();
+        if rng.hit(plan.permanent_per_mille) {
+            drop(rng);
+            self.dead.store(true, Ordering::SeqCst);
+            self.record(InjectedFault::Permanent);
+            return Err(GmiError::MapperUnavailable { segment });
+        }
+        if rng.hit(plan.delay_per_mille) {
+            let ns = plan.delay_ns;
+            drop(rng);
+            if let Some(clock) = self.clock.lock().clone() {
+                clock.advance_ns(ns);
+            }
+            self.record(InjectedFault::Delay(ns));
+            rng = self.rng.lock();
+        }
+        if rng.hit(plan.transient_per_mille) {
+            drop(rng);
+            self.record(InjectedFault::Transient);
+            return Err(GmiError::SegmentIo {
+                segment,
+                cause: "injected transient I/O error".into(),
+                transient: true,
+            });
+        }
+        let truncate = rng.hit(plan.truncate_per_mille);
+        drop(rng);
+        Ok(truncate)
+    }
+}
+
+impl Mapper for FaultyMapper {
+    fn read(&self, cap: Capability, offset: u64, size: u64) -> Result<Vec<u8>> {
+        let truncate = self.inject(SegmentId(cap.key))?;
+        let mut data = self.inner.read(cap, offset, size)?;
+        if truncate && !data.is_empty() {
+            let cut = data.len() / 2;
+            data.truncate(cut);
+            self.record(InjectedFault::Truncated(cut));
+        }
+        Ok(data)
+    }
+
+    fn write(&self, cap: Capability, offset: u64, data: &[u8]) -> Result<()> {
+        self.inject(SegmentId(cap.key))?;
+        self.inner.write(cap, offset, data)
+    }
+
+    fn get_write_access(&self, cap: Capability, offset: u64, size: u64) -> Result<()> {
+        self.inject(SegmentId(cap.key))?;
+        self.inner.get_write_access(cap, offset, size)
+    }
+
+    fn allocate_temporary(&self) -> Result<Capability> {
+        // Allocation happens inside segmentCreate, which the GMI driver
+        // cannot retry; keep it fault-free so plans only exercise the
+        // retryable read/write protocol.
+        self.inner.allocate_temporary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::PortName;
+    use crate::mapper::MemMapper;
+
+    fn wrapped(plan: FaultPlan) -> (Arc<FaultyMapper>, Capability) {
+        let mem = Arc::new(MemMapper::new(PortName(1)));
+        let cap = mem.create_segment(&[7u8; 64]);
+        (Arc::new(FaultyMapper::new(mem, plan)), cap)
+    }
+
+    #[test]
+    fn quiet_plan_is_transparent() {
+        let (m, cap) = wrapped(FaultPlan::quiet(1));
+        assert_eq!(m.read(cap, 0, 4).unwrap(), vec![7; 4]);
+        m.write(cap, 0, &[1, 2]).unwrap();
+        assert_eq!(m.read(cap, 0, 2).unwrap(), vec![1, 2]);
+        assert!(m.take_log().is_empty());
+    }
+
+    #[test]
+    fn same_seed_injects_same_faults() {
+        let plan = FaultPlan::transient(42, 300);
+        let (a, cap_a) = wrapped(plan);
+        let (b, cap_b) = wrapped(plan);
+        let ra: Vec<bool> = (0..50).map(|i| a.read(cap_a, i, 1).is_ok()).collect();
+        let rb: Vec<bool> = (0..50).map(|i| b.read(cap_b, i, 1).is_ok()).collect();
+        assert_eq!(ra, rb);
+        assert!(ra.iter().any(|ok| !ok), "plan injected nothing");
+        assert!(ra.iter().any(|ok| *ok), "plan failed everything");
+    }
+
+    #[test]
+    fn transient_errors_are_transient() {
+        let plan = FaultPlan::transient(7, 1000);
+        let (m, cap) = wrapped(plan);
+        let err = m.read(cap, 0, 1).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(m.take_log(), vec![InjectedFault::Transient]);
+    }
+
+    #[test]
+    fn permanent_death_is_sticky() {
+        let plan = FaultPlan {
+            permanent_per_mille: 1000,
+            ..FaultPlan::quiet(3)
+        };
+        let (m, cap) = wrapped(plan);
+        let err = m.read(cap, 0, 1).unwrap_err();
+        assert!(matches!(err, GmiError::MapperUnavailable { .. }), "{err}");
+        assert!(m.is_dead());
+        // Sticky: still dead, and only one Permanent entry is logged.
+        assert!(m.write(cap, 0, &[0]).is_err());
+        assert_eq!(m.take_log(), vec![InjectedFault::Permanent]);
+    }
+
+    #[test]
+    fn crash_once_fires_exactly_once() {
+        let plan = FaultPlan {
+            crash_at_op: Some(2),
+            ..FaultPlan::quiet(5)
+        };
+        let (m, cap) = wrapped(plan);
+        assert!(m.read(cap, 0, 1).is_ok()); // op 0
+        assert!(m.read(cap, 0, 1).is_ok()); // op 1
+        let err = m.read(cap, 0, 1).unwrap_err(); // op 2: crash
+        assert!(err.is_transient(), "{err}");
+        assert!(m.read(cap, 0, 1).is_ok()); // restarted
+        assert_eq!(m.take_log(), vec![InjectedFault::Crash]);
+    }
+
+    #[test]
+    fn truncation_cuts_read_replies() {
+        let plan = FaultPlan {
+            truncate_per_mille: 1000,
+            ..FaultPlan::quiet(9)
+        };
+        let (m, cap) = wrapped(plan);
+        let data = m.read(cap, 0, 8).unwrap();
+        assert_eq!(data.len(), 4);
+        assert_eq!(m.take_log(), vec![InjectedFault::Truncated(4)]);
+    }
+
+    #[test]
+    fn delays_advance_the_simulated_clock() {
+        let plan = FaultPlan {
+            delay_per_mille: 1000,
+            delay_ns: 5_000,
+            ..FaultPlan::quiet(11)
+        };
+        let (m, cap) = wrapped(plan);
+        let clock = Arc::new(CostModel::new(chorus_hal::CostParams::zero()));
+        m.attach_clock(clock.clone());
+        let before = clock.now().nanos();
+        m.read(cap, 0, 1).unwrap();
+        assert_eq!(clock.now().nanos() - before, 5_000);
+        assert_eq!(m.take_log(), vec![InjectedFault::Delay(5_000)]);
+    }
+}

@@ -9,6 +9,9 @@
 //! - [`mapper`]: the mapper interface — independent actors implementing
 //!   segments on secondary storage with a read/write interface — plus
 //!   in-memory and swap mappers;
+//! - [`faulty`]: a seed-deterministic fault-injecting mapper decorator
+//!   (transient/permanent errors, delays, truncated replies,
+//!   crash-once) for exercising the recovery protocol;
 //! - [`segment_manager`]: maps capabilities to GMI local caches,
 //!   translates GMI upcalls into mapper requests, lazily binds temporary
 //!   caches to swap segments, and implements *segment caching*: keeping
@@ -27,6 +30,7 @@
 
 pub mod capability;
 pub mod dsm;
+pub mod faulty;
 pub mod ipc;
 pub mod mapper;
 pub mod nucleus;
@@ -34,6 +38,7 @@ pub mod segment_manager;
 
 pub use capability::{Capability, PortName};
 pub use dsm::{DsmDirectory, DsmSiteManager, DsmStats};
+pub use faulty::{FaultPlan, FaultyMapper, InjectedFault};
 pub use ipc::{IpcError, Message, PortId, Ports};
 pub use mapper::{Mapper, MapperRegistry, MemMapper, SwapMapper};
 pub use nucleus::{Actor, Nucleus};

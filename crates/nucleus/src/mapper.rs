@@ -124,6 +124,7 @@ impl MemMapper {
             return Err(GmiError::SegmentIo {
                 segment: SegmentId(cap.key),
                 cause: "invalid capability".into(),
+                transient: false,
             });
         }
         Ok(())
@@ -233,9 +234,8 @@ impl MapperRegistry {
             .lock()
             .get(&port)
             .cloned()
-            .ok_or(GmiError::SegmentIo {
+            .ok_or(GmiError::MapperUnavailable {
                 segment: SegmentId(0),
-                cause: format!("no mapper on {port:?}"),
             })
     }
 }

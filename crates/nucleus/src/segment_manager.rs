@@ -102,12 +102,16 @@ impl NucleusSegmentManager {
             .ok_or(GmiError::SegmentIo {
                 segment,
                 cause: "unknown segment".into(),
+                transient: false,
             })
     }
 
     fn route(&self, segment: SegmentId) -> Result<(Capability, Arc<dyn Mapper>)> {
         let cap = self.capability_for(segment)?;
-        let mapper = self.mappers.route(cap.port)?;
+        let mapper = self
+            .mappers
+            .route(cap.port)
+            .map_err(|_| GmiError::MapperUnavailable { segment })?;
         Ok((cap, mapper))
     }
 }
@@ -127,6 +131,16 @@ impl SegmentManager for NucleusSegmentManager {
         // message containing the required data."
         let (cap, mapper) = self.route(segment)?;
         let data = mapper.read(cap, offset, size)?;
+        // A mapper must answer with the full fragment (sparse holes are
+        // its job to zero-fill); a short reply is a corrupt transfer and
+        // must be rejected before fillUp can deliver partial data.
+        if (data.len() as u64) < size {
+            return Err(GmiError::SegmentIo {
+                segment,
+                cause: "truncated mapper reply".into(),
+                transient: true,
+            });
+        }
         io.fill_up(cache, offset, &data)
     }
 

@@ -32,6 +32,7 @@ impl PvmState {
     /// Finds one dirty page in the range and starts cleaning it;
     /// completes once no dirty page remains.
     pub fn sync_attempt(&mut self, cache: CacheKey, off: u64, size: u64) -> Attempt<()> {
+        self.check_not_poisoned(cache)?;
         for (o, slot) in self.range_pages(cache, off, size)? {
             match slot {
                 Slot::Present(p) => {
@@ -173,30 +174,41 @@ impl PvmState {
     }
 
     /// `cache.lockInMemory(offset, size)`: pull the fragment in and pin
-    /// it (cache-level variant of region locking).
-    pub fn cache_lock_attempt(&mut self, cache: CacheKey, off: u64, size: u64) -> Attempt<()> {
+    /// it (cache-level variant of region locking). `pinned` is a page
+    /// cursor owned by the driver counting pages this *call* has already
+    /// pinned, so blocked attempts resume without double-pinning — and a
+    /// page pinned by a different caller still receives this call's own
+    /// pin (nested locks balance).
+    pub fn cache_lock_attempt(
+        &mut self,
+        cache: CacheKey,
+        off: u64,
+        size: u64,
+        pinned: &mut u64,
+    ) -> Attempt<()> {
+        self.check_not_poisoned(cache)?;
         let ps = self.ps();
         let pages = self.geom.pages_for(size);
         for k in 0..pages {
+            if k < *pinned {
+                continue;
+            }
             let o = self.geom.round_down(off) + k * ps;
             match self.slot(cache, o) {
                 Some(Slot::Present(p)) => {
-                    if self.page(p).lock_count == 0 {
-                        self.page_mut(p).lock_count += 1;
-                    } else {
-                        // Already pinned by an earlier (blocked) attempt
-                        // of this same operation: leave as is.
-                    }
+                    self.page_mut(p).lock_count += 1;
+                    *pinned += 1;
                 }
                 Some(Slot::Sync) => return blocked(Blocked::WaitStub),
                 _ => {
                     // Materialize an own resident page with the current
-                    // value, then pin it on the retry.
+                    // value, then pin it.
                     let page = match self.own_resident_page(cache, o)? {
                         crate::state::Outcome::Done(p) => p,
                         crate::state::Outcome::Blocked(b) => return blocked(b),
                     };
                     self.page_mut(page).lock_count += 1;
+                    *pinned += 1;
                 }
             }
         }
@@ -260,8 +272,11 @@ impl PvmState {
                 "destroying a cache that is still mapped",
             ));
         }
-        // Permanent caches write modified data back first.
-        if desc.fully_backed {
+        // Permanent caches write modified data back first — unless the
+        // cache was quarantined, in which case its mapper is gone and
+        // the write-back is abandoned (the data was already lost to the
+        // permanent failure; destruction must still succeed).
+        if desc.fully_backed && !desc.poisoned {
             match self.sync_attempt(cache, 0, u64::MAX)? {
                 crate::state::Outcome::Done(()) => {}
                 crate::state::Outcome::Blocked(b) => return blocked(b),

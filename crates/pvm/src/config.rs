@@ -1,5 +1,7 @@
 //! PVM tunables.
 
+use chorus_gmi::RetryPolicy;
+
 /// Configuration of a [`crate::Pvm`] instance.
 #[derive(Clone, Debug)]
 pub struct PvmConfig {
@@ -25,6 +27,19 @@ pub struct PvmConfig {
     /// unilaterally decide to cache a fragment of data"). 1 disables
     /// clustering.
     pub pull_cluster_pages: u64,
+    /// Retry policy for mapper upcalls (`pullIn`, `pushOut`,
+    /// `getWriteAccess`): transient failures are retried with exponential
+    /// backoff charged to the simulated clock. `RetryPolicy::no_retry()`
+    /// restores fail-fast semantics.
+    pub retry: RetryPolicy,
+    /// Quarantine a cache after a *permanent* mapper failure: all further
+    /// operations touching the cache fail with `CachePoisoned` instead of
+    /// re-driving upcalls into a dead mapper.
+    pub quarantine_on_permanent_failure: bool,
+    /// When a `fillUp` delivering pulled data cannot allocate a frame,
+    /// run an emergency eviction pass over clean unpinned pages instead
+    /// of failing the fault recovery with `OutOfMemory`.
+    pub emergency_pageout: bool,
 }
 
 impl Default for PvmConfig {
@@ -35,6 +50,9 @@ impl Default for PvmConfig {
             check_invariants: cfg!(debug_assertions),
             collapse_zombies: true,
             pull_cluster_pages: 1,
+            retry: RetryPolicy::default(),
+            quarantine_on_permanent_failure: true,
+            emergency_pageout: true,
         }
     }
 }
@@ -51,5 +69,8 @@ mod tests {
         assert!(c.enable_pageout);
         assert!(c.collapse_zombies);
         assert_eq!(c.pull_cluster_pages, 1, "clustering is opt-in");
+        assert!(c.retry.max_attempts > 1, "transient faults heal by default");
+        assert!(c.quarantine_on_permanent_failure);
+        assert!(c.emergency_pageout);
     }
 }

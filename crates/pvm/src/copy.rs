@@ -59,6 +59,8 @@ impl PvmState {
     ) -> Attempt<()> {
         self.cache(src)?;
         self.cache(dst)?;
+        self.check_not_poisoned(src)?;
+        self.check_not_poisoned(dst)?;
         if size == 0 {
             return done(());
         }
@@ -119,6 +121,8 @@ impl PvmState {
     ) -> Attempt<()> {
         self.cache(src)?;
         self.cache(dst)?;
+        self.check_not_poisoned(src)?;
+        self.check_not_poisoned(dst)?;
         if size == 0 {
             return done(());
         }
@@ -198,6 +202,7 @@ impl PvmState {
         progress: &mut u64,
     ) -> Attempt<()> {
         self.cache(cache)?;
+        self.check_not_poisoned(cache)?;
         let ps = self.ps();
         let mut cur = off + *progress;
         let end = off + buf.len() as u64;
@@ -233,6 +238,7 @@ impl PvmState {
         progress: &mut u64,
     ) -> Attempt<()> {
         self.cache(cache)?;
+        self.check_not_poisoned(cache)?;
         let ps = self.ps();
         let mut cur = off + *progress;
         let end = off + data.len() as u64;

@@ -48,6 +48,12 @@ pub(crate) struct RegionDesc {
     pub offset: u64,
     /// Whether `lockInMemory` is in effect.
     pub locked: bool,
+    /// Segment offsets whose pin count *this region* holds. Tracking pins
+    /// per region (rather than inferring them from `lock_count > 0`)
+    /// makes nested `lockInMemory` of the same page by two regions
+    /// balance: each region contributes exactly one pin and removes
+    /// exactly that pin on unlock.
+    pub pinned: BTreeSet<u64>,
 }
 
 impl RegionDesc {
@@ -159,6 +165,11 @@ pub(crate) struct CacheDesc {
     pub internal: bool,
     /// Number of regions currently mapping this cache.
     pub mapped_regions: u32,
+    /// Quarantined after a permanent mapper failure: further operations
+    /// needing the cache fail with `CachePoisoned` instead of re-driving
+    /// upcalls into an unavailable mapper. Resident clean data may still
+    /// be invalidated and the cache destroyed.
+    pub poisoned: bool,
 }
 
 impl CacheDesc {
@@ -316,6 +327,7 @@ mod tests {
             cache: ck(0),
             offset: 0x2000,
             locked: false,
+            pinned: BTreeSet::new(),
         };
         assert!(r.contains(VirtAddr(0x8000)));
         assert!(!r.contains(VirtAddr(0xC000)));

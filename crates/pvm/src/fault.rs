@@ -40,6 +40,10 @@ impl PvmState {
         let off = self.geom.round_down(region.va_to_offset(va));
         let vpn = self.geom.vpn(va);
         let cache = region.cache;
+        // A quarantined cache answers every fault with a clean error —
+        // including faulters that were asleep on a sync stub when the
+        // permanent failure cleared it.
+        self.check_not_poisoned(cache)?;
 
         // Global map lookup.
         match self.slot(cache, off) {

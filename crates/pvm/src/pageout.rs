@@ -88,9 +88,55 @@ impl PvmState {
                 page.ref_bit = false;
                 continue;
             }
+            // A quarantined cache's dirty page cannot be cleaned (its
+            // mapper failed permanently); picking it would leak the
+            // mapper error into an unrelated allocation. Clean pages of
+            // quarantined caches are still evictable.
+            if page.dirty
+                && self
+                    .caches
+                    .get(page.cache)
+                    .map(|c| c.poisoned)
+                    .unwrap_or(false)
+            {
+                continue;
+            }
             return Some(key);
         }
         None
+    }
+
+    /// Emergency eviction pass (fault-recovery degradation): evicts every
+    /// clean, unpinned, non-cleaning resident page regardless of
+    /// reference bits. Used when a `fillUp` delivering pulled data cannot
+    /// allocate a frame — failing that allocation would strand the pull
+    /// and wedge every faulter waiting on its stubs, so trading the whole
+    /// clean working set for progress is the better degradation. Returns
+    /// the number of frames freed.
+    pub fn emergency_evict(&mut self) -> u64 {
+        let candidates: Vec<PageKey> = self
+            .resident
+            .iter()
+            .copied()
+            .filter(|&k| {
+                self.pages
+                    .get(k)
+                    .map(|p| !p.dirty && !p.cleaning && p.lock_count == 0)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let mut freed = 0u64;
+        for k in candidates {
+            if !self.pages.contains(k) {
+                continue;
+            }
+            self.evict(k);
+            freed += 1;
+        }
+        if freed > 0 {
+            self.stats.emergency_pageouts += 1;
+        }
+        freed
     }
 
     /// Begins cleaning a dirty victim: downgrade its mappings so

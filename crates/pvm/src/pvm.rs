@@ -169,6 +169,47 @@ impl Pvm {
         }
     }
 
+    /// Drives one mapper upcall under the retry policy: transient
+    /// failures are re-driven up to `max_attempts` times with exponential
+    /// backoff charged to the simulated clock, bounded by the per-upcall
+    /// deadline (also in simulated time, so injected mapper delays count
+    /// against it). Returns the final result and the number of retries
+    /// performed. Must be called with the state lock released.
+    fn upcall_with_retry(
+        &self,
+        segment: SegmentId,
+        policy: chorus_gmi::RetryPolicy,
+        mut upcall: impl FnMut() -> Result<()>,
+    ) -> (Result<()>, u64) {
+        let start = self.model.now().nanos();
+        let past_deadline = |model: &CostModel| {
+            policy.deadline_ns > 0
+                && model.now().nanos().saturating_sub(start) >= policy.deadline_ns
+        };
+        let mut retries = 0u64;
+        let result = loop {
+            match upcall() {
+                Ok(()) => break Ok(()),
+                Err(e) if e.is_transient() => {
+                    if past_deadline(&self.model) {
+                        break Err(GmiError::MapperTimeout { segment });
+                    }
+                    if retries + 1 >= u64::from(policy.attempts()) {
+                        break Err(e);
+                    }
+                    retries += 1;
+                    self.model.charge(chorus_hal::OpKind::MapperRetry);
+                    self.model.advance_ns(policy.backoff_ns(retries as u32));
+                    if past_deadline(&self.model) {
+                        break Err(GmiError::MapperTimeout { segment });
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        (result, retries)
+    }
+
     /// Performs a blocked action, re-acquiring the lock afterwards.
     fn perform<'a>(
         &'a self,
@@ -189,15 +230,19 @@ impl Pvm {
                 size,
                 access,
             } => {
+                let policy = guard.config.retry;
                 drop(guard);
-                let res =
+                let (res, retries) = self.upcall_with_retry(segment, policy, || {
                     self.seg_mgr
-                        .pull_in(self, pub_cache(cache), segment, offset, size, access);
+                        .pull_in(self, pub_cache(cache), segment, offset, size, access)
+                });
                 let mut guard = self.state.lock();
+                guard.stats.mapper_retries += retries;
                 let ps = guard.ps();
                 // Clear any stub of the pulled range the mapper left
-                // unfilled (read-ahead pages may be declined; the
-                // faulting page itself must arrive).
+                // unfilled — on failure this is also the waiter cleanup:
+                // every faulter asleep on one of these stubs wakes,
+                // retries, and reports its own error instead of hanging.
                 let mut cur = offset;
                 while cur < offset + size {
                     if guard.is_sync_stub(cache, cur) {
@@ -222,11 +267,18 @@ impl Pvm {
                             return Err(GmiError::SegmentIo {
                                 segment,
                                 cause: "pullIn returned without fillUp".into(),
+                                transient: true,
                             });
                         }
                         Ok(guard)
                     }
                     Err(e) => {
+                        if matches!(e, GmiError::MapperTimeout { .. }) {
+                            guard.stats.mapper_timeouts += 1;
+                        }
+                        if !e.is_transient() {
+                            guard.quarantine_cache(cache);
+                        }
                         drop(guard);
                         self.stub_cv.notify_all();
                         Err(e)
@@ -240,17 +292,29 @@ impl Pvm {
                 size,
                 page,
             } => {
+                let policy = guard.config.retry;
                 drop(guard);
-                let res = self
-                    .seg_mgr
-                    .push_out(self, pub_cache(cache), segment, offset, size);
+                let (res, retries) = self.upcall_with_retry(segment, policy, || {
+                    self.seg_mgr
+                        .push_out(self, pub_cache(cache), segment, offset, size)
+                });
                 let mut guard = self.state.lock();
+                guard.stats.mapper_retries += retries;
                 if res.is_ok() {
                     guard.charge(chorus_hal::OpKind::IpcOp);
                     guard.charge_n(chorus_hal::OpKind::SegmentIoPage, size / guard.ps());
                 }
+                // On failure the page keeps its dirty bit (`success:
+                // false`), so no modified data is lost: a later retry of
+                // the clean can still write it back.
                 guard.finish_clean(page, res.is_ok());
                 if let Err(e) = res {
+                    if matches!(e, GmiError::MapperTimeout { .. }) {
+                        guard.stats.mapper_timeouts += 1;
+                    }
+                    if !e.is_transient() {
+                        guard.quarantine_cache(cache);
+                    }
                     drop(guard);
                     self.stub_cv.notify_all();
                     return Err(e);
@@ -275,10 +339,15 @@ impl Pvm {
                 size,
                 page,
             } => {
+                let policy = guard.config.retry;
                 drop(guard);
-                let res = self.seg_mgr.get_write_access(segment, offset, size);
+                let (res, retries) = self.upcall_with_retry(segment, policy, || {
+                    self.seg_mgr.get_write_access(segment, offset, size)
+                });
                 let mut guard = self.state.lock();
-                guard.stats.write_access_upcalls += 1;
+                // Each retry is its own upcall on the wire.
+                guard.stats.write_access_upcalls += 1 + retries;
+                guard.stats.mapper_retries += retries;
                 match res {
                     Ok(()) => {
                         if guard.pages.contains(page) {
@@ -286,7 +355,14 @@ impl Pvm {
                         }
                         Ok(guard)
                     }
-                    Err(e) => Err(e),
+                    Err(e) => {
+                        // A write-access denial is a coherence decision,
+                        // not a mapper death: no quarantine.
+                        if matches!(e, GmiError::MapperTimeout { .. }) {
+                            guard.stats.mapper_timeouts += 1;
+                        }
+                        Err(e)
+                    }
                 }
             }
         }
@@ -375,7 +451,18 @@ impl PvmState {
                 crate::state::done(())
             }
             _ => {
-                let frame = match self.alloc_frame()? {
+                // Failing this allocation would strand the pulled data
+                // and error the recovery; degrade through an emergency
+                // eviction pass before giving up.
+                let alloc = match self.alloc_frame() {
+                    Err(GmiError::OutOfMemory)
+                        if self.config.emergency_pageout && self.emergency_evict() > 0 =>
+                    {
+                        self.alloc_frame()
+                    }
+                    other => other,
+                };
+                let frame = match alloc? {
                     Outcome::Done(f) => f,
                     Outcome::Blocked(b) => return crate::state::blocked(b),
                 };
@@ -587,7 +674,8 @@ impl Gmi for Pvm {
 
     fn cache_lock_in_memory(&self, cache: CacheId, offset: u64, size: u64) -> Result<()> {
         let key = cache_key(cache);
-        self.run(|s| s.cache_lock_attempt(key, offset, size))
+        let mut pinned = 0u64;
+        self.run(|s| s.cache_lock_attempt(key, offset, size, &mut pinned))
     }
 
     fn cache_unlock(&self, cache: CacheId, offset: u64, size: u64) -> Result<()> {

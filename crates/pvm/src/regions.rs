@@ -89,6 +89,7 @@ impl PvmState {
             cache,
             offset,
             locked: false,
+            pinned: Default::default(),
         });
         self.ctx_mut(ctx)?.regions.insert(idx, key);
         self.cache_mut(cache)?.mapped_regions += 1;
@@ -155,6 +156,14 @@ impl PvmState {
                 what: "region split",
             });
         }
+        // A locked region's pins are split with it: each half keeps the
+        // pins of the offsets it still covers, so each half's later
+        // unlock releases exactly its own pins.
+        let upper_pinned: std::collections::BTreeSet<u64> = region
+            .pinned
+            .range(region.offset + offset..)
+            .copied()
+            .collect();
         let upper = RegionDesc {
             ctx: region.ctx,
             addr: VirtAddr(region.addr.0 + offset),
@@ -163,9 +172,18 @@ impl PvmState {
             cache: region.cache,
             offset: region.offset + offset,
             locked: region.locked,
+            pinned: upper_pinned,
         };
         let upper_key = self.regions.insert(upper);
-        self.region_mut(reg)?.size = offset;
+        {
+            let lower = self.region_mut(reg)?;
+            lower.size = offset;
+            lower.pinned = region
+                .pinned
+                .range(..region.offset + offset)
+                .copied()
+                .collect();
+        }
         let ctx = region.ctx;
         let desc = self.ctx(ctx)?;
         let idx = desc
@@ -216,17 +234,19 @@ impl PvmState {
         let pages = self.geom.pages_for(region.size);
         for i in 0..pages {
             let va = VirtAddr(region.addr.0 + i * self.ps());
-            // Skip pages already pinned by a previous (blocked) attempt.
             let off = self.geom.round_down(region.va_to_offset(va));
-            let already = matches!(
-                self.global.get(&(region.cache, off)),
-                Some(Slot::Present(p)) if self.page(*p).lock_count > 0
-            );
-            if already {
+            // Skip pages this region already pinned in a previous
+            // (blocked) attempt. The pin is recorded per region, so a
+            // page locked by *another* region still receives one more
+            // pin here — nested locks balance (each unlock releases
+            // only its own region's pin).
+            if region.pinned.contains(&off) {
                 continue;
             }
             match self.lock_one_page(region.ctx, va, writable)? {
-                crate::state::Outcome::Done(()) => {}
+                crate::state::Outcome::Done(()) => {
+                    self.region_mut(reg)?.pinned.insert(off);
+                }
                 crate::state::Outcome::Blocked(b) => return blocked(b),
             }
         }
@@ -236,25 +256,19 @@ impl PvmState {
 
     /// `region.unlock()`.
     pub fn region_unlock_locked(&mut self, reg: RegKey) -> Result<()> {
-        let region = self.region(reg)?.clone();
-        if !region.locked {
-            return Ok(());
-        }
         self.region_force_unlock(reg)
     }
 
-    /// Unpins all pages of a region regardless of its flag state.
+    /// Releases every pin this region holds (also those left by a lock
+    /// attempt that failed part-way) and clears its flag.
     pub fn region_force_unlock(&mut self, reg: RegKey) -> Result<()> {
         let region = self.region(reg)?.clone();
-        if !region.locked {
-            return Ok(());
-        }
-        let pages = self.geom.pages_for(region.size);
-        for i in 0..pages {
-            let off = self.geom.round_down(region.offset + i * self.ps());
+        for &off in &region.pinned {
             self.unlock_one_page(region.cache, off)?;
         }
-        self.region_mut(reg)?.locked = false;
+        let desc = self.region_mut(reg)?;
+        desc.pinned.clear();
+        desc.locked = false;
         Ok(())
     }
 

@@ -44,6 +44,9 @@ impl PvmState {
             }
             steps -= 1;
             self.charge(OpKind::HistoryOp);
+            // The walk may land in a quarantined ancestor whose segment
+            // data is unreachable; fail cleanly rather than pulling.
+            self.check_not_poisoned(x)?;
             match self.slot(x, o) {
                 Some(Slot::Present(p)) => return done(Version::Page(p)),
                 Some(Slot::Sync) => return blocked(Blocked::WaitStub),

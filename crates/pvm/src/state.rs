@@ -203,6 +203,32 @@ impl PvmState {
             .ok_or(GmiError::NoSuchCache(crate::keys::pub_cache(k)))
     }
 
+    /// Fails with `CachePoisoned` if the cache was quarantined after a
+    /// permanent mapper failure. A dead (removed) cache is not an error
+    /// here — the caller's own lookup reports that.
+    pub fn check_not_poisoned(&self, k: CacheKey) -> Result<()> {
+        match self.caches.get(k) {
+            Some(c) if c.poisoned => Err(GmiError::CachePoisoned(crate::keys::pub_cache(k))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Quarantines a cache after a permanent mapper failure (if the
+    /// config enables it): every later operation that needs the cache
+    /// fails with a clean `CachePoisoned` error instead of re-driving
+    /// upcalls into an unavailable mapper.
+    pub fn quarantine_cache(&mut self, k: CacheKey) {
+        if !self.config.quarantine_on_permanent_failure {
+            return;
+        }
+        if let Some(c) = self.caches.get_mut(k) {
+            if !c.poisoned {
+                c.poisoned = true;
+                self.stats.quarantined_caches += 1;
+            }
+        }
+    }
+
     /// Internal page lookup: pages are never exposed, so a dangling key
     /// is a PVM bug.
     pub fn page(&self, k: PageKey) -> &PageDesc {

@@ -37,4 +37,13 @@ pub struct PvmStats {
     pub cow_stubs_created: u64,
     /// `getWriteAccess` upcalls performed.
     pub write_access_upcalls: u64,
+    /// Mapper upcalls re-driven after a transient failure.
+    pub mapper_retries: u64,
+    /// Mapper upcalls abandoned because the retry deadline expired.
+    pub mapper_timeouts: u64,
+    /// Caches quarantined after a permanent mapper failure.
+    pub quarantined_caches: u64,
+    /// Emergency eviction passes run when fault recovery hit
+    /// `OutOfMemory`.
+    pub emergency_pageouts: u64,
 }

@@ -118,8 +118,28 @@ fn locked_pages_are_never_evicted() {
 }
 
 #[test]
-fn pull_failure_propagates_and_recovers() {
+fn transient_pull_failure_is_healed_by_retry() {
+    // With the default retry policy a single injected transient mapper
+    // failure is invisible to the faulter: the PVM retries the pullIn
+    // and delivers the correct bytes.
     let (pvm, mgr) = setup(8);
+    let seg = mgr.create_segment(&pattern(0x10, PS as usize));
+    let cache = pvm.cache_create(Some(seg)).unwrap();
+    let ctx = pvm.context_create().unwrap();
+    pvm.region_create(ctx, VirtAddr(0), PS, Prot::RW, cache, 0)
+        .unwrap();
+    mgr.fail_next_pull();
+    assert_eq!(read(&pvm, ctx, 0, 4), pattern(0x10, 4));
+    assert!(pvm.stats().mapper_retries >= 1, "{:?}", pvm.stats());
+}
+
+#[test]
+fn pull_failure_propagates_and_recovers() {
+    // Without retries the transient failure propagates to the faulter,
+    // and the cleaned-up stub lets the next access recover.
+    let (pvm, mgr) = setup_with(8, |o| {
+        o.config.retry = chorus_gmi::RetryPolicy::no_retry();
+    });
     let seg = mgr.create_segment(&pattern(0x10, PS as usize));
     let cache = pvm.cache_create(Some(seg)).unwrap();
     let ctx = pvm.context_create().unwrap();
@@ -131,6 +151,7 @@ fn pull_failure_propagates_and_recovers() {
     assert!(matches!(err, GmiError::SegmentIo { .. }), "{err}");
     // The stub must have been cleaned up: the next access succeeds.
     assert_eq!(read(&pvm, ctx, 0, 4), pattern(0x10, 4));
+    assert_eq!(pvm.stats().mapper_retries, 0);
 }
 
 #[test]
@@ -288,6 +309,99 @@ fn cache_level_lock_pulls_and_pins() {
     pvm.cache_unlock(cache, 0, 2 * PS).unwrap();
     pvm.write_logical(other, 6 * PS, &pattern(2, (2 * PS) as usize))
         .unwrap();
+}
+
+#[test]
+fn nested_region_locks_unlock_independently() {
+    // Regression (DESIGN.md §6, fixed): two regions over the same cache
+    // pages each hold their own pin; unlocking one must not release the
+    // other's.
+    let (pvm, _) = setup(4);
+    let ctx = pvm.context_create().unwrap();
+    let cache = pvm.cache_create(None).unwrap();
+    let a = pvm
+        .region_create(ctx, VirtAddr(0), 2 * PS, Prot::RW, cache, 0)
+        .unwrap();
+    let b = pvm
+        .region_create(ctx, VirtAddr(0x8_0000), 2 * PS, Prot::RW, cache, 0)
+        .unwrap();
+    write(&pvm, ctx, 0, &pattern(0xC4, (2 * PS) as usize));
+    pvm.region_lock_in_memory(a).unwrap();
+    pvm.region_lock_in_memory(b).unwrap();
+    // First unlock: region b's pins must keep the pages resident.
+    pvm.region_unlock(a).unwrap();
+    let noise = pvm.cache_create(None).unwrap();
+    pvm.write_logical(noise, 0, &pattern(1, (6 * PS) as usize))
+        .unwrap();
+    assert_eq!(
+        pvm.cache_resident_pages(cache).unwrap(),
+        2,
+        "unlocking region a released region b's pins"
+    );
+    assert_eq!(read(&pvm, ctx, 0x8_0000, 4), pattern(0xC4, 4));
+    // Second unlock: now the pages are evictable.
+    pvm.region_unlock(b).unwrap();
+    pvm.write_logical(noise, 0, &pattern(2, (6 * PS) as usize))
+        .unwrap();
+    assert!(pvm.cache_resident_pages(cache).unwrap() < 2);
+    pvm.check_invariants();
+}
+
+#[test]
+fn region_split_partitions_the_pins() {
+    // Splitting a locked region must hand each half exactly its own
+    // pins, so the halves unlock independently.
+    let (pvm, _) = setup(6);
+    let ctx = pvm.context_create().unwrap();
+    let cache = pvm.cache_create(None).unwrap();
+    let r = pvm
+        .region_create(ctx, VirtAddr(0), 4 * PS, Prot::RW, cache, 0)
+        .unwrap();
+    write(&pvm, ctx, 0, &pattern(0xD8, (4 * PS) as usize));
+    pvm.region_lock_in_memory(r).unwrap();
+    let upper = pvm.region_split(r, 2 * PS).unwrap();
+    // Unlock the lower half; the upper half's pages stay pinned.
+    pvm.region_unlock(r).unwrap();
+    let noise = pvm.cache_create(None).unwrap();
+    pvm.write_logical(noise, 0, &pattern(1, (8 * PS) as usize))
+        .unwrap();
+    assert_eq!(pvm.region_status(upper).unwrap().resident_pages, 2);
+    assert_eq!(read(&pvm, ctx, 2 * PS, 4), pattern(0xD8, (2 * PS) as usize + 4)[(2 * PS) as usize..].to_vec());
+    pvm.region_unlock(upper).unwrap();
+    pvm.write_logical(noise, 0, &pattern(2, (8 * PS) as usize))
+        .unwrap();
+    assert!(pvm.region_status(upper).unwrap().resident_pages < 2);
+    pvm.check_invariants();
+}
+
+#[test]
+fn cache_and_region_locks_are_independent() {
+    // A cache-level pin and a region-level pin on the same pages are
+    // separate references; dropping the region lock leaves the cache
+    // lock in force.
+    let (pvm, _) = setup(4);
+    let ctx = pvm.context_create().unwrap();
+    let cache = pvm.cache_create(None).unwrap();
+    let r = pvm
+        .region_create(ctx, VirtAddr(0), 2 * PS, Prot::RW, cache, 0)
+        .unwrap();
+    write(&pvm, ctx, 0, &pattern(0xA7, (2 * PS) as usize));
+    pvm.region_lock_in_memory(r).unwrap();
+    pvm.cache_lock_in_memory(cache, 0, 2 * PS).unwrap();
+    pvm.region_unlock(r).unwrap();
+    let noise = pvm.cache_create(None).unwrap();
+    pvm.write_logical(noise, 0, &pattern(1, (6 * PS) as usize))
+        .unwrap();
+    assert_eq!(
+        pvm.cache_resident_pages(cache).unwrap(),
+        2,
+        "region unlock released the cache-level pins"
+    );
+    pvm.cache_unlock(cache, 0, 2 * PS).unwrap();
+    pvm.write_logical(noise, 0, &pattern(2, (6 * PS) as usize))
+        .unwrap();
+    assert!(pvm.cache_resident_pages(cache).unwrap() < 2);
+    pvm.check_invariants();
 }
 
 #[test]

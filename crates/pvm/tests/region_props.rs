@@ -49,7 +49,7 @@ impl IntervalModel {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 96 })]
 
     /// Region create/destroy/split/find agrees with a naive interval
     /// model: overlaps rejected exactly when the model says so, lookups

@@ -181,6 +181,7 @@ impl MinimalMm {
                 return Err(GmiError::SegmentIo {
                     segment,
                     cause: "pullIn returned without fillUp".into(),
+                    transient: true,
                 });
             }
             Ok(())

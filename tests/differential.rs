@@ -139,10 +139,17 @@ fn clamp_pages(page: u8, pages: u8) -> (u64, u64) {
 }
 
 fn run_differential<G: Gmi>(gmi: &G, ops: &[Op]) {
+    run_differential_with(gmi, ops, |_| {});
+}
+
+/// Like [`run_differential`], calling `before_op(index)` before every
+/// operation — the hook for sprinkling mapper faults into the walk.
+fn run_differential_with<G: Gmi>(gmi: &G, ops: &[Op], mut before_op: impl FnMut(usize)) {
     let mut model = Model::new();
     let mut ids: Vec<Option<CacheId>> = Vec::new();
 
-    for op in ops {
+    for (op_index, op) in ops.iter().enumerate() {
+        before_op(op_index);
         match op.clone() {
             Op::Create => {
                 if model.caches.iter().filter(|c| c.is_some()).count() >= MAX_CACHES {
@@ -317,8 +324,12 @@ fn model_copy(model: &mut Model, s: usize, d: usize, so: u64, dof: u64, sz: u64)
 }
 
 fn pvm_under_test(frames: u32) -> Arc<Pvm> {
+    pvm_with_manager(frames).0
+}
+
+fn pvm_with_manager(frames: u32) -> (Arc<Pvm>, Arc<MemSegmentManager>) {
     let mgr = Arc::new(MemSegmentManager::new());
-    Arc::new(Pvm::new(
+    let pvm = Arc::new(Pvm::new(
         PvmOptions {
             geometry: PageGeometry::new(PS),
             frames,
@@ -329,8 +340,9 @@ fn pvm_under_test(frames: u32) -> Arc<Pvm> {
             },
             ..PvmOptions::default()
         },
-        mgr,
-    ))
+        mgr.clone(),
+    ));
+    (pvm, mgr)
 }
 
 fn shadow_under_test(frames: u32) -> Arc<chorus_shadow::ShadowVm> {
@@ -347,7 +359,7 @@ fn shadow_under_test(frames: u32) -> Arc<chorus_shadow::ShadowVm> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     #[test]
     fn pvm_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
@@ -373,6 +385,24 @@ proptest! {
     fn shadow_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
         let vm = shadow_under_test(4096);
         run_differential(&*vm, &ops);
+    }
+
+    /// Transient mapper faults sprinkled through the walk must be healed
+    /// by the retry policy without perturbing a single logical byte:
+    /// fault-untouched caches — and, since single transient faults always
+    /// heal, *every* cache — still matches the oracle after every op.
+    #[test]
+    fn pvm_matches_model_under_transient_faults(
+        ops in proptest::collection::vec(op_strategy(), 1..50),
+        every in 1..5usize,
+    ) {
+        let (pvm, mgr) = pvm_with_manager(16);
+        run_differential_with(&*pvm, &ops, |i| {
+            if i % every == 0 {
+                mgr.fail_next_pull();
+            }
+        });
+        pvm.check_invariants();
     }
 }
 

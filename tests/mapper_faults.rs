@@ -1,0 +1,427 @@
+//! Cross-crate fault-injection suite: the PVM driving the real Nucleus
+//! segment manager over a [`FaultyMapper`].
+//!
+//! Mappers are independent actors (§5.1.1), so the memory manager must
+//! treat every mapper reply as unreliable. These tests inject the full
+//! failure taxonomy — transient errors, permanent death, slow replies,
+//! truncated replies, crash-once — and assert the recovery protocol:
+//! transient faults heal invisibly through retry, permanent faults
+//! quarantine exactly the affected caches, blocked faulters always wake
+//! with an error rather than deadlocking, and a failed pageout never
+//! loses a dirty page that a later successful retry can write back.
+
+use chorus_gmi::{Gmi, GmiError, Prot, RetryPolicy, VirtAddr};
+use chorus_hal::{CostParams, PageGeometry};
+use chorus_nucleus::{
+    FaultPlan, FaultyMapper, MemMapper, NucleusSegmentManager, PortName, SwapMapper,
+};
+use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use proptest::prelude::*;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PS: u64 = 256;
+const SEG_PAGES: u64 = 4;
+const SEG_SIZE: usize = (PS * SEG_PAGES) as usize;
+
+/// The full stack: PVM → NucleusSegmentManager → FaultyMapper(files) /
+/// FaultyMapper(swap).
+struct FaultStack {
+    pvm: Arc<Pvm>,
+    seg_mgr: Arc<NucleusSegmentManager>,
+    files: Arc<MemMapper>,
+    faulty_files: Arc<FaultyMapper>,
+    swap: Arc<SwapMapper>,
+    faulty_swap: Arc<FaultyMapper>,
+}
+
+fn stack(
+    frames: u32,
+    file_plan: FaultPlan,
+    swap_plan: FaultPlan,
+    tweak: impl FnOnce(&mut PvmConfig),
+) -> FaultStack {
+    let seg_mgr = Arc::new(NucleusSegmentManager::new());
+    let files = Arc::new(MemMapper::new(PortName(1)));
+    let faulty_files = Arc::new(FaultyMapper::new(files.clone(), file_plan));
+    let swap = Arc::new(SwapMapper::new(PortName(2)));
+    let faulty_swap = Arc::new(FaultyMapper::new(swap.clone(), swap_plan));
+    seg_mgr.register_mapper(PortName(1), faulty_files.clone());
+    seg_mgr.register_mapper(PortName(2), faulty_swap.clone());
+    seg_mgr.set_default_mapper(PortName(2));
+    let mut config = PvmConfig {
+        check_invariants: true,
+        ..PvmConfig::default()
+    };
+    tweak(&mut config);
+    let pvm = Arc::new(Pvm::new(
+        PvmOptions {
+            geometry: PageGeometry::new(PS),
+            frames,
+            cost: CostParams::zero(),
+            config,
+            ..PvmOptions::default()
+        },
+        seg_mgr.clone(),
+    ));
+    faulty_files.attach_clock(pvm.cost_model());
+    faulty_swap.attach_clock(pvm.cost_model());
+    FaultStack {
+        pvm,
+        seg_mgr,
+        files,
+        faulty_files,
+        swap,
+        faulty_swap,
+    }
+}
+
+/// A tiny deterministic PRNG for workload scheduling (the mapper's own
+/// fault schedule uses its independent seeded RNG).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// Runs a deterministic read/write workload over `n_segs` file-backed
+/// segments under memory pressure, maintaining a byte oracle. Every
+/// operation must succeed (the plan is expected to be heal-able), and
+/// the final contents seen through the PVM must equal the oracle.
+fn healing_workload(stack: &FaultStack, seed: u64, n_segs: usize, ops: usize) {
+    let pvm = &stack.pvm;
+    let mut oracle = Vec::new();
+    let mut ctxs = Vec::new();
+    let ctx = pvm.context_create().unwrap();
+    for i in 0..n_segs {
+        let init: Vec<u8> = (0..SEG_SIZE)
+            .map(|k| (k as u8).wrapping_mul(7).wrapping_add(i as u8))
+            .collect();
+        let cap = stack.files.create_segment(&init);
+        let seg = stack.seg_mgr.segment_for(cap);
+        let cache = pvm.cache_create(Some(seg)).unwrap();
+        let base = 0x10_0000 * (i as u64 + 1);
+        pvm.region_create(ctx, VirtAddr(base), SEG_SIZE as u64, Prot::RW, cache, 0)
+            .unwrap();
+        oracle.push(init);
+        ctxs.push(base);
+    }
+    let mut rng = Lcg(seed.wrapping_mul(2).wrapping_add(1));
+    for _ in 0..ops {
+        let i = (rng.next() as usize) % n_segs;
+        let off = (rng.next() as usize) % (SEG_SIZE - 32);
+        let len = 1 + (rng.next() as usize) % 31;
+        let base = ctxs[i];
+        if rng.next().is_multiple_of(3) {
+            let byte = rng.next() as u8;
+            let data: Vec<u8> = (0..len).map(|k| byte.wrapping_add(k as u8)).collect();
+            pvm.vm_write(ctx, VirtAddr(base + off as u64), &data)
+                .unwrap_or_else(|e| panic!("write seed={seed} off={off} len={len}: {e}"));
+            oracle[i][off..off + len].copy_from_slice(&data);
+        } else {
+            let mut buf = vec![0u8; len];
+            pvm.vm_read(ctx, VirtAddr(base + off as u64), &mut buf)
+                .unwrap_or_else(|e| panic!("read seed={seed} off={off} len={len}: {e}"));
+            assert_eq!(buf, &oracle[i][off..off + len], "seed={seed} diverged");
+        }
+    }
+    // Full final comparison of every segment.
+    for (i, base) in ctxs.iter().enumerate() {
+        let mut got = vec![0u8; SEG_SIZE];
+        pvm.vm_read(ctx, VirtAddr(*base), &mut got)
+            .unwrap_or_else(|e| panic!("final read seed={seed} seg={i}: {e}"));
+        assert_eq!(got, oracle[i], "seed={seed} segment {i} diverged");
+    }
+    pvm.check_invariants();
+}
+
+/// A plan mixing every heal-able fault kind, scheduled by `seed`.
+fn healable_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        transient_per_mille: 150,
+        permanent_per_mille: 0,
+        delay_per_mille: 100,
+        delay_ns: 20_000,
+        truncate_per_mille: 100,
+        crash_at_op: Some(seed % 17 + 3),
+    }
+}
+
+/// Retry policy generous enough that the ~250‰ effective per-attempt
+/// fault rate of [`healable_plan`] cannot plausibly exhaust it
+/// (0.25^10 ≈ 1e-6 per upcall; the schedule is deterministic, so the
+/// seeds below are verified once and stay verified).
+fn generous_retry(config: &mut PvmConfig) {
+    config.retry = RetryPolicy {
+        max_attempts: 10,
+        ..RetryPolicy::default()
+    };
+}
+
+#[test]
+fn thirty_two_seeds_of_transient_faults_all_heal() {
+    let mut total_retries = 0u64;
+    let mut total_faults = 0usize;
+    for seed in 0..32u64 {
+        let s = stack(8, healable_plan(seed), healable_plan(!seed), generous_retry);
+        healing_workload(&s, seed, 3, 40);
+        total_retries += s.pvm.stats().mapper_retries;
+        total_faults += s.faulty_files.take_log().len() + s.faulty_swap.take_log().len();
+        assert_eq!(s.pvm.stats().quarantined_caches, 0, "seed={seed}");
+    }
+    assert!(total_faults > 100, "plans injected too little: {total_faults}");
+    assert!(total_retries > 50, "retries never fired: {total_retries}");
+}
+
+#[test]
+fn permanent_failure_quarantines_only_the_affected_cache() {
+    // File mapper dies permanently on its first operation; a second
+    // clean mapper on another port is untouched.
+    let dead_plan = FaultPlan {
+        permanent_per_mille: 1000,
+        ..FaultPlan::quiet(3)
+    };
+    let s = stack(16, dead_plan, FaultPlan::quiet(0), |_| {});
+    let clean = Arc::new(MemMapper::new(PortName(7)));
+    s.seg_mgr.register_mapper(PortName(7), clean.clone());
+
+    let pvm = &s.pvm;
+    let ctx = pvm.context_create().unwrap();
+    let bad_init = vec![0xAA; SEG_SIZE];
+    let good_init: Vec<u8> = (0..SEG_SIZE).map(|k| k as u8).collect();
+    let bad_seg = s.seg_mgr.segment_for(s.files.create_segment(&bad_init));
+    let good_seg = s.seg_mgr.segment_for(clean.create_segment(&good_init));
+    let bad_cache = pvm.cache_create(Some(bad_seg)).unwrap();
+    let good_cache = pvm.cache_create(Some(good_seg)).unwrap();
+    pvm.region_create(ctx, VirtAddr(0x10_0000), SEG_SIZE as u64, Prot::RW, bad_cache, 0)
+        .unwrap();
+    pvm.region_create(ctx, VirtAddr(0x20_0000), SEG_SIZE as u64, Prot::RW, good_cache, 0)
+        .unwrap();
+
+    let mut buf = [0u8; 16];
+    // First touch: the permanent failure surfaces as MapperUnavailable.
+    let err = pvm.vm_read(ctx, VirtAddr(0x10_0000), &mut buf).unwrap_err();
+    assert!(matches!(err, GmiError::MapperUnavailable { .. }), "{err}");
+    // Thereafter the cache answers with its quarantine error.
+    let err = pvm.vm_read(ctx, VirtAddr(0x10_0000), &mut buf).unwrap_err();
+    assert!(matches!(err, GmiError::CachePoisoned(_)), "{err}");
+    let err = pvm.cache_read(bad_cache, 0, &mut buf).unwrap_err();
+    assert!(matches!(err, GmiError::CachePoisoned(_)), "{err}");
+    assert_eq!(pvm.stats().quarantined_caches, 1);
+
+    // The innocent cache is fully functional and correct.
+    let mut got = vec![0u8; SEG_SIZE];
+    pvm.vm_read(ctx, VirtAddr(0x20_0000), &mut got).unwrap();
+    assert_eq!(got, good_init);
+
+    // Recovery path: after the mapper "restarts", a *fresh* cache on the
+    // same segment works again — quarantine is per-cache, not global.
+    s.faulty_files.set_plan(FaultPlan::quiet(0));
+    let fresh = pvm.cache_create(Some(bad_seg)).unwrap();
+    pvm.cache_read(fresh, 0, &mut got).unwrap();
+    assert_eq!(got, bad_init);
+    pvm.check_invariants();
+}
+
+#[test]
+fn concurrent_faulters_all_unblock_with_errors_not_deadlock() {
+    // Every pull fails transiently and the policy gives up quickly: all
+    // four faulters of the same page must return an error within the
+    // watchdog window — none may deadlock on the cleared sync stub.
+    let all_fail = FaultPlan {
+        transient_per_mille: 1000,
+        ..FaultPlan::quiet(11)
+    };
+    let s = stack(16, all_fail, FaultPlan::quiet(0), |c| {
+        c.retry = RetryPolicy {
+            max_attempts: 2,
+            initial_backoff_ns: 1_000,
+            ..RetryPolicy::default()
+        };
+    });
+    let pvm = &s.pvm;
+    let ctx = pvm.context_create().unwrap();
+    let init = vec![0x42; SEG_SIZE];
+    let seg = s.seg_mgr.segment_for(s.files.create_segment(&init));
+    let cache = pvm.cache_create(Some(seg)).unwrap();
+    pvm.region_create(ctx, VirtAddr(0), SEG_SIZE as u64, Prot::RW, cache, 0)
+        .unwrap();
+
+    let (tx, rx) = mpsc::channel();
+    for _ in 0..4 {
+        let pvm = Arc::clone(pvm);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 8];
+            let res = pvm.vm_read(ctx, VirtAddr(16), &mut buf);
+            tx.send(res).unwrap();
+        });
+    }
+    drop(tx);
+    for _ in 0..4 {
+        let res = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("faulter deadlocked");
+        let err = res.expect_err("pull cannot succeed under this plan");
+        assert!(
+            matches!(
+                err,
+                GmiError::SegmentIo { .. } | GmiError::MapperTimeout { .. }
+            ),
+            "{err}"
+        );
+    }
+    // The sync stubs were cleaned up: once the mapper heals, the very
+    // same page is pulled successfully.
+    s.faulty_files.set_plan(FaultPlan::quiet(0));
+    let mut buf = [0u8; 8];
+    pvm.vm_read(ctx, VirtAddr(16), &mut buf).unwrap();
+    assert_eq!(buf, [0x42; 8]);
+    pvm.check_invariants();
+}
+
+#[test]
+fn slow_mapper_times_out_against_the_simulated_deadline() {
+    // Each attempt burns 0.6 simulated seconds then fails transiently;
+    // the 1-second deadline trips on the second attempt.
+    let slow = FaultPlan {
+        transient_per_mille: 1000,
+        delay_per_mille: 1000,
+        delay_ns: 600_000_000,
+        ..FaultPlan::quiet(5)
+    };
+    let s = stack(16, slow, FaultPlan::quiet(0), |_| {});
+    let pvm = &s.pvm;
+    let ctx = pvm.context_create().unwrap();
+    let seg = s.seg_mgr.segment_for(s.files.create_segment(&vec![1; SEG_SIZE]));
+    let cache = pvm.cache_create(Some(seg)).unwrap();
+    pvm.region_create(ctx, VirtAddr(0), SEG_SIZE as u64, Prot::RW, cache, 0)
+        .unwrap();
+    let mut buf = [0u8; 4];
+    let err = pvm.vm_read(ctx, VirtAddr(0), &mut buf).unwrap_err();
+    assert!(matches!(err, GmiError::MapperTimeout { .. }), "{err}");
+    assert!(pvm.stats().mapper_timeouts >= 1);
+    // Timeouts are transient: the cache is NOT quarantined.
+    assert_eq!(pvm.stats().quarantined_caches, 0);
+    s.faulty_files.set_plan(FaultPlan::quiet(0));
+    pvm.vm_read(ctx, VirtAddr(0), &mut buf).unwrap();
+    assert_eq!(buf, [1; 4]);
+}
+
+#[test]
+fn failed_pageout_never_loses_a_dirty_page() {
+    // The swap mapper rejects every write; a pageout forced by memory
+    // pressure fails, the triggering fault returns the error, and the
+    // dirty page stays dirty in memory. After the mapper heals, the
+    // retried pageout writes the page back and nothing is lost.
+    let bad_swap = FaultPlan {
+        transient_per_mille: 1000,
+        ..FaultPlan::quiet(9)
+    };
+    let s = stack(4, FaultPlan::quiet(0), bad_swap, |c| {
+        c.retry = RetryPolicy::no_retry();
+    });
+    let pvm = &s.pvm;
+    let ctx = pvm.context_create().unwrap();
+    let cache = pvm.cache_create(None).unwrap();
+    let pages = 8u64;
+    pvm.region_create(ctx, VirtAddr(0x10_0000), pages * PS, Prot::RW, cache, 0)
+        .unwrap();
+
+    // Dirty pages page-by-page until a pageout is forced and fails.
+    let mut oracle = vec![Vec::new(); pages as usize];
+    let mut failed = 0u64;
+    for p in 0..pages {
+        let data: Vec<u8> = (0..PS).map(|k| (p as u8) ^ (k as u8)).collect();
+        match pvm.vm_write(ctx, VirtAddr(0x10_0000 + p * PS), &data) {
+            Ok(()) => oracle[p as usize] = data,
+            Err(e) => {
+                assert!(e.is_transient(), "{e}");
+                failed += 1;
+            }
+        }
+    }
+    assert!(failed > 0, "pressure never forced a failing pageout");
+    assert_eq!(s.swap.swapped_out_bytes(), 0, "no write may have landed");
+
+    // Heal the swap mapper; re-run the failed writes.
+    s.faulty_swap.set_plan(FaultPlan::quiet(0));
+    for p in 0..pages {
+        if oracle[p as usize].is_empty() {
+            let data: Vec<u8> = (0..PS).map(|k| (p as u8) ^ (k as u8)).collect();
+            pvm.vm_write(ctx, VirtAddr(0x10_0000 + p * PS), &data).unwrap();
+            oracle[p as usize] = data;
+        }
+    }
+    assert!(
+        s.swap.swapped_out_bytes() > 0,
+        "retried pageout must reach the swap mapper"
+    );
+    // Every page — including those whose earlier pageout failed — holds
+    // exactly its oracle bytes.
+    for p in 0..pages {
+        let mut got = vec![0u8; PS as usize];
+        pvm.vm_read(ctx, VirtAddr(0x10_0000 + p * PS), &mut got).unwrap();
+        assert_eq!(got, oracle[p as usize], "page {p} lost data");
+    }
+    pvm.check_invariants();
+}
+
+#[test]
+fn emergency_pageout_rescues_fill_up_when_replacement_is_off() {
+    // Page replacement disabled, two frames, three pages wanted: the
+    // third pull's fillUp cannot allocate — failing it would strand the
+    // pull, so the emergency pass trades the clean working set for
+    // progress.
+    let s = stack(2, FaultPlan::quiet(0), FaultPlan::quiet(0), |c| {
+        c.enable_pageout = false;
+        c.emergency_pageout = true;
+    });
+    let pvm = &s.pvm;
+    let ctx = pvm.context_create().unwrap();
+    let init: Vec<u8> = (0..SEG_SIZE).map(|k| k as u8).collect();
+    let seg = s.seg_mgr.segment_for(s.files.create_segment(&init));
+    let cache = pvm.cache_create(Some(seg)).unwrap();
+    pvm.region_create(ctx, VirtAddr(0), SEG_SIZE as u64, Prot::READ, cache, 0)
+        .unwrap();
+    let mut buf = [0u8; 4];
+    for p in 0..3u64 {
+        pvm.vm_read(ctx, VirtAddr(p * PS), &mut buf).unwrap();
+        assert_eq!(buf[0], (p * PS) as u8);
+    }
+    assert!(pvm.stats().emergency_pageouts >= 1);
+    pvm.check_invariants();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    /// Any seed, any heal-able fault mix: the stack stays oracle-exact.
+    #[test]
+    fn random_fault_schedules_agree_with_oracle(
+        seed in any::<u64>(),
+        transient in 0..150u32,
+        truncate in 0..100u32,
+        crash_at in 0..24u64,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            transient_per_mille: transient,
+            permanent_per_mille: 0,
+            delay_per_mille: 80,
+            delay_ns: 10_000,
+            truncate_per_mille: truncate,
+            crash_at_op: Some(crash_at),
+        };
+        let s = stack(8, plan, FaultPlan { seed: !seed, ..plan }, generous_retry);
+        healing_workload(&s, seed, 2, 30);
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so the
+//! workspace vendors the small harness subset its benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion` with the
+//! `sample_size`/`measurement_time`/`warm_up_time` builders,
+//! `benchmark_group`, `bench_function`, [`BenchmarkId`], and
+//! `Bencher::iter`. Statistics are deliberately simple: after a warm-up
+//! period each sample times a batch of iterations, and the harness
+//! reports the median, minimum, and maximum per-iteration time.
+//!
+//! When compiled under `cargo test` (criterion benches are also test
+//! targets), `--test` mode runs each benchmark exactly once to check it
+//! executes, like upstream criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, e.g. `pvm/1024KB_32p`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { full: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; drives iteration.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// Collected per-iteration nanosecond estimates (one per sample).
+    samples: Vec<f64>,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Runs the routine repeatedly and records timing samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Split the measurement budget into `sample_size` samples.
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let samples = self.config.sample_size.max(1);
+        let iters_per_sample =
+            ((budget_ns / samples as f64) / per_iter.max(1.0)).ceil().max(1.0) as u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark and prints its summary line.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.criterion, &format!("{}/{}", self.name, id.full), &mut f);
+        self
+    }
+
+    /// Ends the group (upstream-compatibility no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(criterion: &Criterion, label: &str, f: &mut F) {
+    let mut b = Bencher {
+        config: criterion,
+        samples: Vec::new(),
+        test_mode: criterion.test_mode,
+    };
+    f(&mut b);
+    if criterion.test_mode {
+        println!("test {label} ... ok (bench smoke)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    b.samples.sort_by(|a, c| a.total_cmp(c));
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = b.samples[b.samples.len() - 1];
+    println!(
+        "{label:<48} median {} (min {}, max {})",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            // `cargo test` runs bench executables with `--test`;
+            // `cargo bench` passes `--bench`.
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up period per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_one(self, name, &mut f);
+        self
+    }
+}
+
+/// Declares a group function binding a config to its target benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats() {
+        assert_eq!(BenchmarkId::new("pvm", "8KB_1p").full, "pvm/8KB_1p");
+    }
+
+    #[test]
+    fn smoke_run_counts_iterations() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.test_mode = false;
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so the
+//! workspace vendors the subset of proptest it uses: the [`proptest!`]
+//! macro, `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`, range and
+//! tuple strategies, `any::<T>()`, `Just`, `prop_map`, and
+//! `collection::vec`.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case reports the exact generated
+//!   inputs (which are deterministic per test name and case index)
+//!   instead of a minimized counterexample.
+//! - **Deterministic seeding.** Case `i` of test `t` always sees the
+//!   same inputs, derived from a hash of the test's module path and
+//!   name. There is no environment-variable seed override and no
+//!   regression-file persistence (existing `.proptest-regressions`
+//!   files are ignored).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The top-level harness macro: expands each `fn name(arg in strategy)`
+/// item into a `#[test]` (the `#[test]` attribute is written by the
+/// caller, as with upstream proptest) that runs `config.cases`
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let seed = $crate::test_runner::fnv1a(
+                    concat!(module_path!(), "::", stringify!($name)).as_bytes(),
+                );
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(
+                        seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&$strat, &mut rng);
+                    )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(err) = outcome {
+                        panic!(
+                            "proptest case {}/{} of {} failed: {}\n  inputs: {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            err,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
