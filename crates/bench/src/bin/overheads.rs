@@ -5,11 +5,39 @@
 //! - per-page protection overhead of a deferred copy (paper: ~0.02 ms),
 //! - copy-on-write fault overhead per page (paper: ~0.31 ms),
 //! - simple on-demand zero-fill cost per page (paper: ~0.27 ms),
-//! - the "order of 10%" overhead conclusions.
+//! - the "order of 10%" overhead conclusions,
+//!
+//! plus one wall-clock micro-measurement outside the paper: the hasher
+//! used for the kernel's hot maps (in-repo FxHash vs the std SipHash
+//! default), justifying the `FxHashMap` switch in the global map,
+//! frame-owner index and fault-path translation cache.
 //!
 //! Usage: `cargo run -p chorus-bench --bin overheads`
 
 use chorus_bench::{pvm_world, run_table6, run_table7};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Wall-clock ns/op for `ops` inserts + `ops` lookups of page-style
+/// `(u32, u64)` keys against map `m`.
+fn hash_map_ns_per_op<H: std::hash::BuildHasher>(mut m: HashMap<(u32, u64), u64, H>) -> f64 {
+    const OPS: u64 = 200_000;
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        // Page-stride offsets across a handful of caches — the global
+        // map's actual key distribution.
+        m.insert(((i % 13) as u32, (i / 13) * 8192), i);
+    }
+    let mut sum = 0u64;
+    for i in 0..OPS {
+        if let Some(&v) = m.get(&((i % 13) as u32, (i / 13) * 8192)) {
+            sum = sum.wrapping_add(v);
+        }
+    }
+    black_box(sum);
+    t0.elapsed().as_secs_f64() * 1e9 / (2 * OPS) as f64
+}
 
 fn main() {
     let world = pvm_world(512);
@@ -64,5 +92,17 @@ fn main() {
     println!(
         "\nregion size independence: create/destroy of 1 page vs 128 pages differs by {:.1}% (paper: ~10%)",
         100.0 * (t6_cell(1024, 0) - t6_cell(8, 0)) / t6_cell(8, 0)
+    );
+
+    // Hot-map hasher choice (wall clock; not part of the simulated
+    // model). Warm each once, then measure.
+    hash_map_ns_per_op(HashMap::new());
+    hash_map_ns_per_op(chorus_hal::FxHashMap::default());
+    let sip = hash_map_ns_per_op(HashMap::new());
+    let fx = hash_map_ns_per_op(chorus_hal::FxHashMap::default());
+    println!(
+        "\nhot-map hasher, (u32,u64) page keys, insert+lookup wall clock:\n\
+         \u{20} std SipHash: {sip:.1} ns/op, in-repo FxHash: {fx:.1} ns/op ({:.2}x)",
+        sip / fx
     );
 }

@@ -19,6 +19,7 @@ pub mod arena;
 pub(crate) mod conformance;
 pub mod cost;
 pub mod frame;
+pub mod fx;
 pub mod mmu;
 pub mod soft_mmu;
 pub mod tlb;
@@ -28,6 +29,7 @@ pub use addr::{PageGeometry, PhysAddr, VirtAddr, Vpn};
 pub use arena::{Arena, Id};
 pub use cost::{CostModel, CostParams, OpKind, SimTime};
 pub use frame::{FrameNo, MemStats, PhysicalMemory};
+pub use fx::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mmu::{Access, Mmu, MmuCtx, MmuFault, Prot};
 pub use soft_mmu::SoftMmu;
 pub use two_level::TwoLevelMmu;

@@ -20,12 +20,7 @@ impl PvmState {
             .cache(cache)?
             .entries
             .range(off..end)
-            .map(|&o| {
-                (
-                    o,
-                    *self.global.get(&(cache, o)).expect("entry without slot"),
-                )
-            })
+            .map(|&o| (o, self.gmap.get(cache, o).expect("entry without slot")))
             .collect())
     }
 
@@ -66,11 +61,16 @@ impl PvmState {
     /// concurrent writers fault and wait for the push-out to finish.
     pub fn begin_cleaning(&mut self, page: PageKey) {
         let mappings = self.page(page).mappings.clone();
+        let frame = self.page(page).frame;
         for m in mappings {
             if let Ok(c) = self.ctx(m.ctx) {
                 let mmu_ctx = c.mmu_ctx;
                 if let Some((_, prot)) = self.mmu.query(mmu_ctx, m.vpn) {
-                    self.mmu.protect(mmu_ctx, m.vpn, prot.remove(Prot::WRITE));
+                    let narrowed = prot.remove(Prot::WRITE);
+                    self.mmu.protect(mmu_ctx, m.vpn, narrowed);
+                    // Narrow the fast-path entry in the same step so a
+                    // racing writer cannot dodge the cleaning wait.
+                    self.fast.install(m.ctx, m.vpn, frame, narrowed);
                 }
             }
         }
@@ -133,12 +133,7 @@ impl PvmState {
         // The cache no longer has its own version of the range.
         let owned: Vec<u64> = self.cache(cache)?.owned.range(off..end).copied().collect();
         for o in owned {
-            if self
-                .loc_stubs
-                .get(&(cache, o))
-                .map(|l| !l.is_empty())
-                .unwrap_or(false)
-            {
+            if self.gmap.has_loc_stubs_at(cache, o) {
                 return Err(GmiError::Unsupported(
                     "invalidating swapped-out data with outstanding per-page stubs",
                 ));
@@ -306,11 +301,7 @@ impl PvmState {
         }
         let has_dependents = {
             let desc = self.cache(cache)?;
-            !desc.children.is_empty()
-                || self
-                    .loc_stubs
-                    .iter()
-                    .any(|(&(c, _), l)| c == cache && !l.is_empty())
+            !desc.children.is_empty() || self.gmap.has_loc_stubs_from(cache)
         };
         if has_dependents {
             // "remaining unmodified source data must be kept until the

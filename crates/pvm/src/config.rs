@@ -40,6 +40,15 @@ pub struct PvmConfig {
     /// run an emergency eviction pass over clean unpinned pages instead
     /// of failing the fault recovery with `OutOfMemory`.
     pub emergency_pageout: bool,
+    /// Consult the lock-free resident translation cache before taking
+    /// the state mutex on a fault. Soft faults (resident page, non-COW,
+    /// non-stub, access already allowed) then complete without the big
+    /// lock. Disable for single-lock ablation runs.
+    pub fast_path: bool,
+    /// Lock stripes for the sharded global map (rounded up to a power of
+    /// two). Independent caches hash to different stripes and never
+    /// contend on one mutex.
+    pub global_map_shards: usize,
 }
 
 impl Default for PvmConfig {
@@ -53,6 +62,8 @@ impl Default for PvmConfig {
             retry: RetryPolicy::default(),
             quarantine_on_permanent_failure: true,
             emergency_pageout: true,
+            fast_path: true,
+            global_map_shards: 16,
         }
     }
 }
@@ -72,5 +83,8 @@ mod tests {
         assert!(c.retry.max_attempts > 1, "transient faults heal by default");
         assert!(c.quarantine_on_permanent_failure);
         assert!(c.emergency_pageout);
+        assert!(c.fast_path, "soft-fault fast path is on by default");
+        assert_eq!(c.global_map_shards, 16);
+        assert!(c.global_map_shards.is_power_of_two());
     }
 }

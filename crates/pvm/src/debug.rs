@@ -25,10 +25,12 @@ impl PvmState {
         self.check_pages();
         self.check_regions();
         self.check_frames();
+        self.check_clock_ring();
+        self.check_fast_path();
     }
 
     fn check_global_map(&self) {
-        for (&(cache, off), slot) in &self.global {
+        for ((cache, off), slot) in self.gmap.slots_snapshot() {
             let c = self
                 .caches
                 .get(cache)
@@ -39,13 +41,13 @@ impl PvmState {
             );
             match slot {
                 Slot::Present(p) => {
-                    let page = self.pages.get(*p).expect("Present slot with dead page");
+                    let page = self.pages.get(p).expect("Present slot with dead page");
                     assert_eq!(page.cache, cache, "page back pointer mismatch");
                     assert_eq!(page.offset, off, "page offset mismatch");
                 }
                 Slot::Sync => {}
                 Slot::Cow(CowSource::Page(p)) => {
-                    let src = self.pages.get(*p).expect("Cow stub points at dead page");
+                    let src = self.pages.get(p).expect("Cow stub points at dead page");
                     assert!(
                         src.stubs.contains(&(cache, off)),
                         "stub ({cache:?},{off:#x}) not threaded on source page"
@@ -53,10 +55,7 @@ impl PvmState {
                 }
                 Slot::Cow(CowSource::Loc(c2, o2)) => {
                     assert!(
-                        self.loc_stubs
-                            .get(&(*c2, *o2))
-                            .map(|l| l.contains(&(cache, off)))
-                            .unwrap_or(false),
+                        self.gmap.loc_stub_registered(c2, o2, (cache, off)),
                         "loc stub ({cache:?},{off:#x}) not registered at ({c2:?},{o2:#x})"
                     );
                 }
@@ -66,19 +65,64 @@ impl PvmState {
         for (cache, c) in self.caches.iter() {
             for &off in &c.entries {
                 assert!(
-                    self.global.contains_key(&(cache, off)),
+                    self.gmap.get(cache, off).is_some(),
                     "entry index ({cache:?},{off:#x}) without global slot"
                 );
             }
         }
-        for (&(c, o), list) in &self.loc_stubs {
-            for &(dc, doff) in list {
+        for ((c, o), list) in self.gmap.loc_stubs_snapshot() {
+            for (dc, doff) in list {
                 assert_eq!(
-                    self.global.get(&(dc, doff)),
-                    Some(&Slot::Cow(CowSource::Loc(c, o))),
+                    self.gmap.get(dc, doff),
+                    Some(Slot::Cow(CowSource::Loc(c, o))),
                     "stale loc-stub registration"
                 );
             }
+        }
+        let indexed: usize = self.caches.iter().map(|(_, c)| c.entries.len()).sum();
+        assert_eq!(
+            self.gmap.len(),
+            indexed,
+            "global map size != sum of cache entry indexes"
+        );
+    }
+
+    /// Ring/pages bijection: every resident page is in the clock ring
+    /// and every ring entry is a live page.
+    fn check_clock_ring(&self) {
+        assert_eq!(
+            self.resident.len(),
+            self.pages.len(),
+            "clock ring size != live pages"
+        );
+        for k in self.resident.iter() {
+            assert!(self.pages.contains(k), "dead page key in clock ring");
+        }
+        for (k, _) in self.pages.iter() {
+            assert!(
+                self.resident.contains(k),
+                "live page {k:?} missing from clock ring"
+            );
+        }
+    }
+
+    /// Every *current-generation* fast-path entry must mirror a live MMU
+    /// mapping to the same frame with at least its recorded protection —
+    /// the property that makes a lock-free hit safe.
+    fn check_fast_path(&self) {
+        for ((ctx, vpn), e) in self.fast.snapshot() {
+            let Some(cd) = self.contexts.get(ctx) else {
+                panic!("fast-path entry for dead context {ctx:?}");
+            };
+            let Some((frame, prot)) = self.mmu.query(cd.mmu_ctx, vpn) else {
+                panic!("fast-path entry ({ctx:?},{vpn:?}) without MMU mapping");
+            };
+            assert_eq!(e.frame, frame, "fast-path frame mismatch at {vpn:?}");
+            assert_eq!(
+                prot.intersect(e.prot),
+                e.prot,
+                "fast-path entry wider than MMU protection at {vpn:?}"
+            );
         }
     }
 
@@ -153,8 +197,8 @@ impl PvmState {
     fn check_pages(&self) {
         for (key, p) in self.pages.iter() {
             assert_eq!(
-                self.global.get(&(p.cache, p.offset)),
-                Some(&Slot::Present(key)),
+                self.gmap.get(p.cache, p.offset),
+                Some(Slot::Present(key)),
                 "page {key:?} not indexed in the global map"
             );
             assert_eq!(
@@ -164,8 +208,8 @@ impl PvmState {
             );
             for &(dc, doff) in &p.stubs {
                 assert_eq!(
-                    self.global.get(&(dc, doff)),
-                    Some(&Slot::Cow(CowSource::Page(key))),
+                    self.gmap.get(dc, doff),
+                    Some(Slot::Cow(CowSource::Page(key))),
                     "threaded stub not pointing back at page {key:?}"
                 );
             }
@@ -333,9 +377,9 @@ impl Pvm {
         for (key, c) in guard.caches.iter() {
             let mut slots = Vec::new();
             for &off in &c.entries {
-                let slot = match guard.global.get(&(key, off)) {
+                let slot = match guard.gmap.get(key, off) {
                     Some(Slot::Present(p)) => {
-                        let page = guard.page(*p);
+                        let page = guard.page(p);
                         SlotDump::Page {
                             writable: page.writable,
                             dirty: page.dirty,

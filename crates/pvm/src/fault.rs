@@ -258,7 +258,7 @@ impl PvmState {
         let cache = region.cache;
         let owns_it = {
             let c = self.cache(cache)?;
-            matches!(self.global.get(&(cache, off)), Some(Slot::Present(_))) || c.owns(off)
+            matches!(self.gmap.get(cache, off), Some(Slot::Present(_))) || c.owns(off)
         };
         if writable_region {
             match self.fault_attempt(ctx, va, Access::Write)? {

@@ -1,0 +1,264 @@
+//! The sharded global map (§4.1.1) and location-stub index.
+//!
+//! The paper's global map is the one structure every fault, pull, clean
+//! and copy touches, so on a multiprocessor it must not convoy on a
+//! single lock. This module lock-stripes the `(cache, offset) → Slot`
+//! table and the location-stub index across N mutex-protected shards
+//! hashed by [`chorus_hal::fx_hash_one`] of the key. Offsets are
+//! page-strided, so the Fx mix spreads consecutive pages of one cache
+//! across shards and two unrelated caches almost never share one.
+//!
+//! **Ordering discipline:** any operation that must visit more than one
+//! shard (the `has_loc_stubs_from` cache-liveness scan, the snapshot
+//! helpers used by the invariant checker) visits shards in ascending
+//! index order and never holds two shard locks at once unless acquired
+//! in that order. Today the outer `Mutex<PvmState>` already serializes
+//! whole multi-shard *transactions* (history walks, copies); the shard
+//! locks exist so the lock-free fault fast path and future finer-grained
+//! entry points see a consistent per-entry view, and so contention on
+//! the map itself is measurable (`contention()`), not hidden.
+
+use crate::descriptors::Slot;
+use crate::keys::CacheKey;
+
+/// One stub list keyed by its source location, as copied out by
+/// [`GlobalMap::loc_stubs_snapshot`].
+type LocStubEntry = ((CacheKey, u64), Vec<(CacheKey, u64)>);
+use chorus_hal::{fx_hash_one, FxHashMap};
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One lock stripe: a slice of the slot table plus the location stubs
+/// whose *source* (cache, offset) hashes here.
+#[derive(Default)]
+struct Shard {
+    slots: FxHashMap<(CacheKey, u64), Slot>,
+    loc_stubs: FxHashMap<(CacheKey, u64), Vec<(CacheKey, u64)>>,
+}
+
+/// The lock-striped global map.
+pub(crate) struct GlobalMap {
+    shards: Box<[Mutex<Shard>]>,
+    mask: u64,
+    /// Times a shard lock was contended (try_lock failed and the caller
+    /// had to block). Exposed as `PvmStats::shard_contention`.
+    contention: AtomicU64,
+}
+
+impl GlobalMap {
+    /// Creates a map with `shards` stripes, rounded up to a power of two
+    /// (and at least 1) so shard selection is a mask.
+    pub fn new(shards: usize) -> GlobalMap {
+        let n = shards.max(1).next_power_of_two();
+        GlobalMap {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            mask: (n - 1) as u64,
+            contention: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of stripes (power of two).
+    #[cfg(test)]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Contended shard-lock acquisitions so far.
+    pub fn contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
+    }
+
+    /// Resets the contention counter.
+    pub fn reset_contention(&self) {
+        self.contention.store(0, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn shard_for(&self, key: &(CacheKey, u64)) -> &Mutex<Shard> {
+        &self.shards[(fx_hash_one(key) & self.mask) as usize]
+    }
+
+    /// Locks one shard, counting contention when the uncontended
+    /// try-lock misses.
+    #[inline]
+    fn lock<'a>(&'a self, m: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        match m.try_lock() {
+            Some(g) => g,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                m.lock()
+            }
+        }
+    }
+
+    // ----- slot table -------------------------------------------------------
+
+    /// Looks up the slot at (cache, offset).
+    pub fn get(&self, cache: CacheKey, off: u64) -> Option<Slot> {
+        let key = (cache, off);
+        self.lock(self.shard_for(&key)).slots.get(&key).copied()
+    }
+
+    /// Installs a slot, returning the previous one.
+    pub fn insert(&self, cache: CacheKey, off: u64, slot: Slot) -> Option<Slot> {
+        let key = (cache, off);
+        self.lock(self.shard_for(&key)).slots.insert(key, slot)
+    }
+
+    /// Removes the slot at (cache, offset), returning it.
+    pub fn remove(&self, cache: CacheKey, off: u64) -> Option<Slot> {
+        let key = (cache, off);
+        self.lock(self.shard_for(&key)).slots.remove(&key)
+    }
+
+    /// Total live slots across all shards (ascending shard order).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).slots.len()).sum()
+    }
+
+    /// Copies out every (key, slot) pair, in ascending shard order, for
+    /// the invariant checker and debug dumps. Not a consistent global
+    /// snapshot unless the caller holds the state mutex.
+    pub fn slots_snapshot(&self) -> Vec<((CacheKey, u64), Slot)> {
+        let mut out = Vec::new();
+        for s in self.shards.iter() {
+            out.extend(self.lock(s).slots.iter().map(|(&k, &v)| (k, v)));
+        }
+        out
+    }
+
+    // ----- location-stub index ----------------------------------------------
+
+    /// Threads a per-page stub (dst cache, dst offset) onto the source
+    /// location (cache, offset).
+    pub fn push_loc_stub(&self, cache: CacheKey, off: u64, dst: (CacheKey, u64)) {
+        let key = (cache, off);
+        self.lock(self.shard_for(&key))
+            .loc_stubs
+            .entry(key)
+            .or_default()
+            .push(dst);
+    }
+
+    /// Takes (and removes) every stub waiting on (cache, offset).
+    pub fn take_loc_stubs(&self, cache: CacheKey, off: u64) -> Vec<(CacheKey, u64)> {
+        let key = (cache, off);
+        self.lock(self.shard_for(&key))
+            .loc_stubs
+            .remove(&key)
+            .unwrap_or_default()
+    }
+
+    /// Unthreads one stub (dc, doff) from the list at (cache, offset).
+    /// Returns true if the list existed and is now empty (and removed).
+    pub fn unthread_loc_stub(
+        &self,
+        cache: CacheKey,
+        off: u64,
+        dc: CacheKey,
+        doff: u64,
+    ) -> bool {
+        let key = (cache, off);
+        let mut g = self.lock(self.shard_for(&key));
+        if let Some(list) = g.loc_stubs.get_mut(&key) {
+            list.retain(|&(c, o)| !(c == dc && o == doff));
+            if list.is_empty() {
+                g.loc_stubs.remove(&key);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if exactly `dst` is threaded on (cache, offset) — invariant
+    /// checking only.
+    pub fn loc_stub_registered(&self, cache: CacheKey, off: u64, dst: (CacheKey, u64)) -> bool {
+        let key = (cache, off);
+        self.lock(self.shard_for(&key))
+            .loc_stubs
+            .get(&key)
+            .is_some_and(|l| l.contains(&dst))
+    }
+
+    /// True if any stub is threaded on (cache, offset).
+    pub fn has_loc_stubs_at(&self, cache: CacheKey, off: u64) -> bool {
+        let key = (cache, off);
+        self.lock(self.shard_for(&key))
+            .loc_stubs
+            .get(&key)
+            .is_some_and(|l| !l.is_empty())
+    }
+
+    /// True if any location anywhere in `cache` still has threaded stubs
+    /// (cache-liveness check; scans shards in ascending order).
+    pub fn has_loc_stubs_from(&self, cache: CacheKey) -> bool {
+        self.shards.iter().any(|s| {
+            self.lock(s)
+                .loc_stubs
+                .iter()
+                .any(|(&(c, _), l)| c == cache && !l.is_empty())
+        })
+    }
+
+    /// Copies out the whole stub index, ascending shard order.
+    pub fn loc_stubs_snapshot(&self) -> Vec<LocStubEntry> {
+        let mut out = Vec::new();
+        for s in self.shards.iter() {
+            out.extend(self.lock(s).loc_stubs.iter().map(|(&k, v)| (k, v.clone())));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chorus_hal::Id;
+
+    fn keys(n: u32) -> Vec<CacheKey> {
+        (0..n).map(|i| Id::from_raw_parts(i, 1)).collect()
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(GlobalMap::new(0).shard_count(), 1);
+        assert_eq!(GlobalMap::new(5).shard_count(), 8);
+        assert_eq!(GlobalMap::new(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn slots_roundtrip_across_shards() {
+        let m = GlobalMap::new(8);
+        let ks = keys(3);
+        for (i, &c) in ks.iter().enumerate() {
+            for o in 0..64u64 {
+                m.insert(c, o * 8192, Slot::Cow(crate::descriptors::CowSource::Zero));
+                assert!(m.get(c, o * 8192).is_some(), "key {i}/{o}");
+            }
+        }
+        assert_eq!(m.len(), 3 * 64);
+        for &c in &ks {
+            for o in 0..64u64 {
+                assert!(m.remove(c, o * 8192).is_some());
+            }
+        }
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn loc_stub_threading() {
+        let m = GlobalMap::new(4);
+        let ks = keys(2);
+        let (src, dst) = (ks[0], ks[1]);
+        m.push_loc_stub(src, 0, (dst, 8192));
+        m.push_loc_stub(src, 0, (dst, 16384));
+        assert!(m.has_loc_stubs_at(src, 0));
+        assert!(m.has_loc_stubs_from(src));
+        assert!(!m.unthread_loc_stub(src, 0, dst, 8192), "one stub remains");
+        assert!(m.unthread_loc_stub(src, 0, dst, 16384), "now emptied");
+        assert!(!m.has_loc_stubs_from(src));
+        m.push_loc_stub(src, 8192, (dst, 0));
+        assert_eq!(m.take_loc_stubs(src, 8192), vec![(dst, 0)]);
+        assert!(m.take_loc_stubs(src, 8192).is_empty());
+    }
+}

@@ -382,7 +382,7 @@ impl PvmState {
             .copied()
             .collect();
         for o in offsets {
-            if let Some(&Slot::Present(p)) = self.global.get(&(cache, o)) {
+            if let Some(Slot::Present(p)) = self.gmap.get(cache, o) {
                 self.charge(OpKind::ProtectPage);
                 let page = self.page_mut(p);
                 if page.writable {
@@ -450,7 +450,7 @@ impl PvmState {
                                     self.page_mut(p).stubs.push((h, ho));
                                 }
                                 crate::descriptors::CowSource::Loc(c2, o2) => {
-                                    self.loc_stubs.entry((c2, o2)).or_default().push((h, ho));
+                                    self.gmap.push_loc_stub(c2, o2, (h, ho));
                                 }
                                 crate::descriptors::CowSource::Zero => {}
                             }
@@ -493,12 +493,7 @@ impl PvmState {
         //    content.
         let owned: Vec<u64> = self.cache(cache)?.owned.range(off..end).copied().collect();
         for o in owned {
-            if self
-                .loc_stubs
-                .get(&(cache, o))
-                .map(|l| !l.is_empty())
-                .unwrap_or(false)
-            {
+            if self.gmap.has_loc_stubs_at(cache, o) {
                 return Err(GmiError::Unsupported(
                     "overwriting a swapped-out page with outstanding per-page stubs",
                 ));
@@ -682,7 +677,7 @@ impl PvmState {
         let writable = remaining.is_empty() && !self.has_history_covering(first_cache, first_off);
         self.page_mut(page).writable = writable;
         self.unmap_all(page);
-        if self.global.get(&(old_cache, old_off)) == Some(&Slot::Present(page)) {
+        if self.gmap.get(old_cache, old_off) == Some(Slot::Present(page)) {
             self.clear_slot(old_cache, old_off);
         }
         if let Some(c) = self.caches.get_mut(old_cache) {
@@ -707,17 +702,7 @@ impl PvmState {
                 }
             }
             CowSource::Loc(c, o) => {
-                let emptied = if let Some(list) = self.loc_stubs.get_mut(&(c, o)) {
-                    list.retain(|&(dc, doff)| !(dc == dst && doff == dst_off));
-                    if list.is_empty() {
-                        self.loc_stubs.remove(&(c, o));
-                        true
-                    } else {
-                        false
-                    }
-                } else {
-                    false
-                };
+                let emptied = self.gmap.unthread_loc_stub(c, o, dst, dst_off);
                 if emptied {
                     // The source cache may have been waiting only on this
                     // stub to die (zombie kept alive by loc stubs).
@@ -739,11 +724,7 @@ impl PvmState {
         if desc.is_reclaimable() {
             // Outstanding location stubs (per-page copies of swapped or
             // not-yet-pulled data) keep the cache alive like children do.
-            if self
-                .loc_stubs
-                .iter()
-                .any(|(&(c, _), l)| c == cache && !l.is_empty())
-            {
+            if self.gmap.has_loc_stubs_from(cache) {
                 return;
             }
             self.reclaim_dead_cache(cache);
@@ -818,11 +799,11 @@ impl PvmState {
         };
         // Bail-out checks.
         for &o in &z.entries {
-            match self.global.get(&(zombie, o)) {
+            match self.gmap.get(zombie, o) {
                 Some(Slot::Sync) => return,
                 Some(Slot::Cow(_)) => return,
                 Some(Slot::Present(p)) => {
-                    let page = self.page(*p);
+                    let page = self.page(p);
                     if !page.stubs.is_empty() || page.lock_count > 0 || page.cleaning {
                         return;
                     }
@@ -835,7 +816,7 @@ impl PvmState {
             // Swapped-out data: merging would require pulling it in.
             return;
         }
-        if self.loc_stubs.keys().any(|&(c, _)| c == zombie) {
+        if self.gmap.has_loc_stubs_from(zombie) {
             return;
         }
 
@@ -890,7 +871,7 @@ impl PvmState {
             return;
         }
         for o in offsets {
-            let Some(&Slot::Present(p)) = self.global.get(&(zombie, o)) else {
+            let Some(Slot::Present(p)) = self.gmap.get(zombie, o) else {
                 continue;
             };
             let targets = targets_of(self, o);

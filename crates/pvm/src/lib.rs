@@ -26,11 +26,14 @@
 //! The public type is [`Pvm`], which implements [`chorus_gmi::Gmi`].
 
 mod cachectl;
+mod clock;
 mod config;
 mod copy;
 mod debug;
 mod descriptors;
+mod fastpath;
 mod fault;
+mod gmap;
 mod history;
 mod keys;
 mod pageout;

@@ -54,33 +54,20 @@ impl PvmState {
         result
     }
 
-    /// One clock sweep: clears reference bits, skips pinned/cleaning
-    /// pages and stub sources, compacts stale keys.
+    /// One clock sweep over the resident ring: clears reference bits and
+    /// skips pinned/cleaning pages. Every ring entry is a live page
+    /// (freed pages leave the ring eagerly), so there is no stale-key
+    /// compaction — each `advance` examines a real candidate.
     fn select_victim(&mut self) -> Option<PageKey> {
-        // Compact dead keys when they dominate the list.
-        if self.resident.len() > 64 {
-            let live = self
-                .resident
-                .iter()
-                .filter(|&&k| self.pages.contains(k))
-                .count();
-            if live * 2 < self.resident.len() {
-                self.resident.retain(|&k| self.pages.contains(k));
-                self.hand = 0;
-            }
-        }
-        let n = self.resident.len();
-        if n == 0 {
+        if self.resident.is_empty() {
             return None;
         }
+        let n = self.resident.len();
         // Two full sweeps: the first clears reference bits, the second
         // finds a victim even if everything was recently referenced.
-        for _ in 0..(2 * n) {
-            self.hand = (self.hand + 1) % self.resident.len();
-            let key = self.resident[self.hand];
-            let Some(page) = self.pages.get_mut(key) else {
-                continue;
-            };
+        for step in 0..(2 * n) {
+            let key = self.resident.advance().expect("ring emptied mid-sweep");
+            let page = self.pages.get_mut(key).expect("dead key in clock ring");
             if page.lock_count > 0 || page.cleaning {
                 continue;
             }
@@ -101,8 +88,10 @@ impl PvmState {
             {
                 continue;
             }
+            self.stats.clock_full_sweeps += (step / n) as u64;
             return Some(key);
         }
+        self.stats.clock_full_sweeps += 2;
         None
     }
 
@@ -117,7 +106,6 @@ impl PvmState {
         let candidates: Vec<PageKey> = self
             .resident
             .iter()
-            .copied()
             .filter(|&k| {
                 self.pages
                     .get(k)
@@ -158,13 +146,18 @@ impl PvmState {
             return blocked(Blocked::NeedSegment { cache });
         };
         // Write-protect every mapping so a concurrent write faults and
-        // waits for the cleaning to finish.
+        // waits for the cleaning to finish. The fast-path entry is
+        // narrowed in the same step so a racing writer cannot satisfy
+        // its fault lock-free and dodge the cleaning synchronization.
         let mappings = self.page(victim).mappings.clone();
+        let frame = self.page(victim).frame;
         for m in mappings {
             if let Ok(c) = self.ctx(m.ctx) {
                 let mmu_ctx = c.mmu_ctx;
                 if let Some((_, prot)) = self.mmu.query(mmu_ctx, m.vpn) {
-                    self.mmu.protect(mmu_ctx, m.vpn, prot.remove(Prot::WRITE));
+                    let narrowed = prot.remove(Prot::WRITE);
+                    self.mmu.protect(mmu_ctx, m.vpn, narrowed);
+                    self.fast.install(m.ctx, m.vpn, frame, narrowed);
                 }
             }
         }
@@ -205,6 +198,6 @@ impl PvmState {
 
     /// True if (cache, off) currently holds a synchronization stub.
     pub fn is_sync_stub(&self, cache: crate::keys::CacheKey, off: u64) -> bool {
-        matches!(self.global.get(&(cache, off)), Some(Slot::Sync))
+        matches!(self.gmap.get(cache, off), Some(Slot::Sync))
     }
 }

@@ -39,13 +39,13 @@ impl PvmState {
         loop {
             assert!(steps > 0, "history tree cycle during locate");
             steps -= 1;
-            match self.global.get(&(x, o)) {
-                Some(Slot::Present(p)) => return Ok(Located::Page(*p)),
+            match self.gmap.get(x, o) {
+                Some(Slot::Present(p)) => return Ok(Located::Page(p)),
                 Some(Slot::Sync) => return Ok(Located::InTransit),
-                Some(Slot::Cow(CowSource::Page(p))) => return Ok(Located::Page(*p)),
+                Some(Slot::Cow(CowSource::Page(p))) => return Ok(Located::Page(p)),
                 Some(Slot::Cow(CowSource::Loc(c2, o2))) => {
-                    x = *c2;
-                    o = *o2;
+                    x = c2;
+                    o = o2;
                 }
                 Some(Slot::Cow(CowSource::Zero)) => return Ok(Located::Zero),
                 None => {
@@ -96,10 +96,7 @@ impl PvmState {
                     self.set_slot(dst, dstoff, Slot::Cow(CowSource::Page(p)));
                 }
                 Located::Loc(c, o) => {
-                    self.loc_stubs
-                        .entry((c, o))
-                        .or_default()
-                        .push((dst, dstoff));
+                    self.gmap.push_loc_stub(c, o, (dst, dstoff));
                     self.set_slot(dst, dstoff, Slot::Cow(CowSource::Loc(c, o)));
                 }
                 Located::Zero => {

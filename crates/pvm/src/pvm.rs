@@ -67,6 +67,12 @@ pub struct Pvm {
     stub_cv: Condvar,
     seg_mgr: Arc<dyn SegmentManager>,
     model: Arc<CostModel>,
+    /// Page geometry, copied out so `geometry()` never takes the lock.
+    geom: PageGeometry,
+    /// The resident translation cache, shared with the locked state:
+    /// `handle_fault` consults it *before* the mutex, the state updates
+    /// it at every mapping install/revoke.
+    fast: Arc<crate::fastpath::TranslationCache>,
 }
 
 impl Pvm {
@@ -78,17 +84,21 @@ impl Pvm {
             MmuChoice::Soft => Box::new(SoftMmu::new(options.geometry, model.clone())),
             MmuChoice::TwoLevel => Box::new(TwoLevelMmu::new(options.geometry, model.clone())),
         };
+        let state = PvmState::new(
+            options.geometry,
+            phys,
+            mmu,
+            model.clone(),
+            options.config,
+        );
+        let fast = state.fast.clone();
         Pvm {
-            state: Mutex::new(PvmState::new(
-                options.geometry,
-                phys,
-                mmu,
-                model.clone(),
-                options.config,
-            )),
+            state: Mutex::new(state),
             stub_cv: Condvar::new(),
             seg_mgr,
             model,
+            geom: options.geometry,
+            fast,
         }
     }
 
@@ -97,14 +107,25 @@ impl Pvm {
         self.model.clone()
     }
 
-    /// Snapshot of the PVM event counters.
+    /// Snapshot of the PVM event counters, folding in the lock-free
+    /// fast-path and shard-contention counters kept in atomics.
     pub fn stats(&self) -> PvmStats {
-        self.state.lock().stats
+        let guard = self.state.lock();
+        let mut s = guard.stats;
+        s.fast_path_hits = self.fast.hits();
+        s.fast_path_fallbacks = self.fast.fallbacks();
+        s.shard_contention = guard.gmap.contention();
+        // A fast-path hit IS a handled fault; the slow path never saw it.
+        s.faults += s.fast_path_hits;
+        s
     }
 
     /// Resets the PVM event counters (the cost model has its own reset).
     pub fn reset_stats(&self) {
-        self.state.lock().stats = PvmStats::default();
+        let mut guard = self.state.lock();
+        guard.stats = PvmStats::default();
+        guard.gmap.reset_contention();
+        self.fast.reset_counters();
     }
 
     /// Number of live cache descriptors (including zombies and working
@@ -257,7 +278,7 @@ impl Pvm {
                         guard.charge(chorus_hal::OpKind::IpcOp);
                         guard.charge_n(chorus_hal::OpKind::SegmentIoPage, size / ps);
                         if !matches!(
-                            guard.global.get(&(cache, offset)),
+                            guard.gmap.get(cache, offset),
                             Some(crate::descriptors::Slot::Present(_))
                         ) && guard.caches.contains(cache)
                         {
@@ -433,8 +454,8 @@ impl PvmState {
     ) -> Attempt<()> {
         if self.caches.get(cache).is_none() {
             // The cache died while the pull was in flight; drop the data.
-            if self.global.get(&(cache, page_off)) == Some(&Slot::Sync) {
-                self.global.remove(&(cache, page_off));
+            if self.gmap.get(cache, page_off) == Some(Slot::Sync) {
+                self.gmap.remove(cache, page_off);
             }
             return crate::state::done(());
         }
@@ -493,9 +514,9 @@ impl PvmState {
             let o = offset + cur;
             let page_off = self.geom.round_down(o);
             let in_page = (page_off + ps - o).min(buf.len() as u64 - cur);
-            match self.global.get(&(cache, page_off)) {
+            match self.gmap.get(cache, page_off) {
                 Some(Slot::Present(p)) => {
-                    let frame = self.page(*p).frame;
+                    let frame = self.page(p).frame;
                     self.phys.read(
                         frame,
                         o - page_off,
@@ -685,6 +706,17 @@ impl Gmi for Pvm {
 
     fn handle_fault(&self, ctx: CtxId, va: VirtAddr, access: Access) -> Result<()> {
         let key = ctx_key(ctx);
+        // Soft-fault fast path: a current-generation translation whose
+        // installed protection already allows the access means the MMU
+        // mapping is valid — the fault needs no state change at all, so
+        // it completes without the state mutex (only one sharded read
+        // lock). Anything else (miss, stale generation, COW, stub,
+        // protection upgrade) falls through to the locked slow path,
+        // which re-derives truth from the global map.
+        if self.fast.lookup(key, self.geom.vpn(va), access) {
+            self.model.charge(chorus_hal::OpKind::FaultEntry);
+            return Ok(());
+        }
         let mut first = true;
         self.run(|s| {
             if first {
@@ -705,7 +737,7 @@ impl Gmi for Pvm {
     }
 
     fn geometry(&self) -> PageGeometry {
-        self.state.lock().geom
+        self.geom
     }
 
     fn cache_resident_pages(&self, cache: CacheId) -> Result<u64> {
@@ -715,7 +747,7 @@ impl Gmi for Pvm {
         Ok(desc
             .entries
             .iter()
-            .filter(|&&o| matches!(guard.global.get(&(key, o)), Some(Slot::Present(_))))
+            .filter(|&&o| matches!(guard.gmap.get(key, o), Some(Slot::Present(_))))
             .count() as u64)
     }
 }

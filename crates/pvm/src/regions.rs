@@ -28,6 +28,11 @@ impl PvmState {
         }
         let desc = self.contexts.remove(ctx).expect("context vanished");
         self.mmu.ctx_destroy(desc.mmu_ctx);
+        // `ctx_destroy` drops every remaining MMU mapping of the context
+        // wholesale; invalidate the whole translation cache rather than
+        // enumerating them (a context dies rarely; a stale entry would be
+        // a use-after-free of the arena slot).
+        self.fast.bump_generation();
         self.charge(OpKind::ObjectDestroy);
         if self.current == Some(ctx) {
             self.current = None;
@@ -279,7 +284,7 @@ impl PvmState {
         let resident = cache
             .entries
             .range(region.offset..region.offset + region.size)
-            .filter(|&&o| matches!(self.global.get(&(region.cache, o)), Some(Slot::Present(_))))
+            .filter(|&&o| matches!(self.gmap.get(region.cache, o), Some(Slot::Present(_))))
             .count() as u64;
         Ok(RegionStatus {
             addr: region.addr,

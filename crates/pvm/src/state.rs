@@ -8,16 +8,18 @@
 //! [`Blocked`] action; the driver in `pvm.rs` releases the lock, performs
 //! the action, and retries the attempt.
 
+use crate::clock::ClockRing;
 use crate::config::PvmConfig;
 use crate::descriptors::{CacheDesc, ContextDesc, CowSource, Mapping, PageDesc, RegionDesc, Slot};
+use crate::fastpath::TranslationCache;
+use crate::gmap::GlobalMap;
 use crate::keys::{CacheKey, CtxKey, PageKey, RegKey};
 use crate::stats::PvmStats;
 use chorus_gmi::{GmiError, Result, SegmentId};
 use chorus_hal::{
-    Access, Arena, CostModel, FrameNo, Mmu, OpKind, PageGeometry, PhysicalMemory, Prot, VirtAddr,
-    Vpn,
+    Access, Arena, CostModel, FrameNo, FxHashMap, Mmu, OpKind, PageGeometry, PhysicalMemory, Prot,
+    VirtAddr, Vpn,
 };
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// An action the caller must perform without the state lock, then retry.
@@ -119,18 +121,18 @@ pub(crate) struct PvmState {
     pub regions: Arena<RegionDesc>,
     pub caches: Arena<CacheDesc>,
     pub pages: Arena<PageDesc>,
-    /// The single global map (§4.1.1), hashing slots by (cache, offset).
-    pub global: HashMap<(CacheKey, u64), Slot>,
-    /// Per-virtual-page stubs whose source page is not resident, indexed
-    /// by (source cache, source offset) so a later pull re-threads them.
-    pub loc_stubs: HashMap<(CacheKey, u64), Vec<(CacheKey, u64)>>,
+    /// The global map (§4.1.1), lock-striped by (cache, offset); also
+    /// holds the location-stub index (per-virtual-page stubs whose
+    /// source page is not resident, re-threaded at the next pull).
+    pub gmap: GlobalMap,
+    /// The lock-free resident translation cache consulted by
+    /// `handle_fault` before the state mutex (shared with `Pvm`).
+    pub fast: Arc<TranslationCache>,
     /// Owner page of each allocated frame (reverse of `PageDesc.frame`).
-    pub frame_owner: HashMap<u32, PageKey>,
-    /// Clock-replacement candidate list (may contain stale keys; the
-    /// sweep skips and compacts them).
-    pub resident: Vec<PageKey>,
-    /// Clock hand index into `resident`.
-    pub hand: usize,
+    pub frame_owner: FxHashMap<u32, PageKey>,
+    /// Clock-replacement candidate ring (every entry is a live page;
+    /// freed pages are removed eagerly).
+    pub resident: ClockRing,
     /// The current user context.
     pub current: Option<CtxKey>,
     pub config: PvmConfig,
@@ -154,11 +156,10 @@ impl PvmState {
             regions: Arena::new(),
             caches: Arena::new(),
             pages: Arena::new(),
-            global: HashMap::new(),
-            loc_stubs: HashMap::new(),
-            frame_owner: HashMap::new(),
-            resident: Vec::new(),
-            hand: 0,
+            gmap: GlobalMap::new(config.global_map_shards),
+            fast: Arc::new(TranslationCache::new(config.fast_path)),
+            frame_owner: FxHashMap::default(),
+            resident: ClockRing::new(),
             current: None,
             config,
             stats: PvmStats::default(),
@@ -225,6 +226,10 @@ impl PvmState {
             if !c.poisoned {
                 c.poisoned = true;
                 self.stats.quarantined_caches += 1;
+                // Faults touching the quarantined cache must reach the
+                // slow path to observe `CachePoisoned`; drop every fast
+                // translation rather than finding the cache's mappings.
+                self.fast.bump_generation();
             }
         }
     }
@@ -258,13 +263,13 @@ impl PvmState {
 
     pub fn slot(&self, cache: CacheKey, off: u64) -> Option<Slot> {
         self.model.charge(OpKind::GlobalMapOp);
-        self.global.get(&(cache, off)).copied()
+        self.gmap.get(cache, off)
     }
 
     /// Installs a slot, maintaining the cache's entry index.
     pub fn set_slot(&mut self, cache: CacheKey, off: u64, slot: Slot) {
         self.model.charge(OpKind::GlobalMapOp);
-        self.global.insert((cache, off), slot);
+        self.gmap.insert(cache, off, slot);
         if let Some(c) = self.caches.get_mut(cache) {
             c.entries.insert(off);
         }
@@ -273,7 +278,7 @@ impl PvmState {
     /// Removes a slot, maintaining the cache's entry index.
     pub fn clear_slot(&mut self, cache: CacheKey, off: u64) -> Option<Slot> {
         self.model.charge(OpKind::GlobalMapOp);
-        let old = self.global.remove(&(cache, off));
+        let old = self.gmap.remove(cache, off);
         if old.is_some() {
             if let Some(c) = self.caches.get_mut(cache) {
                 c.entries.remove(&off);
@@ -299,9 +304,7 @@ impl PvmState {
         desc.writable = writable;
         desc.dirty = dirty;
         // Re-thread per-page stubs that were pointing at this location.
-        if let Some(waiting) = self.loc_stubs.remove(&(cache, offset)) {
-            desc.stubs = waiting;
-        }
+        desc.stubs = self.gmap.take_loc_stubs(cache, offset);
         let key = self.pages.insert(desc);
         for &(dc, doff) in &self.page(key).stubs.clone() {
             self.set_slot(dc, doff, Slot::Cow(CowSource::Page(key)));
@@ -311,7 +314,7 @@ impl PvmState {
             c.owned.insert(offset);
         }
         self.frame_owner.insert(frame.0, key);
-        self.resident.push(key);
+        self.resident.insert(key);
         key
     }
 
@@ -328,10 +331,8 @@ impl PvmState {
             StubsTo::Loc => {
                 for (dc, doff) in desc.stubs {
                     self.set_slot(dc, doff, Slot::Cow(CowSource::Loc(desc.cache, desc.offset)));
-                    self.loc_stubs
-                        .entry((desc.cache, desc.offset))
-                        .or_default()
-                        .push((dc, doff));
+                    self.gmap
+                        .push_loc_stub(desc.cache, desc.offset, (dc, doff));
                 }
             }
             StubsTo::AlreadyHandled => {
@@ -340,10 +341,11 @@ impl PvmState {
         }
         // Only clear the slot if it still refers to this page (a sync
         // stub may have replaced it during cleaning).
-        if self.global.get(&(desc.cache, desc.offset)) == Some(&Slot::Present(key)) {
+        if self.gmap.get(desc.cache, desc.offset) == Some(Slot::Present(key)) {
             self.clear_slot(desc.cache, desc.offset);
         }
         self.frame_owner.remove(&desc.frame.0);
+        self.resident.remove(key);
         if release_frame {
             self.phys.release(desc.frame);
         }
@@ -362,6 +364,10 @@ impl PvmState {
         let page = self.page_mut(key);
         page.mappings.push(Mapping { ctx, vpn, via });
         page.ref_bit = true;
+        // Publish the translation so later soft faults on it skip the
+        // state mutex. Only non-COW, non-stub resident pages ever get
+        // here with the protection actually installed in the MMU.
+        self.fast.install(ctx, vpn, frame, prot);
     }
 
     /// Removes the mapping at (ctx, vpn), if any, and unthreads it from
@@ -370,6 +376,7 @@ impl PvmState {
         let Ok(desc) = self.ctx(ctx) else { return };
         let mmu_ctx = desc.mmu_ctx;
         if let Some(frame) = self.mmu.unmap(mmu_ctx, vpn) {
+            self.fast.remove(ctx, vpn);
             if let Some(&owner) = self.frame_owner.get(&frame.0) {
                 let page = self.page_mut(owner);
                 page.mappings.retain(|m| !(m.ctx == ctx && m.vpn == vpn));
@@ -381,6 +388,7 @@ impl PvmState {
     pub fn unmap_all(&mut self, key: PageKey) {
         let mappings = core::mem::take(&mut self.page_mut(key).mappings);
         for m in mappings {
+            self.fast.remove(m.ctx, m.vpn);
             if let Ok(desc) = self.ctx(m.ctx) {
                 let mmu_ctx = desc.mmu_ctx;
                 self.mmu.unmap(mmu_ctx, m.vpn);
@@ -395,6 +403,7 @@ impl PvmState {
         let (keep, drop): (Vec<Mapping>, Vec<Mapping>) =
             self.page(key).mappings.iter().partition(|m| m.via != via);
         for m in &drop {
+            self.fast.remove(m.ctx, m.vpn);
             if let Ok(desc) = self.ctx(m.ctx) {
                 let mmu_ctx = desc.mmu_ctx;
                 self.mmu.unmap(mmu_ctx, m.vpn);
@@ -411,6 +420,7 @@ impl PvmState {
         let (keep, drop): (Vec<Mapping>, Vec<Mapping>) =
             self.page(key).mappings.iter().partition(|m| m.via == owner);
         for m in &drop {
+            self.fast.remove(m.ctx, m.vpn);
             if let Ok(desc) = self.ctx(m.ctx) {
                 let mmu_ctx = desc.mmu_ctx;
                 self.mmu.unmap(mmu_ctx, m.vpn);
@@ -437,6 +447,10 @@ impl PvmState {
             };
             let mmu_ctx = self.ctx(m.ctx).expect("mapping into dead context").mmu_ctx;
             self.mmu.protect(mmu_ctx, m.vpn, eff);
+            // Refresh the fast-path entry to the narrowed protection so
+            // a revoked right cannot be satisfied lock-free.
+            let frame = self.page(key).frame;
+            self.fast.install(m.ctx, m.vpn, frame, eff);
         }
     }
 

@@ -46,4 +46,16 @@ pub struct PvmStats {
     /// Emergency eviction passes run when fault recovery hit
     /// `OutOfMemory`.
     pub emergency_pageouts: u64,
+    /// Faults resolved by the lock-free resident translation cache
+    /// without taking the state mutex.
+    pub fast_path_hits: u64,
+    /// Fast-path lookups that missed (stale generation, absent entry,
+    /// or insufficient protection) and fell through to the slow path.
+    pub fast_path_fallbacks: u64,
+    /// Global-map shard locks that were contended (the uncontended
+    /// try-lock missed and the caller blocked).
+    pub shard_contention: u64,
+    /// Full clock-hand sweeps completed while hunting an eviction
+    /// victim (each pass over the whole ring counts once).
+    pub clock_full_sweeps: u64,
 }
