@@ -107,24 +107,23 @@ fn main() {
         rows.push(run(per_mille, RetryPolicy::default(), "default"));
     }
     if emit_json {
-        let encoded: Vec<String> = rows
-            .iter()
-            .map(|r| {
-                format!(
-                    "{{\"fault_per_mille\":{},\"policy\":{},\"client_errors\":{},\
-                     \"mapper_retries\":{},\"retry_charges\":{},\"sim_ms\":{}}}",
-                    r.fault_per_mille,
-                    json::string(r.policy),
-                    r.client_errors,
-                    r.mapper_retries,
-                    r.retry_charges,
-                    json::number(r.sim_ms)
-                )
-            })
-            .collect();
+        let encoded = rows.iter().map(|r| {
+            json::Obj::new()
+                .int("fault_per_mille", u64::from(r.fault_per_mille))
+                .str("policy", r.policy)
+                .int("client_errors", r.client_errors)
+                .int("mapper_retries", r.mapper_retries)
+                .int("retry_charges", r.retry_charges)
+                .num("sim_ms", r.sim_ms)
+                .build()
+        });
         println!(
-            "{{\"ablation\":\"mapper_faults\",\"pages\":{PAGES},\"sweeps\":{SWEEPS},\"rows\":[{}]}}",
-            encoded.join(",")
+            "{}",
+            json::Obj::bench("ablation_mapper_faults")
+                .int("pages", PAGES)
+                .int("sweeps", SWEEPS)
+                .raw("rows", &json::array(encoded))
+                .build()
         );
         return;
     }

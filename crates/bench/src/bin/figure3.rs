@@ -7,7 +7,7 @@
 use chorus_gmi::testing::MemSegmentManager;
 use chorus_gmi::{CopyMode, Gmi};
 use chorus_hal::{CostParams, PageGeometry};
-use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use chorus_pvm::{Pvm, PvmConfig, PvmOptions, TraceConfig};
 use std::sync::Arc;
 
 const PAGE: u64 = PageGeometry::SUN3_PAGE_SIZE;
@@ -20,6 +20,8 @@ fn pvm() -> Arc<Pvm> {
             cost: CostParams::zero(),
             config: PvmConfig {
                 check_invariants: true,
+                // Figure output must be identical with tracing on.
+                trace: TraceConfig::from_env(),
                 ..PvmConfig::default()
             },
             ..PvmOptions::default()

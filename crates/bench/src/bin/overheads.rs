@@ -7,14 +7,19 @@
 //! - simple on-demand zero-fill cost per page (paper: ~0.27 ms),
 //! - the "order of 10%" overhead conclusions,
 //!
-//! plus one wall-clock micro-measurement outside the paper: the hasher
+//! plus two wall-clock micro-measurements outside the paper: the hasher
 //! used for the kernel's hot maps (in-repo FxHash vs the std SipHash
 //! default), justifying the `FxHashMap` switch in the global map,
-//! frame-owner index and fault-path translation cache.
+//! frame-owner index and fault-path translation cache; and the cost of
+//! the event tracer — tracing-off (one relaxed atomic load per trace
+//! point) and tracing-on (ring-buffer records + histograms) against the
+//! pre-tracer fault path, with the simulated clock checked identical in
+//! all three so only wall time can differ.
 //!
-//! Usage: `cargo run -p chorus-bench --bin overheads`
+//! Usage: `cargo run -p chorus-bench --bin overheads [--json]`
 
-use chorus_bench::{pvm_world, run_table6, run_table7};
+use chorus_bench::{json, pvm_world, pvm_world_traced, run_table6, run_table7};
+use chorus_pvm::TraceConfig;
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Instant;
@@ -39,7 +44,17 @@ fn hash_map_ns_per_op<H: std::hash::BuildHasher>(mut m: HashMap<(u32, u64), u64,
     t0.elapsed().as_secs_f64() * 1e9 / (2 * OPS) as f64
 }
 
+/// Wall-clock µs and simulated ns of one Table 6 pass under `trace`.
+fn trace_cost(trace: TraceConfig) -> (f64, u64) {
+    let world = pvm_world_traced(512, trace);
+    let t0 = Instant::now();
+    run_table6(&world, "trace probe");
+    let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+    (wall_us, world.model.now().nanos())
+}
+
 fn main() {
+    let emit_json = std::env::args().any(|a| a == "--json");
     let world = pvm_world(512);
     let t6 = run_table6(&world, "Chorus (PVM)");
     let t7 = run_table7(&world, "Chorus (PVM)");
@@ -52,35 +67,85 @@ fn main() {
     let bcopy = world.model.params().get(chorus_hal::OpKind::BcopyPage) as f64 / 1e6;
     let bzero = world.model.params().get(chorus_hal::OpKind::BzeroPage) as f64 / 1e6;
 
-    println!("Derived overheads (paper §5.3.2 formulas on regenerated tables)\n");
-    println!(
-        "primitives: bcopy(8K) = {bcopy:.2} ms, bzero(8K) = {bzero:.2} ms (paper: 1.40 / 0.87)\n"
-    );
-
     // Per-page protection overhead:
     // (copy of 128-page region, 0 copied  -  copy of 1-page region, 0 copied) / 127.
     let per_page_protect = (t7_cell(1024, 0) - t7_cell(8, 0)) / 127.0;
-    println!(
-        "per-page protection overhead of a deferred copy: {per_page_protect:.4} ms/page (paper ~0.02)"
-    );
 
     // History-tree management overhead:
     // 1-page copy init  -  1-page region create/destroy  -  per-page overhead.
     let tree_overhead = t7_cell(8, 0) - t6_cell(8, 0) - per_page_protect;
-    println!("history-tree management overhead: {tree_overhead:.4} ms (paper ~0.03)");
 
     // Copy-on-write fault overhead per page:
     // (deferred+real copy of 128 pages - deferred only) / 128 - bcopy.
     let cow_overhead = (t7_cell(1024, 128) - t7_cell(1024, 0)) / 128.0 - bcopy;
-    println!("copy-on-write overhead per page: {cow_overhead:.4} ms (paper ~0.31)");
 
     // Simple on-demand zero-fill cost per page:
     // (zero-fill 128 pages - create/destroy only) / 128 - bzero.
     let demand_zero = (t6_cell(1024, 128) - t6_cell(1024, 0)) / 128.0 - bzero;
+
+    let region_create = t6_cell(8, 0);
+
+    // Hot-map hasher choice (wall clock; not part of the simulated
+    // model). Warm each once, then measure.
+    hash_map_ns_per_op(HashMap::new());
+    hash_map_ns_per_op(chorus_hal::FxHashMap::default());
+    let sip = hash_map_ns_per_op(HashMap::new());
+    let fx = hash_map_ns_per_op(chorus_hal::FxHashMap::default());
+
+    // Tracer overhead (wall clock): one Table 6 pass with tracing off
+    // vs on, after a warm-up pass. The simulated clocks must agree bit
+    // for bit — a trace point may read but never advance the model.
+    trace_cost(TraceConfig::default());
+    let (wall_off, sim_off) = trace_cost(TraceConfig::default());
+    let (wall_on, sim_on) = trace_cost(TraceConfig {
+        enabled: true,
+        ..TraceConfig::default()
+    });
+    assert_eq!(
+        sim_off, sim_on,
+        "tracing perturbed the simulated clock — determinism rule broken"
+    );
+    let trace_on_pct = 100.0 * (wall_on - wall_off) / wall_off;
+
+    if emit_json {
+        println!(
+            "{}",
+            json::Obj::bench("overheads")
+                .num("bcopy_ms", bcopy)
+                .num("bzero_ms", bzero)
+                .num("per_page_protect_ms", per_page_protect)
+                .num("tree_overhead_ms", tree_overhead)
+                .num("cow_overhead_ms", cow_overhead)
+                .num("demand_zero_ms", demand_zero)
+                .num("tree_vs_region_create_pct", 100.0 * tree_overhead / region_create)
+                .num(
+                    "cow_vs_demand_zero_pct",
+                    100.0 * (cow_overhead - demand_zero) / demand_zero
+                )
+                .num("hasher_siphash_ns", sip)
+                .num("hasher_fxhash_ns", fx)
+                .num("trace_off_wall_us", wall_off)
+                .num("trace_on_wall_us", wall_on)
+                .num("trace_on_overhead_pct", trace_on_pct)
+                .int("trace_sim_ns", sim_on)
+                .bool("trace_sim_identical", sim_off == sim_on)
+                .build()
+        );
+        return;
+    }
+
+    println!("Derived overheads (paper §5.3.2 formulas on regenerated tables)\n");
+    println!(
+        "primitives: bcopy(8K) = {bcopy:.2} ms, bzero(8K) = {bzero:.2} ms (paper: 1.40 / 0.87)\n"
+    );
+    println!(
+        "per-page protection overhead of a deferred copy: {per_page_protect:.4} ms/page (paper ~0.02)"
+    );
+    println!("history-tree management overhead: {tree_overhead:.4} ms (paper ~0.03)");
+    println!("copy-on-write overhead per page: {cow_overhead:.4} ms (paper ~0.31)");
     println!("simple on-demand allocation overhead per page: {demand_zero:.4} ms (paper ~0.27)");
 
     // The paper's two "order of 10%" conclusions.
-    let region_create = t6_cell(8, 0);
     println!(
         "\ntree overhead / region creation = {:.1}% (paper: ~10%)",
         100.0 * tree_overhead / region_create
@@ -93,16 +158,14 @@ fn main() {
         "\nregion size independence: create/destroy of 1 page vs 128 pages differs by {:.1}% (paper: ~10%)",
         100.0 * (t6_cell(1024, 0) - t6_cell(8, 0)) / t6_cell(8, 0)
     );
-
-    // Hot-map hasher choice (wall clock; not part of the simulated
-    // model). Warm each once, then measure.
-    hash_map_ns_per_op(HashMap::new());
-    hash_map_ns_per_op(chorus_hal::FxHashMap::default());
-    let sip = hash_map_ns_per_op(HashMap::new());
-    let fx = hash_map_ns_per_op(chorus_hal::FxHashMap::default());
     println!(
         "\nhot-map hasher, (u32,u64) page keys, insert+lookup wall clock:\n\
          \u{20} std SipHash: {sip:.1} ns/op, in-repo FxHash: {fx:.1} ns/op ({:.2}x)",
         sip / fx
+    );
+    println!(
+        "\ntracer, one Table 6 pass (wall clock; simulated clock identical in both):\n\
+         \u{20} tracing off: {:.0} us, tracing on: {:.0} us ({:+.1}%)",
+        wall_off, wall_on, trace_on_pct
     );
 }

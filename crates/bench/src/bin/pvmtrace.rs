@@ -1,0 +1,188 @@
+//! Replays the paper's table/figure workloads with the event tracer at
+//! full verbosity and exports both trace artifacts:
+//!
+//! - `reports/pvmtrace.trace.json` — Trace Event Format JSON; load it
+//!   in chrome://tracing or https://ui.perfetto.dev,
+//! - `reports/pvmtrace.flame.txt` — plain-text flame summary plus the
+//!   per-phase latency histograms.
+//!
+//! Timestamps are the *simulated* cost-model clock (Sun-3/60 calibrated
+//! costs), so the timeline shows the modelled fault anatomy — and the
+//! run is deterministic: the same binary always produces byte-identical
+//! artifacts. The workload is single-threaded, so every event lands on
+//! one trace lane.
+//!
+//! Usage: `cargo run -p chorus-bench --bin pvmtrace [--json] [--out DIR]`
+
+use chorus_bench::{json, pvm_world_traced, PAGE};
+use chorus_gmi::{Gmi, Prot, VirtAddr};
+use chorus_pvm::{TraceConfig, TraceSink};
+use std::path::PathBuf;
+
+/// Table 6 anatomy: region create + demand-zero touches + destroy.
+fn replay_zero_fill(world: &chorus_bench::World<chorus_pvm::Pvm>) {
+    let tracer = world.gmi.tracer();
+    let _span = tracer.span("table6.zero-fill");
+    let base = VirtAddr(0x100_0000);
+    let ctx = world.gmi.context_create().expect("ctx");
+    let cache = world.gmi.cache_create(None).expect("cache");
+    let region = world
+        .gmi
+        .region_create(ctx, base, 32 * PAGE, Prot::RW, cache, 0)
+        .expect("region");
+    for p in 0..32 {
+        world
+            .gmi
+            .vm_write(ctx, VirtAddr(base.0 + p * PAGE), &[0xA5])
+            .expect("touch");
+    }
+    world.gmi.region_destroy(region).expect("destroy region");
+    world.gmi.cache_destroy(cache).expect("destroy cache");
+    world.gmi.context_destroy(ctx).expect("ctx destroy");
+}
+
+/// Table 7 / Figure 3 anatomy: deferred copy, then writes to the source
+/// forcing real copies through the history tree.
+fn replay_cow(world: &chorus_bench::World<chorus_pvm::Pvm>) {
+    let tracer = world.gmi.tracer();
+    let _span = tracer.span("table7.cow");
+    let src_base = VirtAddr(0x100_0000);
+    let cpy_base = VirtAddr(0x800_0000);
+    let ctx = world.gmi.context_create().expect("ctx");
+    let src = world.gmi.cache_create(None).expect("src cache");
+    world
+        .gmi
+        .region_create(ctx, src_base, 16 * PAGE, Prot::RW, src, 0)
+        .expect("src region");
+    for p in 0..16 {
+        world
+            .gmi
+            .vm_write(ctx, VirtAddr(src_base.0 + p * PAGE), &[p as u8])
+            .expect("prefill");
+    }
+    let cpy = world.gmi.cache_create(None).expect("cpy cache");
+    world
+        .gmi
+        .cache_copy(src, 0, cpy, 0, 16 * PAGE)
+        .expect("deferred copy");
+    let region = world
+        .gmi
+        .region_create(ctx, cpy_base, 16 * PAGE, Prot::RW, cpy, 0)
+        .expect("cpy region");
+    for p in 0..16 {
+        world
+            .gmi
+            .vm_write(ctx, VirtAddr(src_base.0 + p * PAGE), &[0xC0])
+            .expect("dirty source");
+    }
+    world.gmi.region_destroy(region).expect("destroy region");
+    world.gmi.cache_destroy(cpy).expect("destroy cpy");
+    world.gmi.context_destroy(ctx).expect("ctx destroy");
+}
+
+/// Memory-pressure anatomy: a working set larger than the frame pool,
+/// driving the clock hand (evictions, full sweeps), `pushOut` upcalls
+/// for dirty victims, then re-reads that `pullIn` evicted data back.
+fn replay_pressure(world: &chorus_bench::World<chorus_pvm::Pvm>) {
+    let tracer = world.gmi.tracer();
+    let _span = tracer.span("pressure.pull-push");
+    let base = VirtAddr(0x100_0000);
+    let ctx = world.gmi.context_create().expect("ctx");
+    let cache = world.gmi.cache_create(None).expect("cache");
+    let pages = 96u64;
+    world
+        .gmi
+        .region_create(ctx, base, pages * PAGE, Prot::RW, cache, 0)
+        .expect("region");
+    for p in 0..pages {
+        world
+            .gmi
+            .vm_write(ctx, VirtAddr(base.0 + p * PAGE), &[p as u8])
+            .expect("dirty");
+    }
+    // Re-read the head of the region: those pages were evicted and must
+    // come back through `pullIn`.
+    let mut b = [0u8; 1];
+    for p in 0..16 {
+        world
+            .gmi
+            .vm_read(ctx, VirtAddr(base.0 + p * PAGE), &mut b)
+            .expect("pull back");
+    }
+    world.gmi.context_destroy(ctx).expect("ctx destroy");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let emit_json = args.iter().any(|a| a == "--json");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("reports"));
+
+    // Full verbosity, simulated timestamps only (wall stamps would make
+    // the artifacts non-deterministic). 64 frames force eviction in the
+    // pressure phase while leaving tables 6/7 shaped workloads untouched.
+    let world = pvm_world_traced(
+        64,
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        },
+    );
+
+    replay_zero_fill(&world);
+    replay_cow(&world);
+    replay_pressure(&world);
+
+    let sink = TraceSink::capture(&world.gmi.tracer());
+    let chrome = sink.chrome_trace_json();
+    let flame = sink.flame_summary();
+
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let trace_path = out_dir.join("pvmtrace.trace.json");
+    let flame_path = out_dir.join("pvmtrace.flame.txt");
+    std::fs::write(&trace_path, &chrome).expect("write trace json");
+    std::fs::write(&flame_path, &flame).expect("write flame summary");
+
+    let stats = world.gmi.stats();
+    if emit_json {
+        println!(
+            "{}",
+            json::Obj::bench("pvmtrace")
+                .int("records", sink.records().len() as u64)
+                .int("dropped", sink.dropped())
+                .int("faults", stats.faults)
+                .int("pull_ins", stats.pull_ins)
+                .int("push_outs", stats.push_outs)
+                .int("evictions", stats.evictions)
+                .int("sim_ns", world.model.now().nanos())
+                .str("trace_json", &trace_path.display().to_string())
+                .str("flame_txt", &flame_path.display().to_string())
+                .build()
+        );
+        return;
+    }
+
+    println!("pvmtrace: deterministic trace of the table/figure workloads\n");
+    println!(
+        "  {} trace records ({} dropped), simulated time {:.3} ms",
+        sink.records().len(),
+        sink.dropped(),
+        world.model.now().nanos() as f64 / 1e6
+    );
+    println!(
+        "  faults={} zero_fills={} cow_copies={} pull_ins={} push_outs={} evictions={}",
+        stats.faults,
+        stats.zero_fills,
+        stats.cow_copies,
+        stats.pull_ins,
+        stats.push_outs,
+        stats.evictions
+    );
+    println!("\n  wrote {}", trace_path.display());
+    println!("  wrote {}\n", flame_path.display());
+    println!("{flame}");
+}

@@ -241,28 +241,26 @@ fn main() {
     }
 
     if emit_json {
-        let encoded: Vec<String> = rows
-            .iter()
-            .map(|r| {
-                format!(
-                    "{{\"workload\":{},\"fast_path\":{},\"threads\":{},\"ops\":{},\
-                     \"wall_ms\":{},\"faults_per_sec\":{},\"fast_path_hits\":{},\
-                     \"fast_path_fallbacks\":{},\"shard_contention\":{}}}",
-                    json::string(r.workload),
-                    r.fast_path,
-                    r.threads,
-                    r.ops,
-                    json::number(r.wall_ms),
-                    json::number(r.faults_per_sec),
-                    r.fast_path_hits,
-                    r.fast_path_fallbacks,
-                    r.shard_contention
-                )
-            })
-            .collect();
+        let encoded = rows.iter().map(|r| {
+            json::Obj::new()
+                .str("workload", r.workload)
+                .bool("fast_path", r.fast_path)
+                .int("threads", r.threads as u64)
+                .int("ops", r.ops)
+                .num("wall_ms", r.wall_ms)
+                .num("faults_per_sec", r.faults_per_sec)
+                .int("fast_path_hits", r.fast_path_hits)
+                .int("fast_path_fallbacks", r.fast_path_fallbacks)
+                .int("shard_contention", r.shard_contention)
+                .build()
+        });
         println!(
-            "{{\"bench\":\"scale_faults\",\"cores\":{cores},\"quick\":{quick},\"rows\":[{}]}}",
-            encoded.join(",")
+            "{}",
+            json::Obj::bench("scale_faults")
+                .int("cores", cores as u64)
+                .bool("quick", quick)
+                .raw("rows", &json::array(encoded))
+                .build()
         );
         return;
     }

@@ -4,19 +4,22 @@
 //!
 //! Usage: `cargo run -p chorus-bench --bin table6 [--json]`
 
-use chorus_bench::{paper, pvm_world, run_table6, shadow_world};
+use chorus_bench::{json, paper, pvm_world, run_table6, shadow_world};
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let emit_json = std::env::args().any(|a| a == "--json");
     let pvm = pvm_world(512);
     let chorus = run_table6(&pvm, "Chorus (PVM, history objects)");
     let shadow = shadow_world(512);
     let mach = run_table6(&shadow, "Mach-style (shadow objects)");
-    if json {
+    if emit_json {
         println!(
-            "{{\"table\":6,\"chorus\":{},\"mach_style\":{}}}",
-            chorus.to_json(),
-            mach.to_json()
+            "{}",
+            json::Obj::bench("table6")
+                .int("table", 6)
+                .raw("chorus", &chorus.to_json())
+                .raw("mach_style", &mach.to_json())
+                .build()
         );
         return;
     }

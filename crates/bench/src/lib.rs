@@ -14,7 +14,7 @@
 use chorus_gmi::testing::MemSegmentManager;
 use chorus_gmi::{CacheId, Gmi, Prot, VirtAddr};
 use chorus_hal::{CostModel, CostParams, PageGeometry};
-use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use chorus_pvm::{Pvm, PvmConfig, PvmOptions, TraceConfig};
 use chorus_shadow::{ShadowOptions, ShadowVm};
 use std::sync::Arc;
 
@@ -42,7 +42,17 @@ pub struct World<G: Gmi> {
 }
 
 /// Builds the PVM world on the calibrated cost model.
+///
+/// `CHORUS_TRACE=1` (or `wall`) turns tracing on in every bench world;
+/// tables and figures must stay bit-identical either way (the
+/// bit-identity check in scripts/verify.sh).
 pub fn pvm_world(frames: u32) -> World<Pvm> {
+    pvm_world_traced(frames, TraceConfig::from_env())
+}
+
+/// Builds the PVM world with an explicit trace configuration (the
+/// overheads bench measures tracing-on vs tracing-off directly).
+pub fn pvm_world_traced(frames: u32, trace: TraceConfig) -> World<Pvm> {
     let mgr = Arc::new(MemSegmentManager::new());
     let pvm = Arc::new(Pvm::new(
         PvmOptions {
@@ -51,6 +61,7 @@ pub fn pvm_world(frames: u32) -> World<Pvm> {
             cost: CostParams::sun3(),
             config: PvmConfig {
                 check_invariants: false,
+                trace,
                 ..PvmConfig::default()
             },
             ..PvmOptions::default()
@@ -199,6 +210,64 @@ pub mod json {
             format!("{v}")
         } else {
             "null".to_string()
+        }
+    }
+
+    /// Encodes a homogeneous array from already-encoded JSON values.
+    pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+        let items: Vec<String> = items.into_iter().collect();
+        format!("[{}]", items.join(","))
+    }
+
+    /// Incremental JSON object builder — the one `--json` serialization
+    /// path every bench binary shares. Field order is insertion order,
+    /// so output is deterministic.
+    #[derive(Default)]
+    pub struct Obj {
+        fields: Vec<String>,
+    }
+
+    impl Obj {
+        /// An empty object; usually seeded with [`Obj::bench`].
+        pub fn new() -> Obj {
+            Obj::default()
+        }
+
+        /// The standard envelope: `{"bench":"<name>",...}`.
+        pub fn bench(name: &str) -> Obj {
+            Obj::new().str("bench", name)
+        }
+
+        /// Adds a string field.
+        pub fn str(self, key: &str, value: &str) -> Obj {
+            self.raw(key, &string(value))
+        }
+
+        /// Adds a float field.
+        pub fn num(self, key: &str, value: f64) -> Obj {
+            self.raw(key, &number(value))
+        }
+
+        /// Adds an integer field.
+        pub fn int(self, key: &str, value: u64) -> Obj {
+            self.raw(key, &value.to_string())
+        }
+
+        /// Adds a boolean field.
+        pub fn bool(self, key: &str, value: bool) -> Obj {
+            self.raw(key, if value { "true" } else { "false" })
+        }
+
+        /// Adds a field whose value is already-encoded JSON (an array,
+        /// a nested object, `null`).
+        pub fn raw(mut self, key: &str, encoded: &str) -> Obj {
+            self.fields.push(format!("{}:{}", string(key), encoded));
+            self
+        }
+
+        /// Finishes the object.
+        pub fn build(self) -> String {
+            format!("{{{}}}", self.fields.join(","))
         }
     }
 }

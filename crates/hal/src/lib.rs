@@ -15,6 +15,7 @@
 
 pub mod addr;
 pub mod arena;
+pub mod clock;
 #[cfg(test)]
 pub(crate) mod conformance;
 pub mod cost;
@@ -27,6 +28,7 @@ pub mod two_level;
 
 pub use addr::{PageGeometry, PhysAddr, VirtAddr, Vpn};
 pub use arena::{Arena, Id};
+pub use clock::{TraceClock, TraceStamp};
 pub use cost::{CostModel, CostParams, OpKind, SimTime};
 pub use frame::{FrameNo, MemStats, PhysicalMemory};
 pub use fx::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

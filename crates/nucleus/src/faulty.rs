@@ -16,6 +16,8 @@ use crate::capability::Capability;
 use crate::mapper::Mapper;
 use chorus_gmi::{GmiError, Result, SegmentId};
 use chorus_hal::CostModel;
+use chorus_pvm::trace::{InjectedKind, TraceEvent};
+use chorus_pvm::Tracer;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -112,6 +114,10 @@ pub struct FaultyMapper {
     log: Mutex<Vec<InjectedFault>>,
     /// When set, delays advance this simulated clock.
     clock: Mutex<Option<Arc<CostModel>>>,
+    /// When set, every injected fault is also recorded as a
+    /// [`TraceEvent::MapperFaultInjected`] so trace timelines correlate
+    /// injected failures with the retries/timeouts they cause.
+    tracer: Mutex<Option<Arc<Tracer>>>,
 }
 
 impl FaultyMapper {
@@ -125,12 +131,19 @@ impl FaultyMapper {
             dead: AtomicBool::new(false),
             log: Mutex::new(Vec::new()),
             clock: Mutex::new(None),
+            tracer: Mutex::new(None),
         }
     }
 
     /// Attaches the simulated clock that injected delays advance.
     pub fn attach_clock(&self, clock: Arc<CostModel>) {
         *self.clock.lock() = Some(clock);
+    }
+
+    /// Attaches the PVM tracer so injected faults appear on the trace
+    /// timeline (as `mapper.inject` instants).
+    pub fn attach_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.lock() = Some(tracer);
     }
 
     /// Replaces the fault plan at runtime and revives a dead mapper —
@@ -153,6 +166,16 @@ impl FaultyMapper {
     }
 
     fn record(&self, fault: InjectedFault) {
+        if let Some(t) = self.tracer.lock().clone() {
+            let kind = match fault {
+                InjectedFault::Transient => InjectedKind::Transient,
+                InjectedFault::Permanent => InjectedKind::Permanent,
+                InjectedFault::Delay(_) => InjectedKind::Delay,
+                InjectedFault::Truncated(_) => InjectedKind::Truncated,
+                InjectedFault::Crash => InjectedKind::Crash,
+            };
+            t.event(|| TraceEvent::MapperFaultInjected { kind });
+        }
         self.log.lock().push(fault);
     }
 

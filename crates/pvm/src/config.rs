@@ -1,5 +1,6 @@
 //! PVM tunables.
 
+use crate::trace::TraceConfig;
 use chorus_gmi::RetryPolicy;
 
 /// Configuration of a [`crate::Pvm`] instance.
@@ -49,6 +50,11 @@ pub struct PvmConfig {
     /// two). Independent caches hash to different stripes and never
     /// contend on one mutex.
     pub global_map_shards: usize,
+    /// Event tracing (see [`crate::trace`]). Disabled by default; when
+    /// disabled every trace point is one relaxed atomic load, and when
+    /// enabled the simulated clock is untouched, so the evaluation
+    /// tables are bit-identical either way.
+    pub trace: TraceConfig,
 }
 
 impl Default for PvmConfig {
@@ -64,6 +70,7 @@ impl Default for PvmConfig {
             emergency_pageout: true,
             fast_path: true,
             global_map_shards: 16,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -86,5 +93,7 @@ mod tests {
         assert!(c.fast_path, "soft-fault fast path is on by default");
         assert_eq!(c.global_map_shards, 16);
         assert!(c.global_map_shards.is_power_of_two());
+        assert!(!c.trace.enabled, "tracing is opt-in");
+        assert!(!c.trace.wall_clock, "wall stamps are opt-in");
     }
 }

@@ -11,6 +11,7 @@ use crate::descriptors::{CacheDesc, Slot};
 use crate::keys::CacheKey;
 use crate::resolve::Version;
 use crate::state::{blocked, done, Attempt, Blocked, PvmState};
+use crate::stats::Counter;
 use chorus_gmi::{CopyMode, GmiError, Result, SegmentId};
 use chorus_hal::{Access, OpKind};
 
@@ -175,7 +176,7 @@ impl PvmState {
                 self.page_mut(p).writable = writable;
                 self.set_slot(dst, dstoff, Slot::Present(p));
                 self.cache_mut(dst)?.owned.insert(dstoff);
-                self.stats.moved_frames += 1;
+                self.stats.bump(Counter::MovedFrames);
             } else {
                 // Not stealable: install a per-page stub instead.
                 match self.per_page_copy_attempt(src, so, dst, dstoff, ps)? {
@@ -311,14 +312,14 @@ impl PvmState {
                     Version::Page(p) => {
                         let src = self.page(p).frame;
                         self.phys.copy_frame(src, frame);
-                        self.stats.cow_copies += 1;
+                        self.stats.bump(Counter::CowCopies);
                         // Stale read mappings established through this
                         // cache must re-fault onto the new own page.
                         self.unmap_via(p, cache);
                     }
                     Version::Zero => {
                         self.phys.zero(frame);
-                        self.stats.zero_fills += 1;
+                        self.stats.bump(Counter::ZeroFills);
                     }
                 }
                 if let Some(Slot::Cow(src)) = other {

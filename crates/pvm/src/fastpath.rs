@@ -27,9 +27,11 @@
 //! issue, because eviction itself bumps the generation.
 
 use crate::keys::CtxKey;
+use crate::stats::{Counter, StatsRegistry};
 use chorus_hal::{Access, FrameNo, FxHashMap, Prot, Vpn};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of read-mostly shards (fixed; keyed by (ctx, vpn) hash).
 const SHARDS: usize = 16;
@@ -54,20 +56,21 @@ pub(crate) struct TranslationCache {
     shards: Box<[FastShard]>,
     /// Current generation; entries from older generations are dead.
     generation: AtomicU64,
-    hits: AtomicU64,
-    fallbacks: AtomicU64,
+    /// Shared counter registry: hit/fallback counts land in the same
+    /// atomic cells every other PVM counter lives in, so the snapshot
+    /// never has to fold divergent copies.
+    stats: Arc<StatsRegistry>,
 }
 
 impl TranslationCache {
-    pub fn new(enabled: bool) -> TranslationCache {
+    pub fn new(enabled: bool, stats: Arc<StatsRegistry>) -> TranslationCache {
         TranslationCache {
             enabled: AtomicBool::new(enabled),
             shards: (0..SHARDS)
                 .map(|_| RwLock::new(FxHashMap::default()))
                 .collect(),
             generation: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            fallbacks: AtomicU64::new(0),
+            stats,
         }
     }
 
@@ -99,9 +102,9 @@ impl TranslationCache {
             .get(&key)
             .is_some_and(|e| e.gen == gen && e.prot.allows(access, false));
         if hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.bump(Counter::FastPathHits);
         } else {
-            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.stats.bump(Counter::FastPathFallbacks);
         }
         hit
     }
@@ -143,17 +146,14 @@ impl TranslationCache {
         }
     }
 
+    #[cfg(test)]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.stats.get(Counter::FastPathHits)
     }
 
+    #[cfg(test)]
     pub fn fallbacks(&self) -> u64 {
-        self.fallbacks.load(Ordering::Relaxed)
-    }
-
-    pub fn reset_counters(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.fallbacks.store(0, Ordering::Relaxed);
+        self.stats.get(Counter::FastPathFallbacks)
     }
 
     /// Copies out every *current-generation* entry (for the invariant
@@ -182,9 +182,13 @@ mod tests {
         Id::from_raw_parts(i, 1)
     }
 
+    fn cache(enabled: bool) -> TranslationCache {
+        TranslationCache::new(enabled, Arc::new(StatsRegistry::new()))
+    }
+
     #[test]
     fn hit_requires_matching_generation_and_protection() {
-        let c = TranslationCache::new(true);
+        let c = cache(true);
         c.install(ctx(1), Vpn(4), FrameNo(9), Prot::READ);
         assert!(c.lookup(ctx(1), Vpn(4), Access::Read));
         assert!(
@@ -202,12 +206,12 @@ mod tests {
 
     #[test]
     fn precise_remove_and_disabled_mode() {
-        let c = TranslationCache::new(true);
+        let c = cache(true);
         c.install(ctx(2), Vpn(7), FrameNo(1), Prot::RW);
         c.remove(ctx(2), Vpn(7));
         assert!(!c.lookup(ctx(2), Vpn(7), Access::Read));
 
-        let off = TranslationCache::new(false);
+        let off = cache(false);
         off.install(ctx(2), Vpn(7), FrameNo(1), Prot::RW);
         assert!(!off.lookup(ctx(2), Vpn(7), Access::Read));
         assert_eq!(off.fallbacks(), 0, "disabled mode counts nothing");

@@ -12,13 +12,21 @@ use crate::descriptors::{CowSource, RegionDesc, Slot};
 use crate::keys::{CtxKey, PageKey};
 use crate::resolve::Version;
 use crate::state::{blocked, done, Attempt, PvmState};
+use crate::stats::Counter;
+use crate::trace::{Resolution, TraceEvent};
 use chorus_gmi::{GmiError, Result};
 use chorus_hal::{Access, FrameNo, Prot, VirtAddr};
 
 impl PvmState {
     /// One locked attempt at resolving a fault; the driver in `pvm.rs`
-    /// retries after performing any blocked action.
-    pub fn fault_attempt(&mut self, ctx: CtxKey, va: VirtAddr, access: Access) -> Attempt<()> {
+    /// retries after performing any blocked action. Returns how the
+    /// fault was resolved (recorded by the tracer at fault exit).
+    pub fn fault_attempt(
+        &mut self,
+        ctx: CtxKey,
+        va: VirtAddr,
+        access: Access,
+    ) -> Attempt<Resolution> {
         // Region lookup ("the PVM searches in its list of region
         // descriptors for the region containing the fault address").
         let reg_key = self
@@ -55,10 +63,14 @@ impl PvmState {
                     }
                 }
                 self.map_for_access(p, ctx, vpn, &region, access);
-                done(())
+                done(Resolution::Resident)
             }
             Some(Slot::Sync) => {
-                self.stats.stub_waits += 1;
+                self.stats.bump(Counter::StubWaits);
+                self.trace.event(|| TraceEvent::StubWait {
+                    cache: cache.index(),
+                    offset: off,
+                });
                 blocked(crate::state::Blocked::WaitStub)
             }
             Some(Slot::Cow(src)) => {
@@ -77,7 +89,7 @@ impl PvmState {
         off: u64,
         src: CowSource,
         access: Access,
-    ) -> Attempt<()> {
+    ) -> Attempt<Resolution> {
         let cache = region.cache;
         // Locate the source value.
         let version = match src {
@@ -95,7 +107,7 @@ impl PvmState {
                     // any cache to which it was copied."
                     let prot = region.prot.remove(Prot::WRITE);
                     self.map_page(p, ctx, vpn, prot, cache);
-                    done(())
+                    done(Resolution::SharedRead)
                 }
                 Version::Zero => {
                     // Materialize the (zero) value as an own page.
@@ -121,7 +133,7 @@ impl PvmState {
         region: &RegionDesc,
         off: u64,
         access: Access,
-    ) -> Attempt<()> {
+    ) -> Attempt<Resolution> {
         let cache = region.cache;
         let version = match self.resolve_version(cache, off, access)? {
             crate::state::Outcome::Done(v) => v,
@@ -134,7 +146,7 @@ impl PvmState {
                 // read-only through this cache.
                 let prot = region.prot.remove(Prot::WRITE);
                 self.map_page(p, ctx, vpn, prot, cache);
-                done(())
+                done(Resolution::SharedRead)
             }
             version => {
                 // Write violation in the copy, or copy-on-reference, or
@@ -147,7 +159,8 @@ impl PvmState {
     /// Allocates an own page for (cache, off) holding the *original*
     /// value given by `version`, replaces any stub, applies the history
     /// write-violation algorithm if the access is a write, and maps the
-    /// page.
+    /// page. Resolves as [`Resolution::CowCopy`] or
+    /// [`Resolution::ZeroFill`] depending on the source version.
     #[allow(clippy::too_many_arguments)]
     fn materialize_own(
         &mut self,
@@ -158,7 +171,7 @@ impl PvmState {
         version: Version,
         access: Access,
         replaced_stub: Option<CowSource>,
-    ) -> Attempt<()> {
+    ) -> Attempt<Resolution> {
         let cache = region.cache;
         // Pin the resolved source page across the allocation so the
         // inline eviction cannot reclaim it.
@@ -172,22 +185,22 @@ impl PvmState {
         };
         // After a blocked alloc the whole attempt reruns, so `version`
         // is re-resolved; here we hold the lock continuously.
-        let dirty = match version {
+        let (dirty, resolution) = match version {
             Version::Page(p) => {
                 let src_frame = self.page(p).frame;
                 self.fill_from(src_frame, frame);
-                self.stats.cow_copies += 1;
+                self.stats.bump(Counter::CowCopies);
                 // Readers that mapped the old version *through this
                 // cache* must re-fault onto the new own page.
                 self.unmap_via(p, cache);
-                true
+                (true, Resolution::CowCopy)
             }
             Version::Zero => {
                 self.phys.zero(frame);
-                self.stats.zero_fills += 1;
+                self.stats.bump(Counter::ZeroFills);
                 // A demand-zero page is re-derivable; it only needs
                 // writeback once actually written.
-                access == Access::Write
+                (access == Access::Write, Resolution::ZeroFill)
             }
         };
         // Unthread the replaced per-page stub from its source.
@@ -205,7 +218,7 @@ impl PvmState {
             }
         }
         self.map_for_access(page, ctx, vpn, region, access);
-        done(())
+        done(resolution)
     }
 
     fn fill_from(&mut self, src: FrameNo, dst: FrameNo) {
@@ -262,12 +275,12 @@ impl PvmState {
         };
         if writable_region {
             match self.fault_attempt(ctx, va, Access::Write)? {
-                crate::state::Outcome::Done(()) => {}
+                crate::state::Outcome::Done(_) => {}
                 crate::state::Outcome::Blocked(b) => return blocked(b),
             }
         } else if owns_it {
             match self.fault_attempt(ctx, va, Access::Read)? {
-                crate::state::Outcome::Done(()) => {}
+                crate::state::Outcome::Done(_) => {}
                 crate::state::Outcome::Blocked(b) => return blocked(b),
             }
         } else {
@@ -278,7 +291,7 @@ impl PvmState {
             };
             let vpn = self.geom.vpn(va);
             match self.materialize_own(ctx, vpn, &region, off, version, Access::Read, None)? {
-                crate::state::Outcome::Done(()) => {}
+                crate::state::Outcome::Done(_) => {}
                 crate::state::Outcome::Blocked(b) => return blocked(b),
             }
         }

@@ -24,9 +24,10 @@ use crate::keys::CacheKey;
 /// One stub list keyed by its source location, as copied out by
 /// [`GlobalMap::loc_stubs_snapshot`].
 type LocStubEntry = ((CacheKey, u64), Vec<(CacheKey, u64)>);
+use crate::stats::{Counter, StatsRegistry};
 use chorus_hal::{fx_hash_one, FxHashMap};
 use parking_lot::{Mutex, MutexGuard};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One lock stripe: a slice of the slot table plus the location stubs
 /// whose *source* (cache, offset) hashes here.
@@ -40,20 +41,21 @@ struct Shard {
 pub(crate) struct GlobalMap {
     shards: Box<[Mutex<Shard>]>,
     mask: u64,
-    /// Times a shard lock was contended (try_lock failed and the caller
-    /// had to block). Exposed as `PvmStats::shard_contention`.
-    contention: AtomicU64,
+    /// Shared counter registry; contended shard-lock acquisitions bump
+    /// `Counter::ShardContention` (exposed as
+    /// `PvmStats::shard_contention`).
+    stats: Arc<StatsRegistry>,
 }
 
 impl GlobalMap {
     /// Creates a map with `shards` stripes, rounded up to a power of two
     /// (and at least 1) so shard selection is a mask.
-    pub fn new(shards: usize) -> GlobalMap {
+    pub fn new(shards: usize, stats: Arc<StatsRegistry>) -> GlobalMap {
         let n = shards.max(1).next_power_of_two();
         GlobalMap {
             shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
             mask: (n - 1) as u64,
-            contention: AtomicU64::new(0),
+            stats,
         }
     }
 
@@ -61,16 +63,6 @@ impl GlobalMap {
     #[cfg(test)]
     pub fn shard_count(&self) -> usize {
         self.shards.len()
-    }
-
-    /// Contended shard-lock acquisitions so far.
-    pub fn contention(&self) -> u64 {
-        self.contention.load(Ordering::Relaxed)
-    }
-
-    /// Resets the contention counter.
-    pub fn reset_contention(&self) {
-        self.contention.store(0, Ordering::Relaxed);
     }
 
     #[inline]
@@ -85,7 +77,7 @@ impl GlobalMap {
         match m.try_lock() {
             Some(g) => g,
             None => {
-                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.stats.bump(Counter::ShardContention);
                 m.lock()
             }
         }
@@ -219,16 +211,20 @@ mod tests {
         (0..n).map(|i| Id::from_raw_parts(i, 1)).collect()
     }
 
+    fn map(shards: usize) -> GlobalMap {
+        GlobalMap::new(shards, Arc::new(StatsRegistry::new()))
+    }
+
     #[test]
     fn shard_count_rounds_to_power_of_two() {
-        assert_eq!(GlobalMap::new(0).shard_count(), 1);
-        assert_eq!(GlobalMap::new(5).shard_count(), 8);
-        assert_eq!(GlobalMap::new(16).shard_count(), 16);
+        assert_eq!(map(0).shard_count(), 1);
+        assert_eq!(map(5).shard_count(), 8);
+        assert_eq!(map(16).shard_count(), 16);
     }
 
     #[test]
     fn slots_roundtrip_across_shards() {
-        let m = GlobalMap::new(8);
+        let m = map(8);
         let ks = keys(3);
         for (i, &c) in ks.iter().enumerate() {
             for o in 0..64u64 {
@@ -247,7 +243,7 @@ mod tests {
 
     #[test]
     fn loc_stub_threading() {
-        let m = GlobalMap::new(4);
+        let m = map(4);
         let ks = keys(2);
         let (src, dst) = (ks[0], ks[1]);
         m.push_loc_stub(src, 0, (dst, 8192));

@@ -26,6 +26,8 @@
 use crate::descriptors::{CowSource, ParentFragment, Slot};
 use crate::keys::{CacheKey, PageKey};
 use crate::state::{blocked, done, Attempt, Blocked, PvmState, StubsTo};
+use crate::stats::Counter;
+use crate::trace::TraceEvent;
 use chorus_gmi::{GmiError, Result};
 use chorus_hal::OpKind;
 
@@ -188,7 +190,7 @@ impl PvmState {
                 } else {
                     // Insert a fresh working object between p and h.
                     let w = self.create_internal_cache();
-                    self.stats.working_objects += 1;
+                    self.stats.bump(Counter::WorkingObjects);
                     self.charge(OpKind::ObjectCreate);
                     self.charge(OpKind::HistoryOp);
                     self.add_parent_fragment(
@@ -282,7 +284,7 @@ impl PvmState {
                 // (zombie) only once fully linked, so no cascade can
                 // reclaim it mid-construction.
                 let w = self.create_internal_cache();
-                self.stats.working_objects += 1;
+                self.stats.bump(Counter::WorkingObjects);
                 self.charge(OpKind::ObjectCreate);
                 self.charge(OpKind::HistoryOp);
                 // w relays all of src.
@@ -585,7 +587,11 @@ impl PvmState {
             self.phys.copy_frame(src_frame, frame);
             let writable = !self.has_history_covering(h, h_off);
             self.create_page(h, h_off, frame, writable, true);
-            self.stats.history_pushes += 1;
+            self.stats.bump(Counter::HistoryPushes);
+            self.trace.event(|| TraceEvent::HistoryPush {
+                cache: h.index(),
+                offset: h_off,
+            });
             self.charge(OpKind::HistoryOp);
         }
         done(())
@@ -628,7 +634,7 @@ impl PvmState {
                 crate::state::Outcome::Blocked(b) => return blocked(b),
             }
             self.page_mut(page).writable = true;
-            self.stats.promotes += 1;
+            self.stats.bump(Counter::Promotes);
         }
         // Descendants reading the old value through this frame must
         // re-fault and find the preserved original.
@@ -659,7 +665,7 @@ impl PvmState {
         for (dc, doff) in stubs {
             self.set_slot(dc, doff, Slot::Cow(CowSource::Page(new_page)));
         }
-        self.stats.cow_copies += 1;
+        self.stats.bump(Counter::CowCopies);
         done(())
     }
 
@@ -690,7 +696,7 @@ impl PvmState {
         for (dc, doff) in remaining {
             self.set_slot(dc, doff, Slot::Cow(CowSource::Page(page)));
         }
-        self.stats.moved_frames += 1;
+        self.stats.bump(Counter::MovedFrames);
     }
 
     /// Unthreads one per-page stub from its source bookkeeping.
@@ -988,7 +994,7 @@ impl PvmState {
             .unwrap_or(true));
         self.charge(OpKind::ObjectDestroy);
         self.caches.remove(zombie);
-        self.stats.zombie_merges += 1;
+        self.stats.bump(Counter::ZombieMerges);
         self.check_invariants_if_enabled();
     }
 }

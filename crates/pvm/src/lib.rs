@@ -43,8 +43,10 @@ mod regions;
 mod resolve;
 mod state;
 mod stats;
+pub mod trace;
 
 pub use config::PvmConfig;
 pub use debug::{CacheDump, SlotDump, TreeDump};
 pub use pvm::{MmuChoice, Pvm, PvmOptions};
-pub use stats::PvmStats;
+pub use stats::{Counter, PvmStats, StatsRegistry};
+pub use trace::{TraceConfig, TraceSink, Tracer};

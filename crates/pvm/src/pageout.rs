@@ -11,6 +11,8 @@
 use crate::descriptors::Slot;
 use crate::keys::PageKey;
 use crate::state::{blocked, done, Attempt, Blocked, PvmState, StubsTo};
+use crate::stats::Counter;
+use crate::trace::TraceEvent;
 use chorus_gmi::GmiError;
 use chorus_hal::{FrameNo, OpKind, Prot};
 
@@ -88,10 +90,15 @@ impl PvmState {
             {
                 continue;
             }
-            self.stats.clock_full_sweeps += (step / n) as u64;
+            let sweeps = (step / n) as u64;
+            self.stats.add(Counter::ClockFullSweeps, sweeps);
+            if sweeps > 0 {
+                self.trace.event(|| TraceEvent::ClockSweep { sweeps });
+            }
             return Some(key);
         }
-        self.stats.clock_full_sweeps += 2;
+        self.stats.add(Counter::ClockFullSweeps, 2);
+        self.trace.event(|| TraceEvent::ClockSweep { sweeps: 2 });
         None
     }
 
@@ -122,7 +129,7 @@ impl PvmState {
             freed += 1;
         }
         if freed > 0 {
-            self.stats.emergency_pageouts += 1;
+            self.stats.bump(Counter::EmergencyPageouts);
         }
         freed
     }
@@ -182,7 +189,7 @@ impl PvmState {
                 // Make it an immediate eviction candidate.
                 p.ref_bit = false;
             }
-            self.stats.push_outs += success as u64;
+            self.stats.add(Counter::PushOuts, success as u64);
         }
     }
 
@@ -191,7 +198,11 @@ impl PvmState {
     /// the frame.
     pub fn evict(&mut self, victim: PageKey) {
         debug_assert!(!self.page(victim).dirty, "evicting a dirty page");
-        self.stats.evictions += 1;
+        self.stats.bump(Counter::Evictions);
+        self.trace.event(|| TraceEvent::Eviction {
+            cache: self.page(victim).cache.index(),
+            offset: self.page(victim).offset,
+        });
         self.charge(OpKind::UnmapPage);
         self.free_page(victim, StubsTo::Loc, true);
     }

@@ -13,6 +13,7 @@
 use crate::descriptors::{CowSource, Slot};
 use crate::keys::CacheKey;
 use crate::state::{blocked, done, Attempt, Blocked, PvmState};
+use crate::stats::Counter;
 use chorus_gmi::Result;
 use chorus_hal::OpKind;
 
@@ -103,7 +104,7 @@ impl PvmState {
                     self.set_slot(dst, dstoff, Slot::Cow(CowSource::Zero));
                 }
             }
-            self.stats.cow_stubs_created += 1;
+            self.stats.bump(Counter::CowStubsCreated);
         }
         done(())
     }

@@ -14,7 +14,8 @@ use crate::config::PvmConfig;
 use crate::descriptors::Slot;
 use crate::keys::{cache_key, ctx_key, pub_cache, pub_ctx, pub_region, region_key};
 use crate::state::{Attempt, Blocked, Outcome, PvmState};
-use crate::stats::PvmStats;
+use crate::stats::{Counter, PvmStats, StatsRegistry};
+use crate::trace::{Phase, Resolution, TraceEvent, Tracer, UpcallKind, UpcallOutcome};
 use chorus_gmi::{
     Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, RegionId,
     RegionStatus, Result, SegmentId, SegmentManager, VirtAddr,
@@ -73,6 +74,11 @@ pub struct Pvm {
     /// `handle_fault` consults it *before* the mutex, the state updates
     /// it at every mapping install/revoke.
     fast: Arc<crate::fastpath::TranslationCache>,
+    /// The counter registry, shared with the state, the translation
+    /// cache and the global map; snapshots never take the lock.
+    stats: Arc<StatsRegistry>,
+    /// The event tracer (see [`crate::trace`]), shared with the state.
+    trace: Arc<Tracer>,
 }
 
 impl Pvm {
@@ -92,6 +98,8 @@ impl Pvm {
             options.config,
         );
         let fast = state.fast.clone();
+        let stats = state.stats.clone();
+        let trace = state.trace.clone();
         Pvm {
             state: Mutex::new(state),
             stub_cv: Condvar::new(),
@@ -99,6 +107,8 @@ impl Pvm {
             model,
             geom: options.geometry,
             fast,
+            stats,
+            trace,
         }
     }
 
@@ -107,25 +117,28 @@ impl Pvm {
         self.model.clone()
     }
 
-    /// Snapshot of the PVM event counters, folding in the lock-free
-    /// fast-path and shard-contention counters kept in atomics.
+    /// Snapshot of the PVM event counters. Every counter — including
+    /// the lock-free fast-path and shard-contention cells — lives in
+    /// one atomic registry, so this never takes the state lock.
     pub fn stats(&self) -> PvmStats {
-        let guard = self.state.lock();
-        let mut s = guard.stats;
-        s.fast_path_hits = self.fast.hits();
-        s.fast_path_fallbacks = self.fast.fallbacks();
-        s.shard_contention = guard.gmap.contention();
-        // A fast-path hit IS a handled fault; the slow path never saw it.
-        s.faults += s.fast_path_hits;
-        s
+        self.stats.snapshot()
     }
 
-    /// Resets the PVM event counters (the cost model has its own reset).
+    /// The live counter registry shared by every counting site.
+    pub fn stats_registry(&self) -> Arc<StatsRegistry> {
+        self.stats.clone()
+    }
+
+    /// The event tracer (disabled unless `PvmConfig::trace` enables it).
+    pub fn tracer(&self) -> Arc<Tracer> {
+        self.trace.clone()
+    }
+
+    /// Resets the PVM event counters and the tracer's rings and
+    /// histograms (the cost model has its own reset).
     pub fn reset_stats(&self) {
-        let mut guard = self.state.lock();
-        guard.stats = PvmStats::default();
-        guard.gmap.reset_contention();
-        self.fast.reset_counters();
+        self.stats.reset();
+        self.trace.reset();
     }
 
     /// Number of live cache descriptors (including zombies and working
@@ -241,7 +254,12 @@ impl Pvm {
             Blocked::WaitStub => {
                 // Bounded wait: progress is re-checked on every wakeup,
                 // and the timeout guards against lost notifications.
+                let t0 = self.trace.phase_start();
+                let span = self.trace.span("stub.sleep");
                 let _ = self.stub_cv.wait_for(&mut guard, Duration::from_millis(50));
+                drop(span);
+                self.trace.phase_end(Phase::StubWait, t0);
+                self.trace.event(|| TraceEvent::StubWake);
                 Ok(guard)
             }
             Blocked::PullIn {
@@ -253,12 +271,25 @@ impl Pvm {
             } => {
                 let policy = guard.config.retry;
                 drop(guard);
+                let t0 = self.trace.phase_start();
+                self.trace.event(|| TraceEvent::UpcallStart {
+                    kind: UpcallKind::PullIn,
+                    segment: segment.0,
+                    offset,
+                    size,
+                });
                 let (res, retries) = self.upcall_with_retry(segment, policy, || {
                     self.seg_mgr
                         .pull_in(self, pub_cache(cache), segment, offset, size, access)
                 });
+                self.trace.event(|| TraceEvent::UpcallEnd {
+                    kind: UpcallKind::PullIn,
+                    outcome: upcall_outcome(&res),
+                    retries,
+                });
+                self.trace.phase_end(Phase::PullIn, t0);
                 let mut guard = self.state.lock();
-                guard.stats.mapper_retries += retries;
+                guard.stats.add(Counter::MapperRetries, retries);
                 let ps = guard.ps();
                 // Clear any stub of the pulled range the mapper left
                 // unfilled — on failure this is also the waiter cleanup:
@@ -273,7 +304,7 @@ impl Pvm {
                 }
                 match res {
                     Ok(()) => {
-                        guard.stats.pull_ins += 1;
+                        guard.stats.bump(Counter::PullIns);
                         // One mapper round trip plus per-page transfer.
                         guard.charge(chorus_hal::OpKind::IpcOp);
                         guard.charge_n(chorus_hal::OpKind::SegmentIoPage, size / ps);
@@ -295,7 +326,7 @@ impl Pvm {
                     }
                     Err(e) => {
                         if matches!(e, GmiError::MapperTimeout { .. }) {
-                            guard.stats.mapper_timeouts += 1;
+                            guard.stats.bump(Counter::MapperTimeouts);
                         }
                         if !e.is_transient() {
                             guard.quarantine_cache(cache);
@@ -315,12 +346,25 @@ impl Pvm {
             } => {
                 let policy = guard.config.retry;
                 drop(guard);
+                let t0 = self.trace.phase_start();
+                self.trace.event(|| TraceEvent::UpcallStart {
+                    kind: UpcallKind::PushOut,
+                    segment: segment.0,
+                    offset,
+                    size,
+                });
                 let (res, retries) = self.upcall_with_retry(segment, policy, || {
                     self.seg_mgr
                         .push_out(self, pub_cache(cache), segment, offset, size)
                 });
+                self.trace.event(|| TraceEvent::UpcallEnd {
+                    kind: UpcallKind::PushOut,
+                    outcome: upcall_outcome(&res),
+                    retries,
+                });
+                self.trace.phase_end(Phase::PushOut, t0);
                 let mut guard = self.state.lock();
-                guard.stats.mapper_retries += retries;
+                guard.stats.add(Counter::MapperRetries, retries);
                 if res.is_ok() {
                     guard.charge(chorus_hal::OpKind::IpcOp);
                     guard.charge_n(chorus_hal::OpKind::SegmentIoPage, size / guard.ps());
@@ -331,7 +375,7 @@ impl Pvm {
                 guard.finish_clean(page, res.is_ok());
                 if let Err(e) = res {
                     if matches!(e, GmiError::MapperTimeout { .. }) {
-                        guard.stats.mapper_timeouts += 1;
+                        guard.stats.bump(Counter::MapperTimeouts);
                     }
                     if !e.is_transient() {
                         guard.quarantine_cache(cache);
@@ -362,13 +406,26 @@ impl Pvm {
             } => {
                 let policy = guard.config.retry;
                 drop(guard);
+                let t0 = self.trace.phase_start();
+                self.trace.event(|| TraceEvent::UpcallStart {
+                    kind: UpcallKind::GetWriteAccess,
+                    segment: segment.0,
+                    offset,
+                    size,
+                });
                 let (res, retries) = self.upcall_with_retry(segment, policy, || {
                     self.seg_mgr.get_write_access(segment, offset, size)
                 });
+                self.trace.event(|| TraceEvent::UpcallEnd {
+                    kind: UpcallKind::GetWriteAccess,
+                    outcome: upcall_outcome(&res),
+                    retries,
+                });
+                self.trace.phase_end(Phase::GetWriteAccess, t0);
                 let mut guard = self.state.lock();
                 // Each retry is its own upcall on the wire.
-                guard.stats.write_access_upcalls += 1 + retries;
-                guard.stats.mapper_retries += retries;
+                guard.stats.add(Counter::WriteAccessUpcalls, 1 + retries);
+                guard.stats.add(Counter::MapperRetries, retries);
                 match res {
                     Ok(()) => {
                         if guard.pages.contains(page) {
@@ -380,7 +437,7 @@ impl Pvm {
                         // A write-access denial is a coherence decision,
                         // not a mapper death: no quarantine.
                         if matches!(e, GmiError::MapperTimeout { .. }) {
-                            guard.stats.mapper_timeouts += 1;
+                            guard.stats.bump(Counter::MapperTimeouts);
                         }
                         Err(e)
                     }
@@ -706,6 +763,10 @@ impl Gmi for Pvm {
 
     fn handle_fault(&self, ctx: CtxId, va: VirtAddr, access: Access) -> Result<()> {
         let key = ctx_key(ctx);
+        // The fault-enter stamp is taken before the fast-path probe so
+        // every handled fault — fast or slow — has exactly one
+        // FaultEnter/FaultExit pair.
+        let fstart = self.trace.fault_enter(key.index(), va.0, access);
         // Soft-fault fast path: a current-generation translation whose
         // installed protection already allows the access means the MMU
         // mapping is valid — the fault needs no state change at all, so
@@ -715,17 +776,32 @@ impl Gmi for Pvm {
         // which re-derives truth from the global map.
         if self.fast.lookup(key, self.geom.vpn(va), access) {
             self.model.charge(chorus_hal::OpKind::FaultEntry);
+            self.trace.event(|| TraceEvent::FastPathHit {
+                ctx: key.index(),
+                va: va.0,
+            });
+            self.trace
+                .fault_exit(fstart, key.index(), va.0, Resolution::FastPath);
             return Ok(());
         }
+        if self.fast.enabled() {
+            self.trace.event(|| TraceEvent::FastPathFallback {
+                ctx: key.index(),
+                va: va.0,
+            });
+        }
         let mut first = true;
-        self.run(|s| {
+        let res = self.run(|s| {
             if first {
                 first = false;
-                s.stats.faults += 1;
+                s.stats.bump(Counter::Faults);
                 s.charge(chorus_hal::OpKind::FaultEntry);
             }
             s.fault_attempt(key, va, access)
-        })
+        });
+        let resolution = *res.as_ref().unwrap_or(&Resolution::Failed);
+        self.trace.fault_exit(fstart, key.index(), va.0, resolution);
+        res.map(|_| ())
     }
 
     fn vm_read(&self, ctx: CtxId, va: VirtAddr, buf: &mut [u8]) -> Result<()> {
@@ -749,6 +825,16 @@ impl Gmi for Pvm {
             .iter()
             .filter(|&&o| matches!(guard.gmap.get(key, o), Some(Slot::Present(_))))
             .count() as u64)
+    }
+}
+
+/// Maps an upcall's final result onto the traced outcome.
+fn upcall_outcome(res: &Result<()>) -> UpcallOutcome {
+    match res {
+        Ok(()) => UpcallOutcome::Ok,
+        Err(GmiError::MapperTimeout { .. }) => UpcallOutcome::Timeout,
+        Err(e) if e.is_transient() => UpcallOutcome::Transient,
+        Err(_) => UpcallOutcome::Permanent,
     }
 }
 

@@ -8,7 +8,8 @@
 
 use crate::descriptors::{CowSource, Slot};
 use crate::keys::{CacheKey, PageKey};
-use crate::state::{blocked, done, Attempt, Blocked, PvmState};
+use crate::state::{blocked, done, Attempt, Blocked, Outcome, PvmState};
+use crate::trace::TraceEvent;
 use chorus_gmi::GmiError;
 use chorus_hal::{Access, OpKind};
 
@@ -34,6 +35,27 @@ impl PvmState {
         off: u64,
         access: Access,
     ) -> Attempt<Version> {
+        let mut depth = 0u32;
+        let result = self.resolve_version_walk(cache, off, access, &mut depth);
+        // Record the root-ward walk depth when the walk concluded (a
+        // blocked walk re-runs and re-reports after the pull/wait).
+        if let Ok(Outcome::Done(_)) = result {
+            self.trace.event(|| TraceEvent::HistoryWalk {
+                cache: cache.index(),
+                offset: off,
+                depth,
+            });
+        }
+        result
+    }
+
+    fn resolve_version_walk(
+        &mut self,
+        cache: CacheKey,
+        off: u64,
+        access: Access,
+        depth: &mut u32,
+    ) -> Attempt<Version> {
         let mut x = cache;
         let mut o = off;
         // Cycle guard: a correct history tree is acyclic; bound the walk.
@@ -55,6 +77,7 @@ impl PvmState {
                     return done(Version::Page(p));
                 }
                 Some(Slot::Cow(CowSource::Loc(c2, o2))) => {
+                    *depth += 1;
                     x = c2;
                     o = o2;
                 }
@@ -93,6 +116,7 @@ impl PvmState {
                     }
                     match desc.parent_at(o) {
                         Some(frag) => {
+                            *depth += 1;
                             o = frag.to_parent(o);
                             x = frag.parent;
                         }

@@ -14,7 +14,8 @@ use crate::descriptors::{CacheDesc, ContextDesc, CowSource, Mapping, PageDesc, R
 use crate::fastpath::TranslationCache;
 use crate::gmap::GlobalMap;
 use crate::keys::{CacheKey, CtxKey, PageKey, RegKey};
-use crate::stats::PvmStats;
+use crate::stats::{Counter, StatsRegistry};
+use crate::trace::{TraceEvent, Tracer};
 use chorus_gmi::{GmiError, Result, SegmentId};
 use chorus_hal::{
     Access, Arena, CostModel, FrameNo, FxHashMap, Mmu, OpKind, PageGeometry, PhysicalMemory, Prot,
@@ -136,7 +137,12 @@ pub(crate) struct PvmState {
     /// The current user context.
     pub current: Option<CtxKey>,
     pub config: PvmConfig,
-    pub stats: PvmStats,
+    /// The live counter cells, shared with the translation cache, the
+    /// global map, the tracer and `Pvm` (lock-free snapshots).
+    pub stats: Arc<StatsRegistry>,
+    /// The event tracer, shared with `Pvm` and (for correlation) the
+    /// nucleus mapper layers.
+    pub trace: Arc<Tracer>,
 }
 
 impl PvmState {
@@ -147,6 +153,8 @@ impl PvmState {
         model: Arc<CostModel>,
         config: PvmConfig,
     ) -> PvmState {
+        let stats = Arc::new(StatsRegistry::new());
+        let trace = Arc::new(Tracer::new(config.trace, model.clone(), stats.clone()));
         PvmState {
             geom,
             phys,
@@ -156,13 +164,14 @@ impl PvmState {
             regions: Arena::new(),
             caches: Arena::new(),
             pages: Arena::new(),
-            gmap: GlobalMap::new(config.global_map_shards),
-            fast: Arc::new(TranslationCache::new(config.fast_path)),
+            gmap: GlobalMap::new(config.global_map_shards, stats.clone()),
+            fast: Arc::new(TranslationCache::new(config.fast_path, stats.clone())),
             frame_owner: FxHashMap::default(),
             resident: ClockRing::new(),
             current: None,
             config,
-            stats: PvmStats::default(),
+            stats,
+            trace,
         }
     }
 
@@ -225,7 +234,9 @@ impl PvmState {
         if let Some(c) = self.caches.get_mut(k) {
             if !c.poisoned {
                 c.poisoned = true;
-                self.stats.quarantined_caches += 1;
+                self.stats.bump(Counter::QuarantinedCaches);
+                self.trace
+                    .event(|| TraceEvent::Quarantine { cache: k.index() });
                 // Faults touching the quarantined cache must reach the
                 // slow path to observe `CachePoisoned`; drop every fast
                 // translation rather than finding the cache's mappings.

@@ -1,61 +1,258 @@
-//! PVM event counters.
+//! PVM event counters: the atomic registry and its snapshot view.
+//!
+//! The registry ([`StatsRegistry`]) is one cache of atomic cells shared
+//! by every counting site — the locked slow path, the lock-free fault
+//! fast path, the global-map shards and the tracer all bump the *same*
+//! cells, so no counter can lose updates to a non-atomic read-modify-
+//! write and no fold-at-snapshot step has to reconcile divergent copies.
+//! [`PvmStats`] survives as the plain snapshot view the tests and
+//! benches always consumed; [`PvmStats::delta`] subtracts an earlier
+//! snapshot for before/after measurements.
 
-/// Counters of notable PVM events, exposed for tests and benches.
-///
-/// These complement the cost-model operation counts with events that are
-/// specific to the PVM's algorithms (history pushes, stub waits, zombie
-/// merges, ...).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PvmStats {
+use core::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $field:ident => $variant:ident,)*) => {
+        /// Identifies one atomic counter cell of the [`StatsRegistry`].
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum Counter {
+            $($(#[$doc])* $variant,)*
+        }
+
+        impl Counter {
+            /// Every counter, in declaration order.
+            pub const ALL: &'static [Counter] = &[$(Counter::$variant,)*];
+
+            /// The snapshot field name (stable report label).
+            pub fn label(self) -> &'static str {
+                match self {
+                    $(Counter::$variant => stringify!($field),)*
+                }
+            }
+        }
+
+        /// Counters of notable PVM events, exposed for tests and benches.
+        ///
+        /// These complement the cost-model operation counts with events
+        /// that are specific to the PVM's algorithms (history pushes,
+        /// stub waits, zombie merges, ...). This is a point-in-time
+        /// *snapshot* of the live [`StatsRegistry`]; take one with
+        /// [`crate::Pvm::stats`].
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct PvmStats {
+            $($(#[$doc])* pub $field: u64,)*
+        }
+
+        impl PvmStats {
+            /// Field-wise difference `self - earlier` (saturating), for
+            /// before/after bench windows.
+            pub fn delta(&self, earlier: &PvmStats) -> PvmStats {
+                PvmStats {
+                    $($field: self.$field.saturating_sub(earlier.$field),)*
+                }
+            }
+
+            /// The value of one counter, by registry id.
+            pub fn get(&self, c: Counter) -> u64 {
+                match c {
+                    $(Counter::$variant => self.$field,)*
+                }
+            }
+        }
+
+        impl StatsRegistry {
+            /// Copies every cell into a plain snapshot. The `faults`
+            /// field folds in the fast-path hits: a fast hit IS a
+            /// handled fault the slow path never saw.
+            pub fn snapshot(&self) -> PvmStats {
+                let mut s = PvmStats {
+                    $($field: self.get(Counter::$variant),)*
+                };
+                s.faults += s.fast_path_hits;
+                s
+            }
+        }
+    };
+}
+
+counters! {
     /// Page faults handled (§4.1.2 entry).
-    pub faults: u64,
+    faults => Faults,
     /// Faults resolved by allocating a zero-filled page.
-    pub zero_fills: u64,
+    zero_fills => ZeroFills,
     /// Faults resolved by a `pullIn` upcall.
-    pub pull_ins: u64,
+    pull_ins => PullIns,
     /// `pushOut` upcalls performed.
-    pub push_outs: u64,
+    push_outs => PushOuts,
     /// Write violations resolved by materializing a private copy
     /// (copy-on-write resolution, either technique).
-    pub cow_copies: u64,
+    cow_copies => CowCopies,
     /// Originals preserved into a history object before a source write.
-    pub history_pushes: u64,
+    history_pushes => HistoryPushes,
     /// Own read-only pages promoted to writable.
-    pub promotes: u64,
+    promotes => Promotes,
     /// Working history objects created to preserve the tree shape
     /// invariant (§4.2.3).
-    pub working_objects: u64,
+    working_objects => WorkingObjects,
     /// Single-child zombie nodes merged into their child.
-    pub zombie_merges: u64,
+    zombie_merges => ZombieMerges,
     /// Times a thread blocked on a synchronization page stub.
-    pub stub_waits: u64,
+    stub_waits => StubWaits,
     /// Pages evicted by the clock algorithm.
-    pub evictions: u64,
+    evictions => Evictions,
     /// Frames transferred cache-to-cache by `move` without copying.
-    pub moved_frames: u64,
+    moved_frames => MovedFrames,
     /// Per-virtual-page copy-on-write stubs created (§4.3).
-    pub cow_stubs_created: u64,
+    cow_stubs_created => CowStubsCreated,
     /// `getWriteAccess` upcalls performed.
-    pub write_access_upcalls: u64,
+    write_access_upcalls => WriteAccessUpcalls,
     /// Mapper upcalls re-driven after a transient failure.
-    pub mapper_retries: u64,
+    mapper_retries => MapperRetries,
     /// Mapper upcalls abandoned because the retry deadline expired.
-    pub mapper_timeouts: u64,
+    mapper_timeouts => MapperTimeouts,
     /// Caches quarantined after a permanent mapper failure.
-    pub quarantined_caches: u64,
+    quarantined_caches => QuarantinedCaches,
     /// Emergency eviction passes run when fault recovery hit
     /// `OutOfMemory`.
-    pub emergency_pageouts: u64,
+    emergency_pageouts => EmergencyPageouts,
     /// Faults resolved by the lock-free resident translation cache
     /// without taking the state mutex.
-    pub fast_path_hits: u64,
+    fast_path_hits => FastPathHits,
     /// Fast-path lookups that missed (stale generation, absent entry,
     /// or insufficient protection) and fell through to the slow path.
-    pub fast_path_fallbacks: u64,
+    fast_path_fallbacks => FastPathFallbacks,
     /// Global-map shard locks that were contended (the uncontended
     /// try-lock missed and the caller blocked).
-    pub shard_contention: u64,
+    shard_contention => ShardContention,
     /// Full clock-hand sweeps completed while hunting an eviction
     /// victim (each pass over the whole ring counts once).
-    pub clock_full_sweeps: u64,
+    clock_full_sweeps => ClockFullSweeps,
+}
+
+const N_COUNTERS: usize = Counter::ALL.len();
+
+/// The live counter cells. One instance per [`crate::Pvm`], shared (via
+/// `Arc`) with the translation cache, the global map and the tracer so
+/// every bump lands in the same atomic cell regardless of which lock (if
+/// any) the bumping path holds.
+pub struct StatsRegistry {
+    cells: [AtomicU64; N_COUNTERS],
+}
+
+impl Default for StatsRegistry {
+    fn default() -> StatsRegistry {
+        StatsRegistry::new()
+    }
+}
+
+impl StatsRegistry {
+    /// A zeroed registry.
+    pub fn new() -> StatsRegistry {
+        StatsRegistry {
+            cells: core::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds one to a counter.
+    #[inline]
+    pub fn bump(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        if n != 0 {
+            self.cells[c as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads one counter.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.cells[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        for cell in &self.cells {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl core::fmt::Debug for StatsRegistry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StatsRegistry")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_snapshot_and_reset() {
+        let r = StatsRegistry::new();
+        r.bump(Counter::ZeroFills);
+        r.add(Counter::MapperRetries, 3);
+        let s = r.snapshot();
+        assert_eq!(s.zero_fills, 1);
+        assert_eq!(s.mapper_retries, 3);
+        assert_eq!(s.get(Counter::MapperRetries), 3);
+        r.reset();
+        assert_eq!(r.snapshot(), PvmStats::default());
+    }
+
+    #[test]
+    fn snapshot_folds_fast_hits_into_faults() {
+        let r = StatsRegistry::new();
+        r.add(Counter::Faults, 5);
+        r.add(Counter::FastPathHits, 7);
+        let s = r.snapshot();
+        assert_eq!(s.faults, 12, "a fast hit IS a handled fault");
+        assert_eq!(s.fast_path_hits, 7);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let r = StatsRegistry::new();
+        r.add(Counter::Evictions, 2);
+        let before = r.snapshot();
+        r.add(Counter::Evictions, 3);
+        r.bump(Counter::StubWaits);
+        let after = r.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.evictions, 3);
+        assert_eq!(d.stub_waits, 1);
+        assert_eq!(d.faults, 0);
+    }
+
+    #[test]
+    fn counter_labels_match_snapshot_fields() {
+        assert_eq!(Counter::FastPathHits.label(), "fast_path_hits");
+        assert_eq!(Counter::ALL.len(), 22);
+    }
+
+    #[test]
+    fn concurrent_bumps_never_lose_updates() {
+        let r = std::sync::Arc::new(StatsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        r.bump(Counter::ShardContention);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.get(Counter::ShardContention), 40_000);
+    }
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tier-1 verification wrapper for this workspace.
+#
+# Runs the full check sequence from .claude/skills/verify/SKILL.md:
+# release build, test suite, clippy gate, the fast-path liveness probe,
+# the release-mode concurrency stress, and the tracing bit-identity
+# check (Table 5 regenerated with CHORUS_TRACE=1 must match the
+# committed reports/table5.txt byte for byte — the determinism rule:
+# no trace call may advance the cost-model clock).
+#
+# Usage: scripts/verify.sh            (from the repo root or anywhere)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "scale_faults --quick: fast path alive"
+cargo run --release -q -p chorus-bench --bin scale_faults -- --json --quick |
+  python3 -c '
+import json, sys
+rows = [r for r in json.load(sys.stdin)["rows"]
+        if r["workload"] == "resident-read" and r["fast_path"]]
+assert rows, "no fast_path resident-read rows"
+assert all(r["fast_path_hits"] > 0 for r in rows), rows
+print("ok: fast_path_hits > 0 on all resident-read rows")
+'
+
+step "release-mode concurrent_faults stress"
+cargo test --release -q -p chorus-pvm --test concurrent_faults
+
+step "tracing bit-identity: table5 with CHORUS_TRACE=1 vs committed report"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+CHORUS_TRACE=1 cargo run --release -q -p chorus-bench --bin table5 > "$tmp"
+diff -u reports/table5.txt "$tmp" ||
+  { echo "FAIL: table5 output with tracing on differs from reports/table5.txt"; exit 1; }
+echo "ok"
+
+printf '\nverify: all checks passed\n'

@@ -13,7 +13,8 @@
 use chorus_gmi::testing::MemSegmentManager;
 use chorus_gmi::{CacheId, CopyMode, Gmi};
 use chorus_hal::{CostParams, PageGeometry};
-use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use chorus_pvm::trace::{Resolution, TraceEvent};
+use chorus_pvm::{Pvm, PvmConfig, PvmOptions, TraceConfig};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -336,6 +337,13 @@ fn pvm_with_manager(frames: u32) -> (Arc<Pvm>, Arc<MemSegmentManager>) {
             cost: CostParams::zero(),
             config: PvmConfig {
                 check_invariants: true,
+                // The whole differential suite runs with the tracer on:
+                // any behavioural difference tracing introduced would
+                // surface as an oracle divergence.
+                trace: TraceConfig {
+                    enabled: true,
+                    ..TraceConfig::default()
+                },
                 ..PvmConfig::default()
             },
             ..PvmOptions::default()
@@ -504,4 +512,140 @@ fn regression_merge_dangling_history_pvm() {
     ];
     run_differential(&*vm, &ops);
     vm.check_invariants();
+}
+
+// ----- trace/counter invariants -------------------------------------------
+
+/// Counts drained trace events matching `pred`.
+fn count_events(records: &[chorus_pvm::trace::TraceRecord], pred: impl Fn(&TraceEvent) -> bool) -> u64 {
+    records.iter().filter(|r| pred(&r.event)).count() as u64
+}
+
+/// A deterministic faulting workload: regions, demand-zero touches,
+/// deferred copies with forced real copies, under memory pressure so
+/// evictions and pull-ins fire.
+fn faulting_workload(pvm: &Pvm) {
+    use chorus_gmi::{Access, Prot, VirtAddr};
+    let base = VirtAddr(0x10_0000);
+    let cpy_base = VirtAddr(0x80_0000);
+    let ctx = pvm.context_create().expect("ctx");
+    let src = pvm.cache_create(None).expect("src");
+    pvm.region_create(ctx, base, PAGES * PS, Prot::RW, src, 0)
+        .expect("region");
+    for p in 0..PAGES {
+        pvm.vm_write(ctx, VirtAddr(base.0 + p * PS), &[p as u8])
+            .expect("touch");
+    }
+    let cpy = pvm.cache_create(None).expect("cpy");
+    pvm.cache_copy(src, 0, cpy, 0, PAGES * PS).expect("copy");
+    pvm.region_create(ctx, cpy_base, PAGES * PS, Prot::RW, cpy, 0)
+        .expect("cpy region");
+    for p in 0..PAGES {
+        pvm.vm_write(ctx, VirtAddr(base.0 + p * PS), &[0xC0])
+            .expect("dirty src");
+    }
+    let mut b = [0u8; 1];
+    for p in 0..PAGES {
+        pvm.vm_read(ctx, VirtAddr(cpy_base.0 + p * PS), &mut b)
+            .expect("read copy");
+    }
+    // Re-fault already-mapped pages: soft faults through the fast path.
+    for _ in 0..4 {
+        for p in 0..PAGES {
+            pvm.handle_fault(ctx, VirtAddr(cpy_base.0 + p * PS), Access::Read)
+                .expect("soft fault");
+        }
+    }
+    pvm.context_destroy(ctx).expect("ctx destroy");
+}
+
+/// Every counter with a paired trace point must agree exactly with the
+/// drained event stream, and the fault histogram must have one sample
+/// per completed fault.
+#[test]
+fn trace_events_agree_with_counters() {
+    let (pvm, _mgr) = pvm_with_manager(8); // tiny pool: force eviction
+    faulting_workload(&pvm);
+    let tracer = pvm.tracer();
+    assert_eq!(tracer.dropped(), 0, "ring overflow would skew the counts");
+    let records = tracer.drain();
+    let stats = pvm.stats();
+
+    let enters = count_events(&records, |e| matches!(e, TraceEvent::FaultEnter { .. }));
+    let exits = count_events(&records, |e| matches!(e, TraceEvent::FaultExit { .. }));
+    let failed = count_events(
+        &records,
+        |e| matches!(e, TraceEvent::FaultExit { resolution: Resolution::Failed, .. }),
+    );
+    assert_eq!(enters, exits, "unbalanced fault enter/exit");
+    assert_eq!(failed, 0, "workload must not fail any fault");
+    // A fast hit IS a handled fault: the snapshot folds them together,
+    // and so does the trace (one enter/exit pair either way).
+    assert_eq!(enters, stats.faults, "trace vs counter fault totals");
+
+    let fast_hits = count_events(
+        &records,
+        |e| matches!(e, TraceEvent::FastPathHit { .. }),
+    );
+    assert_eq!(fast_hits, stats.fast_path_hits);
+    assert!(fast_hits > 0, "soft-fault loop should hit the fast path");
+    let fallbacks = count_events(
+        &records,
+        |e| matches!(e, TraceEvent::FastPathFallback { .. }),
+    );
+    assert_eq!(fallbacks, stats.fast_path_fallbacks);
+
+    // Per-resolution exits never exceed their counters (zero-fill and
+    // cow-copy counters also count non-fault paths like cache_write).
+    let zero_fill_exits = count_events(
+        &records,
+        |e| matches!(e, TraceEvent::FaultExit { resolution: Resolution::ZeroFill, .. }),
+    );
+    assert!(zero_fill_exits <= stats.zero_fills);
+    assert!(zero_fill_exits > 0, "demand-zero touches must zero-fill");
+
+    // Paired instants: these bump and trace at the same site.
+    let evictions = count_events(&records, |e| matches!(e, TraceEvent::Eviction { .. }));
+    assert_eq!(evictions, stats.evictions);
+    assert!(evictions > 0, "8-frame pool must evict");
+    let pushes = count_events(&records, |e| matches!(e, TraceEvent::HistoryPush { .. }));
+    assert_eq!(pushes, stats.history_pushes);
+    let waits = count_events(&records, |e| matches!(e, TraceEvent::StubWait { .. }));
+    assert_eq!(waits, stats.stub_waits);
+
+    // One histogram sample per completed fault.
+    let hist = tracer.histogram(chorus_pvm::trace::Phase::FaultTotal);
+    assert_eq!(hist.count(), exits, "fault histogram samples");
+
+    // pullIn upcalls: one Ok end per counted pull.
+    let pull_ok = count_events(&records, |e| {
+        matches!(
+            e,
+            TraceEvent::UpcallEnd {
+                kind: chorus_pvm::trace::UpcallKind::PullIn,
+                outcome: chorus_pvm::trace::UpcallOutcome::Ok,
+                ..
+            }
+        )
+    });
+    assert_eq!(pull_ok, stats.pull_ins);
+}
+
+/// `PvmStats::delta` across a live workload: the delta of two snapshots
+/// equals the counters of the second run alone.
+#[test]
+fn snapshot_delta_isolates_second_run() {
+    let (pvm, _mgr) = pvm_with_manager(64);
+    faulting_workload(&pvm);
+    let before = pvm.stats();
+    faulting_workload(&pvm);
+    let after = pvm.stats();
+    let delta = after.delta(&before);
+    assert_eq!(delta.faults, after.faults - before.faults);
+    assert!(delta.faults > 0, "second run must fault");
+    assert_eq!(delta.zero_fills, after.zero_fills - before.zero_fills);
+    assert_eq!(delta.evictions, after.evictions - before.evictions);
+    // Field-wise saturating subtraction: deltas never underflow.
+    let nonsense = before.delta(&after);
+    assert_eq!(nonsense.faults, 0);
 }

@@ -15,7 +15,8 @@ use chorus_hal::{CostParams, PageGeometry};
 use chorus_nucleus::{
     FaultPlan, FaultyMapper, MemMapper, NucleusSegmentManager, PortName, SwapMapper,
 };
-use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use chorus_pvm::trace::{TraceEvent, UpcallOutcome};
+use chorus_pvm::{Pvm, PvmConfig, PvmOptions, TraceConfig};
 use proptest::prelude::*;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -52,6 +53,12 @@ fn stack(
     seg_mgr.set_default_mapper(PortName(2));
     let mut config = PvmConfig {
         check_invariants: true,
+        // The whole fault-injection suite runs traced: recovery must be
+        // byte-identical with observability on.
+        trace: TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        },
         ..PvmConfig::default()
     };
     tweak(&mut config);
@@ -67,6 +74,8 @@ fn stack(
     ));
     faulty_files.attach_clock(pvm.cost_model());
     faulty_swap.attach_clock(pvm.cost_model());
+    faulty_files.attach_tracer(pvm.tracer());
+    faulty_swap.attach_tracer(pvm.tracer());
     FaultStack {
         pvm,
         seg_mgr,
@@ -424,4 +433,87 @@ proptest! {
         let s = stack(8, plan, FaultPlan { seed: !seed, ..plan }, generous_retry);
         healing_workload(&s, seed, 2, 30);
     }
+}
+
+// ----- trace correlation ---------------------------------------------------
+
+/// Under an injected-fault plan, the trace stream must account for
+/// every counted retry, timeout, quarantine and injected fault: each
+/// `mapper_retries` increment has a matching `UpcallEnd{retries}`
+/// record, and every fault the mapper logged appears as a
+/// `mapper.inject` instant on the same timeline.
+#[test]
+fn injected_faults_and_retries_appear_in_the_trace() {
+    let s = stack(8, healable_plan(9), healable_plan(!9), generous_retry);
+    healing_workload(&s, 9, 3, 40);
+
+    let tracer = s.pvm.tracer();
+    assert_eq!(tracer.dropped(), 0, "ring overflow would skew the counts");
+    let records = tracer.drain();
+    let stats = s.pvm.stats();
+
+    let injected_logged = s.faulty_files.take_log().len() + s.faulty_swap.take_log().len();
+    let injected_traced = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::MapperFaultInjected { .. }))
+        .count();
+    assert_eq!(injected_traced, injected_logged);
+    assert!(injected_traced > 0, "plan injected nothing");
+
+    let retries_traced: u64 = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::UpcallEnd { retries, .. } => Some(retries),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(retries_traced, stats.mapper_retries);
+    assert!(retries_traced > 0, "retries never fired");
+
+    let timeouts_traced = records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                TraceEvent::UpcallEnd {
+                    outcome: UpcallOutcome::Timeout,
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(timeouts_traced, stats.mapper_timeouts);
+
+    let quarantines_traced = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::Quarantine { .. }))
+        .count() as u64;
+    assert_eq!(quarantines_traced, stats.quarantined_caches);
+
+    // Every upcall begins and ends exactly once.
+    let starts = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::UpcallStart { .. }))
+        .count();
+    let ends = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::UpcallEnd { .. }))
+        .count();
+    assert_eq!(starts, ends, "unbalanced upcall start/end");
+
+    // Successful pulls: one Ok pullIn end per counted pull_in.
+    let pull_ok = records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                TraceEvent::UpcallEnd {
+                    kind: chorus_pvm::trace::UpcallKind::PullIn,
+                    outcome: UpcallOutcome::Ok,
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(pull_ok, stats.pull_ins);
 }
