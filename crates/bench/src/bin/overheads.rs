@@ -117,7 +117,10 @@ fn main() {
                 .num("tree_overhead_ms", tree_overhead)
                 .num("cow_overhead_ms", cow_overhead)
                 .num("demand_zero_ms", demand_zero)
-                .num("tree_vs_region_create_pct", 100.0 * tree_overhead / region_create)
+                .num(
+                    "tree_vs_region_create_pct",
+                    100.0 * tree_overhead / region_create
+                )
                 .num(
                     "cow_vs_demand_zero_pct",
                     100.0 * (cow_overhead - demand_zero) / demand_zero

@@ -89,7 +89,8 @@ fn run_resident_read(fast_path: bool, threads: usize, read_ops: u64) -> Row {
     let (pvm, _mgr) = make_pvm(fast_path, (PAGES as u32) * 2 + 16);
     let cache = pvm.cache_create(None).expect("cache");
     for p in 0..PAGES {
-        pvm.cache_write(cache, p * PAGE, &[p as u8; 8]).expect("fill");
+        pvm.cache_write(cache, p * PAGE, &[p as u8; 8])
+            .expect("fill");
     }
     let base = VirtAddr(0x100_0000);
     let ctxs: Vec<_> = (0..threads)
@@ -288,10 +289,7 @@ fn main() {
             throughput(&rows, "resident-read", true, t),
             throughput(&rows, "resident-read", false, t),
         ) {
-            println!(
-                "  resident-read @{t}T: fast path on/off = {:.2}x",
-                on / off
-            );
+            println!("  resident-read @{t}T: fast path on/off = {:.2}x", on / off);
         }
     }
     if let (Some(t1), Some(t4)) = (

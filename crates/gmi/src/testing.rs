@@ -221,8 +221,19 @@ impl SegmentManager for MemSegmentManager {
         });
         self.sleep_latency();
         let mut buf = vec![0u8; size as usize];
-        io.copy_back(cache, offset, &mut buf)?;
-        self.write_sparse(segment, offset, &buf);
+        let got = io.copy_back_run(cache, offset, &mut buf)?;
+        self.write_sparse(segment, offset, &buf[..got as usize]);
+        if got < size {
+            // The tail of the run vanished between the upcall and the
+            // copy (writeback racing an invalidate). The prefix is safe;
+            // report a transient short transfer so the memory manager
+            // retries the remainder page by page.
+            return Err(GmiError::SegmentIo {
+                segment,
+                cause: "short copyBack".into(),
+                transient: true,
+            });
+        }
         Ok(())
     }
 

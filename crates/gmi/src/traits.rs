@@ -43,6 +43,23 @@ pub trait CacheIo: Send + Sync {
     ///
     /// Fails if the cache is dead or the fragment is not resident.
     fn move_back(&self, cache: CacheId, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Batched `copyBack`: reads the longest fully-resident page-aligned
+    /// prefix of `[offset, offset + buf.len())` into `buf` and returns
+    /// its length in bytes. A clustered `pushOut` uses this so a page
+    /// that vanished mid-run shortens the reply instead of failing the
+    /// whole batch; the memory manager then split-retries the remainder.
+    ///
+    /// The default forwards to [`CacheIo::copy_back`] (all-or-nothing),
+    /// which preserves the old semantics for implementations that never
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cache is dead or the *first* page is not resident.
+    fn copy_back_run(&self, cache: CacheId, offset: u64, buf: &mut [u8]) -> Result<u64> {
+        self.copy_back(cache, offset, buf).map(|_| buf.len() as u64)
+    }
 }
 
 /// Table 3: the upcall interface from the memory manager to segment
@@ -104,6 +121,15 @@ pub trait SegmentManager: Send + Sync {
     /// it to the upper layer so it can be swapped; the segment manager
     /// assigns it a (temporary) segment.
     fn segment_create(&self, cache: CacheId) -> SegmentId;
+
+    /// The current length of a segment in bytes, if the manager knows
+    /// it. The memory manager uses this to clamp clustered (readahead)
+    /// `pullIn` runs at segment end; `None` (the default, right for
+    /// sparse/unbounded segments) only disables the clamp.
+    fn segment_size(&self, segment: SegmentId) -> Option<u64> {
+        let _ = segment;
+        None
+    }
 }
 
 /// The Generic Memory management Interface (Tables 1, 2 and 4).

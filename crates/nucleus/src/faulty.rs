@@ -245,13 +245,32 @@ impl Mapper for FaultyMapper {
     }
 
     fn write(&self, cap: Capability, offset: u64, data: &[u8]) -> Result<()> {
-        self.inject(SegmentId(cap.key))?;
+        let truncate = self.inject(SegmentId(cap.key))?;
+        if truncate && !data.is_empty() {
+            // A truncated write: part of the data reaches stable storage
+            // before the transfer dies. Writes are idempotent, so the
+            // caller's retry simply rewrites the whole run.
+            let cut = data.len() / 2;
+            self.inner.write(cap, offset, &data[..cut])?;
+            self.record(InjectedFault::Truncated(cut));
+            return Err(GmiError::SegmentIo {
+                segment: SegmentId(cap.key),
+                cause: "injected truncated write".into(),
+                transient: true,
+            });
+        }
         self.inner.write(cap, offset, data)
     }
 
     fn get_write_access(&self, cap: Capability, offset: u64, size: u64) -> Result<()> {
         self.inject(SegmentId(cap.key))?;
         self.inner.get_write_access(cap, offset, size)
+    }
+
+    fn size(&self, cap: Capability) -> Option<u64> {
+        // A metadata query answered from bookkeeping, not I/O; keep it
+        // fault-free so the readahead clamp stays deterministic.
+        self.inner.size(cap)
     }
 
     fn allocate_temporary(&self) -> Result<Capability> {
@@ -343,6 +362,22 @@ mod tests {
         let (m, cap) = wrapped(plan);
         let data = m.read(cap, 0, 8).unwrap();
         assert_eq!(data.len(), 4);
+        assert_eq!(m.take_log(), vec![InjectedFault::Truncated(4)]);
+    }
+
+    #[test]
+    fn truncation_cuts_writes_short_with_transient_error() {
+        let plan = FaultPlan {
+            truncate_per_mille: 1000,
+            ..FaultPlan::quiet(9)
+        };
+        let mem = Arc::new(MemMapper::new(PortName(1)));
+        let cap = mem.create_segment(&[0u8; 8]);
+        let m = FaultyMapper::new(mem.clone(), plan);
+        let err = m.write(cap, 0, &[1u8; 8]).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        // Half the data landed before the transfer died.
+        assert_eq!(mem.segment_data(cap), [1, 1, 1, 1, 0, 0, 0, 0]);
         assert_eq!(m.take_log(), vec![InjectedFault::Truncated(4)]);
     }
 

@@ -44,6 +44,14 @@ pub trait Mapper: Send + Sync {
         Ok(())
     }
 
+    /// The current length of the segment named by `cap`, if known. A
+    /// metadata query, not I/O: implementations should answer from
+    /// bookkeeping (no latency, no fault injection) so the memory
+    /// manager's readahead clamp stays deterministic.
+    fn size(&self, _cap: Capability) -> Option<u64> {
+        None
+    }
+
     /// Allocates a temporary segment (default mappers only, §5.1.1).
     ///
     /// # Errors
@@ -159,6 +167,13 @@ impl Mapper for MemMapper {
         Ok(())
     }
 
+    fn size(&self, cap: Capability) -> Option<u64> {
+        if cap.port != self.port {
+            return None;
+        }
+        self.segments.lock().get(&cap.key).map(|d| d.len() as u64)
+    }
+
     fn allocate_temporary(&self) -> Result<Capability> {
         Ok(self.create_segment(&[]))
     }
@@ -199,6 +214,10 @@ impl Mapper for SwapMapper {
     fn write(&self, cap: Capability, offset: u64, data: &[u8]) -> Result<()> {
         *self.swapped_out_bytes.lock() += data.len() as u64;
         self.inner.write(cap, offset, data)
+    }
+
+    fn size(&self, cap: Capability) -> Option<u64> {
+        self.inner.size(cap)
     }
 
     fn allocate_temporary(&self) -> Result<Capability> {
@@ -276,6 +295,20 @@ mod tests {
             "keys must not be small integers: {:#x}",
             a.key
         );
+    }
+
+    #[test]
+    fn size_reports_current_length() {
+        let m = MemMapper::new(PortName(1));
+        let cap = m.create_segment(b"hello");
+        assert_eq!(m.size(cap), Some(5));
+        m.write(cap, 7, b"xy").unwrap();
+        assert_eq!(m.size(cap), Some(9));
+        let forged = Capability::new(PortName(2), cap.key);
+        assert_eq!(m.size(forged), None);
+        let s = SwapMapper::new(PortName(9));
+        let tmp = s.allocate_temporary().unwrap();
+        assert_eq!(s.size(tmp), Some(0));
     }
 
     #[test]

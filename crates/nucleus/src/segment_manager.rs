@@ -159,8 +159,26 @@ impl SegmentManager for NucleusSegmentManager {
     ) -> Result<()> {
         let (cap, mapper) = self.route(segment)?;
         let mut buf = vec![0u8; size as usize];
-        io.copy_back(cache, offset, &mut buf)?;
-        mapper.write(cap, offset, &buf)
+        let got = io.copy_back_run(cache, offset, &mut buf)?;
+        mapper.write(cap, offset, &buf[..got as usize])?;
+        if got < size {
+            // Part of the run vanished between the upcall and the copy
+            // (writeback racing an invalidate). The prefix that was still
+            // resident is safely on the segment; report a transient short
+            // transfer so the memory manager retries the remainder
+            // page by page.
+            return Err(GmiError::SegmentIo {
+                segment,
+                cause: "short copyBack".into(),
+                transient: true,
+            });
+        }
+        Ok(())
+    }
+
+    fn segment_size(&self, segment: SegmentId) -> Option<u64> {
+        let (cap, mapper) = self.route(segment).ok()?;
+        mapper.size(cap)
     }
 
     fn segment_create(&self, _cache: CacheId) -> SegmentId {

@@ -9,7 +9,7 @@
 
 use crate::descriptors::Slot;
 use crate::keys::{CacheKey, PageKey};
-use crate::state::{blocked, done, Attempt, Blocked, PvmState, StubsTo};
+use crate::state::{blocked, done, Attempt, Blocked, PushOrigin, PvmState, StubsTo};
 use chorus_gmi::{GmiError, Result};
 use chorus_hal::Prot;
 
@@ -24,10 +24,12 @@ impl PvmState {
             .collect())
     }
 
-    /// Finds one dirty page in the range and starts cleaning it;
+    /// Finds one run of dirty pages in the range and starts cleaning it
+    /// (up to `push_cluster_pages` contiguous dirty pages per `pushOut`);
     /// completes once no dirty page remains.
     pub fn sync_attempt(&mut self, cache: CacheKey, off: u64, size: u64) -> Attempt<()> {
         self.check_not_poisoned(cache)?;
+        let end = off.saturating_add(size);
         for (o, slot) in self.range_pages(cache, off, size)? {
             match slot {
                 Slot::Present(p) => {
@@ -41,13 +43,39 @@ impl PvmState {
                     let Some(segment) = self.cache(cache)?.segment else {
                         return blocked(Blocked::NeedSegment { cache });
                     };
-                    self.begin_cleaning(p);
+                    // Extend the run over contiguous dirty pages still
+                    // inside the requested range.
+                    let ps = self.ps();
+                    let limit = self.config.push_cluster_pages.max(1);
+                    let mut run = vec![p];
+                    while (run.len() as u64) < limit {
+                        let next = o + run.len() as u64 * ps;
+                        if next >= end {
+                            break;
+                        }
+                        match self.gmap.get(cache, next) {
+                            Some(Slot::Present(q)) => {
+                                let page = self.page(q);
+                                if page.dirty && !page.cleaning {
+                                    run.push(q);
+                                } else {
+                                    break;
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                    for &q in &run {
+                        self.begin_cleaning(q);
+                    }
+                    let size = run.len() as u64 * ps;
                     return blocked(Blocked::PushOut {
                         cache,
                         segment,
                         offset: o,
-                        size: self.ps(),
-                        page: p,
+                        size,
+                        pages: run,
+                        origin: PushOrigin::Sync,
                     });
                 }
                 Slot::Sync => return blocked(Blocked::WaitStub),

@@ -54,7 +54,9 @@ impl ClockRing {
     /// Removes a page in O(1) via swap-remove, fixing up the hand so the
     /// sweep neither skips nor re-examines unrelated entries.
     pub fn remove(&mut self, key: PageKey) {
-        let Some(i) = self.pos.remove(&key) else { return };
+        let Some(i) = self.pos.remove(&key) else {
+            return;
+        };
         let last = self.ring.len() - 1;
         self.ring.swap_remove(i);
         if i < last {

@@ -55,6 +55,28 @@ pub struct PvmConfig {
     /// enabled the simulated clock is untouched, so the evaluation
     /// tables are bit-identical either way.
     pub trace: TraceConfig,
+    /// Write-back clustering: a `pushOut` may cover up to this many
+    /// contiguous dirty resident pages of the same cache in one batched
+    /// upcall (one request overhead per run, symmetric to
+    /// [`PvmConfig::pull_cluster_pages`]). 1 disables clustering.
+    pub push_cluster_pages: u64,
+    /// Watermark-driven laundering: whenever an operation enters the
+    /// PVM with fewer than [`PvmConfig::writeback_low_frames`] free
+    /// frames, a deterministic pageout pass cleans and evicts pages
+    /// until [`PvmConfig::writeback_high_frames`] frames are free, so
+    /// demand faults almost never block on a synchronous `pushOut`.
+    pub writeback_daemon: bool,
+    /// Low free-frame watermark that activates the laundering pass.
+    pub writeback_low_frames: u32,
+    /// High free-frame watermark at which the laundering pass stops.
+    pub writeback_high_frames: u32,
+    /// Adaptive readahead: ramp the pull cluster window per cache on a
+    /// detected sequential fault stream (doubling up to
+    /// [`PvmConfig::readahead_max_pages`]) and reset it to
+    /// [`PvmConfig::pull_cluster_pages`] on random access.
+    pub readahead_adaptive: bool,
+    /// Ceiling for the adaptive readahead window, in pages.
+    pub readahead_max_pages: u64,
 }
 
 impl Default for PvmConfig {
@@ -71,6 +93,12 @@ impl Default for PvmConfig {
             fast_path: true,
             global_map_shards: 16,
             trace: TraceConfig::default(),
+            push_cluster_pages: 1,
+            writeback_daemon: false,
+            writeback_low_frames: 0,
+            writeback_high_frames: 0,
+            readahead_adaptive: false,
+            readahead_max_pages: 8,
         }
     }
 }
@@ -95,5 +123,11 @@ mod tests {
         assert!(c.global_map_shards.is_power_of_two());
         assert!(!c.trace.enabled, "tracing is opt-in");
         assert!(!c.trace.wall_clock, "wall stamps are opt-in");
+        assert_eq!(c.push_cluster_pages, 1, "write clustering is opt-in");
+        assert!(!c.writeback_daemon, "laundering is opt-in");
+        assert_eq!(c.writeback_low_frames, 0);
+        assert_eq!(c.writeback_high_frames, 0);
+        assert!(!c.readahead_adaptive, "adaptive readahead is opt-in");
+        assert_eq!(c.readahead_max_pages, 8);
     }
 }

@@ -170,6 +170,18 @@ pub(crate) struct CacheDesc {
     /// upcalls into an unavailable mapper. Resident clean data may still
     /// be invalidated and the cache destroyed.
     pub poisoned: bool,
+    /// Known length of the backing segment, if any. Clamps clustered
+    /// `pullIn` runs of fully-backed caches (which own *every* offset) so
+    /// readahead never asks the mapper for data past segment end. Grown
+    /// when a `pushOut` extends the segment; `None` means unknown, which
+    /// only disables the clamp, never the pull itself.
+    pub seg_len: Option<u64>,
+    /// Adaptive readahead window, in pages (0 = not yet ramped; the base
+    /// window is `PvmConfig::pull_cluster_pages`).
+    pub ra_window: u64,
+    /// Offset one past the last clustered pull: a fault landing exactly
+    /// here continues a sequential stream and doubles the window.
+    pub ra_next: u64,
 }
 
 impl CacheDesc {

@@ -143,13 +143,7 @@ impl GlobalMap {
 
     /// Unthreads one stub (dc, doff) from the list at (cache, offset).
     /// Returns true if the list existed and is now empty (and removed).
-    pub fn unthread_loc_stub(
-        &self,
-        cache: CacheKey,
-        off: u64,
-        dc: CacheKey,
-        doff: u64,
-    ) -> bool {
+    pub fn unthread_loc_stub(&self, cache: CacheKey, off: u64, dc: CacheKey, doff: u64) -> bool {
         let key = (cache, off);
         let mut g = self.lock(self.shard_for(&key));
         if let Some(list) = g.loc_stubs.get_mut(&key) {

@@ -10,11 +10,11 @@
 
 use crate::descriptors::Slot;
 use crate::keys::PageKey;
-use crate::state::{blocked, done, Attempt, Blocked, PvmState, StubsTo};
+use crate::state::{blocked, done, Attempt, Blocked, Outcome, PushOrigin, PvmState, StubsTo};
 use crate::stats::Counter;
 use crate::trace::TraceEvent;
 use chorus_gmi::GmiError;
-use chorus_hal::{FrameNo, OpKind, Prot};
+use chorus_hal::{FrameNo, OpKind};
 
 impl PvmState {
     /// Allocates a frame, running page replacement when the pool is dry.
@@ -29,7 +29,13 @@ impl PvmState {
             Some(victim) => {
                 let page = self.page(victim);
                 if page.dirty {
-                    self.start_clean(victim)
+                    match self.start_clean(victim, PushOrigin::Demand)? {
+                        Outcome::Blocked(b) => blocked(b),
+                        Outcome::Done(()) => match self.phys.alloc() {
+                            Some(f) => done(f),
+                            None => Err(GmiError::OutOfMemory),
+                        },
+                    }
                 } else {
                     self.evict(victim);
                     match self.phys.alloc() {
@@ -134,49 +140,98 @@ impl PvmState {
         freed
     }
 
-    /// Begins cleaning a dirty victim: downgrade its mappings so
-    /// re-dirtying faults, mark it cleaning, and request the `pushOut`
-    /// upcall (or first a `segmentCreate` if the cache has no segment
-    /// yet).
-    fn start_clean(&mut self, victim: PageKey) -> Attempt<FrameNo> {
+    /// Begins cleaning a dirty victim: gathers the surrounding run of
+    /// contiguous dirty pages (up to `push_cluster_pages`), downgrades
+    /// every run member's mappings so re-dirtying faults, marks them
+    /// cleaning, and requests one batched `pushOut` upcall (or first a
+    /// `segmentCreate` if the cache has no segment yet). `Done(())`
+    /// means the victim's cache died and the page was simply evicted.
+    fn start_clean(&mut self, victim: PageKey, origin: PushOrigin) -> Attempt<()> {
         let cache = self.page(victim).cache;
-        let offset = self.page(victim).offset;
         let Some(desc) = self.caches.get(cache) else {
             // Orphaned page: its cache died; just evict.
             self.evict(victim);
-            return match self.phys.alloc() {
-                Some(f) => done(f),
-                None => Err(GmiError::OutOfMemory),
-            };
+            return done(());
         };
         let Some(segment) = desc.segment else {
             return blocked(Blocked::NeedSegment { cache });
         };
+        let limit = self.config.push_cluster_pages.max(1);
+        let (offset, pages) = self.gather_push_run(victim, limit);
         // Write-protect every mapping so a concurrent write faults and
-        // waits for the cleaning to finish. The fast-path entry is
-        // narrowed in the same step so a racing writer cannot satisfy
-        // its fault lock-free and dodge the cleaning synchronization.
-        let mappings = self.page(victim).mappings.clone();
-        let frame = self.page(victim).frame;
-        for m in mappings {
-            if let Ok(c) = self.ctx(m.ctx) {
-                let mmu_ctx = c.mmu_ctx;
-                if let Some((_, prot)) = self.mmu.query(mmu_ctx, m.vpn) {
-                    let narrowed = prot.remove(Prot::WRITE);
-                    self.mmu.protect(mmu_ctx, m.vpn, narrowed);
-                    self.fast.install(m.ctx, m.vpn, frame, narrowed);
-                }
-            }
+        // waits for the cleaning to finish (`begin_cleaning` narrows the
+        // fast-path entries in the same step so a racing writer cannot
+        // satisfy its fault lock-free and dodge the synchronization).
+        for &p in &pages {
+            self.begin_cleaning(p);
         }
-        self.page_mut(victim).cleaning = true;
-        let size = self.ps();
+        let size = pages.len() as u64 * self.ps();
         blocked(Blocked::PushOut {
             cache,
             segment,
             offset,
             size,
-            page: victim,
+            pages,
+            origin,
         })
+    }
+
+    /// Extends a dirty victim into the longest run of pages contiguous
+    /// in (cache, offset) that are resident, dirty, unpinned and not
+    /// already being cleaned, capped at `limit` pages. Returns the run's
+    /// start offset and its pages in offset order.
+    fn gather_push_run(&self, victim: PageKey, limit: u64) -> (u64, Vec<PageKey>) {
+        let ps = self.ps();
+        let cache = self.page(victim).cache;
+        let base = self.page(victim).offset;
+        let mut start = base;
+        let mut pages = vec![victim];
+        let eligible = |o: u64| -> Option<PageKey> {
+            match self.gmap.get(cache, o) {
+                Some(Slot::Present(p)) => {
+                    let page = self.page(p);
+                    (page.dirty && !page.cleaning && page.lock_count == 0).then_some(p)
+                }
+                _ => None,
+            }
+        };
+        while (pages.len() as u64) < limit && start >= ps {
+            let Some(p) = eligible(start - ps) else { break };
+            pages.insert(0, p);
+            start -= ps;
+        }
+        let mut next = base + ps;
+        while (pages.len() as u64) < limit {
+            let Some(p) = eligible(next) else { break };
+            pages.push(p);
+            next += ps;
+        }
+        (start, pages)
+    }
+
+    /// One step of the watermark-driven laundering pass: while fewer
+    /// than `high` frames are free, evict clean victims inline and hand
+    /// dirty ones to [`PvmState::start_clean`] as daemon-origin batched
+    /// pushes. `Done(())` means the pass is finished (watermark reached
+    /// or no evictable victim remains); `Blocked` must be performed and
+    /// the attempt retried, like any other blocked action.
+    pub fn launder_attempt(&mut self, high: u32) -> Attempt<()> {
+        loop {
+            if self.phys.free_frames() >= high {
+                return done(());
+            }
+            let Some(victim) = self.select_victim() else {
+                return done(());
+            };
+            if self.page(victim).dirty {
+                match self.start_clean(victim, PushOrigin::Daemon)? {
+                    Outcome::Blocked(b) => return blocked(b),
+                    Outcome::Done(()) => {}
+                }
+            } else {
+                self.evict(victim);
+            }
+        }
     }
 
     /// Called by the driver after a successful `pushOut`: the page is

@@ -13,7 +13,7 @@
 use crate::config::PvmConfig;
 use crate::descriptors::Slot;
 use crate::keys::{cache_key, ctx_key, pub_cache, pub_ctx, pub_region, region_key};
-use crate::state::{Attempt, Blocked, Outcome, PvmState};
+use crate::state::{Attempt, Blocked, Outcome, PushOrigin, PvmState};
 use crate::stats::{Counter, PvmStats, StatsRegistry};
 use crate::trace::{Phase, Resolution, TraceEvent, Tracer, UpcallKind, UpcallOutcome};
 use chorus_gmi::{
@@ -22,6 +22,7 @@ use chorus_gmi::{
 };
 use chorus_hal::{CostModel, CostParams, Mmu, PhysicalMemory, SoftMmu, TwoLevelMmu};
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -79,6 +80,10 @@ pub struct Pvm {
     stats: Arc<StatsRegistry>,
     /// The event tracer (see [`crate::trace`]), shared with the state.
     trace: Arc<Tracer>,
+    /// Reentrancy guard for the watermark laundering pass: a laundering
+    /// push that re-enters the driver (e.g. a mapper calling back into
+    /// the GMI) must not start a second pass.
+    laundering: AtomicBool,
 }
 
 impl Pvm {
@@ -90,13 +95,7 @@ impl Pvm {
             MmuChoice::Soft => Box::new(SoftMmu::new(options.geometry, model.clone())),
             MmuChoice::TwoLevel => Box::new(TwoLevelMmu::new(options.geometry, model.clone())),
         };
-        let state = PvmState::new(
-            options.geometry,
-            phys,
-            mmu,
-            model.clone(),
-            options.config,
-        );
+        let state = PvmState::new(options.geometry, phys, mmu, model.clone(), options.config);
         let fast = state.fast.clone();
         let stats = state.stats.clone();
         let trace = state.trace.clone();
@@ -109,6 +108,7 @@ impl Pvm {
             fast,
             stats,
             trace,
+            laundering: AtomicBool::new(false),
         }
     }
 
@@ -184,6 +184,7 @@ impl Pvm {
 
     fn run<T>(&self, mut attempt: impl FnMut(&mut PvmState) -> Attempt<T>) -> Result<T> {
         let mut guard = self.state.lock();
+        guard = self.maybe_launder(guard);
         loop {
             match attempt(&mut guard)? {
                 Outcome::Done(v) => {
@@ -201,6 +202,48 @@ impl Pvm {
                 }
             }
         }
+    }
+
+    /// The deterministic "writeback daemon": when the watermark config
+    /// is on and free frames fell below the low watermark, launder
+    /// (clean + evict) pages until the high watermark is reached, so the
+    /// operation about to run — and the demand faults after it — find
+    /// free or clean frames instead of stalling on a synchronous
+    /// `pushOut`. Runs inline at every driver entry rather than on a
+    /// free-running thread, so the same operation sequence always
+    /// launders at the same simulated instants (the determinism rule).
+    /// Laundering failures are swallowed: the daemon must never fail the
+    /// operation that happened to trigger it (the pages simply stay
+    /// dirty and the synchronous emergency path still applies).
+    fn maybe_launder<'a>(
+        &'a self,
+        guard: parking_lot::MutexGuard<'a, PvmState>,
+    ) -> parking_lot::MutexGuard<'a, PvmState> {
+        let low = guard.config.writeback_low_frames;
+        if !guard.config.writeback_daemon || low == 0 || guard.phys.free_frames() >= low {
+            return guard;
+        }
+        if self.laundering.swap(true, Ordering::Acquire) {
+            return guard;
+        }
+        let high = guard.config.writeback_high_frames.max(low);
+        let mut guard = guard;
+        guard.stats.bump(Counter::LaunderPasses);
+        loop {
+            match guard.launder_attempt(high) {
+                Ok(Outcome::Done(())) => break,
+                Ok(Outcome::Blocked(action)) => match self.perform(guard, action) {
+                    Ok(g) => guard = g,
+                    Err(_) => {
+                        guard = self.state.lock();
+                        break;
+                    }
+                },
+                Err(_) => break,
+            }
+        }
+        self.laundering.store(false, Ordering::Release);
+        guard
     }
 
     /// Drives one mapper upcall under the retry policy: transient
@@ -342,10 +385,20 @@ impl Pvm {
                 segment,
                 offset,
                 size,
-                page,
+                pages,
+                origin,
             } => {
                 let policy = guard.config.retry;
                 drop(guard);
+                let ps = self.geom.page_size();
+                // A demand-origin push is the faulting thread stalling on
+                // a dirty eviction — the latency the writeback daemon
+                // exists to remove; record it in its own histogram.
+                let stall0 = if origin == PushOrigin::Demand {
+                    self.trace.phase_start()
+                } else {
+                    None
+                };
                 let t0 = self.trace.phase_start();
                 self.trace.event(|| TraceEvent::UpcallStart {
                     kind: UpcallKind::PushOut,
@@ -353,10 +406,22 @@ impl Pvm {
                     offset,
                     size,
                 });
-                let (res, retries) = self.upcall_with_retry(segment, policy, || {
-                    self.seg_mgr
-                        .push_out(self, pub_cache(cache), segment, offset, size)
-                });
+                let (res, retries) = if pages.len() == 1 {
+                    self.upcall_with_retry(segment, policy, || {
+                        self.seg_mgr
+                            .push_out(self, pub_cache(cache), segment, offset, size)
+                    })
+                } else {
+                    // A multi-page batch gets one shot: on any failure we
+                    // fall back to per-page pushes, each with its own full
+                    // retry budget, rather than re-driving N-page transfers
+                    // against a mapper that already dropped one.
+                    (
+                        self.seg_mgr
+                            .push_out(self, pub_cache(cache), segment, offset, size),
+                        0,
+                    )
+                };
                 self.trace.event(|| TraceEvent::UpcallEnd {
                     kind: UpcallKind::PushOut,
                     outcome: upcall_outcome(&res),
@@ -366,33 +431,120 @@ impl Pvm {
                 let mut guard = self.state.lock();
                 guard.stats.add(Counter::MapperRetries, retries);
                 if res.is_ok() {
+                    // One mapper round trip for the whole run, plus the
+                    // per-page transfer — the request-count amortization
+                    // that makes clustering pay.
                     guard.charge(chorus_hal::OpKind::IpcOp);
-                    guard.charge_n(chorus_hal::OpKind::SegmentIoPage, size / guard.ps());
-                }
-                // On failure the page keeps its dirty bit (`success:
-                // false`), so no modified data is lost: a later retry of
-                // the clean can still write it back.
-                guard.finish_clean(page, res.is_ok());
-                if let Err(e) = res {
-                    if matches!(e, GmiError::MapperTimeout { .. }) {
-                        guard.stats.bump(Counter::MapperTimeouts);
+                    guard.charge_n(chorus_hal::OpKind::SegmentIoPage, size / ps);
+                    guard.stats.bump(Counter::PushOutBatches);
+                    for &p in &pages {
+                        guard.finish_clean(p, true);
                     }
-                    if !e.is_transient() {
+                    guard.grow_seg_len(cache, offset + size);
+                    self.trace.phase_end(Phase::EvictStall, stall0);
+                    return Ok(guard);
+                }
+                let first_err = res.unwrap_err();
+                if matches!(first_err, GmiError::MapperTimeout { .. }) {
+                    guard.stats.bump(Counter::MapperTimeouts);
+                }
+                if pages.len() == 1 {
+                    // On failure the page keeps its dirty bit (`success:
+                    // false`), so no modified data is lost: a later retry
+                    // of the clean can still write it back.
+                    guard.finish_clean(pages[0], false);
+                    if !first_err.is_transient() {
                         guard.quarantine_cache(cache);
                     }
                     drop(guard);
                     self.stub_cv.notify_all();
-                    return Err(e);
+                    self.trace.phase_end(Phase::EvictStall, stall0);
+                    return Err(first_err);
                 }
-                Ok(guard)
+                // A multi-page batch failed (wholly, or part-way with a
+                // truncated reply): split into per-page pushes, each with
+                // its own retry budget, so one bad page cannot lose the
+                // dirty data of its neighbours. Pages that died while the
+                // lock was released (e.g. a concurrent invalidate) have
+                // nothing left to write and are skipped.
+                guard.stats.bump(Counter::PushBatchSplits);
+                drop(guard);
+                let mut outcomes: Vec<Option<Result<()>>> = Vec::with_capacity(pages.len());
+                let mut retries_total = 0u64;
+                let mut dead_mapper = false;
+                for (i, &p) in pages.iter().enumerate() {
+                    if dead_mapper {
+                        outcomes.push(Some(Err(GmiError::SegmentIo {
+                            segment,
+                            cause: "batched pushOut aborted after permanent mapper failure".into(),
+                            transient: true,
+                        })));
+                        continue;
+                    }
+                    if !self.state.lock().pages.contains(p) {
+                        outcomes.push(None);
+                        continue;
+                    }
+                    let off_i = offset + i as u64 * ps;
+                    let (r, rt) = self.upcall_with_retry(segment, policy, || {
+                        self.seg_mgr
+                            .push_out(self, pub_cache(cache), segment, off_i, ps)
+                    });
+                    retries_total += rt;
+                    if r.as_ref().err().map(|e| !e.is_transient()).unwrap_or(false) {
+                        dead_mapper = true;
+                    }
+                    outcomes.push(Some(r));
+                }
+                let mut guard = self.state.lock();
+                guard.stats.add(Counter::MapperRetries, retries_total);
+                let mut err: Option<GmiError> = None;
+                let mut quarantine = false;
+                for (i, (&p, r)) in pages.iter().zip(outcomes).enumerate() {
+                    match r {
+                        None => {}
+                        Some(Ok(())) => {
+                            guard.charge(chorus_hal::OpKind::IpcOp);
+                            guard.charge_n(chorus_hal::OpKind::SegmentIoPage, 1);
+                            guard.finish_clean(p, true);
+                            guard.grow_seg_len(cache, offset + (i as u64 + 1) * ps);
+                        }
+                        Some(Err(e)) => {
+                            guard.finish_clean(p, false);
+                            if matches!(e, GmiError::MapperTimeout { .. }) {
+                                guard.stats.bump(Counter::MapperTimeouts);
+                            }
+                            if !e.is_transient() {
+                                quarantine = true;
+                            }
+                            if err.is_none() {
+                                err = Some(e);
+                            }
+                        }
+                    }
+                }
+                if quarantine {
+                    guard.quarantine_cache(cache);
+                }
+                self.trace.phase_end(Phase::EvictStall, stall0);
+                match err {
+                    None => Ok(guard),
+                    Some(e) => {
+                        drop(guard);
+                        self.stub_cv.notify_all();
+                        Err(e)
+                    }
+                }
             }
             Blocked::NeedSegment { cache } => {
                 drop(guard);
                 let segment = self.seg_mgr.segment_create(pub_cache(cache));
+                let seg_len = self.seg_mgr.segment_size(segment);
                 let mut guard = self.state.lock();
                 if let Ok(c) = guard.cache_mut(cache) {
                     if c.segment.is_none() {
                         c.segment = Some(segment);
+                        c.seg_len = seg_len;
                     }
                 }
                 Ok(guard)
@@ -477,6 +629,12 @@ impl CacheIo for Pvm {
         let key = cache_key(cache);
         let guard = self.state.lock();
         guard.copy_back_locked(key, offset, buf)
+    }
+
+    fn copy_back_run(&self, cache: CacheId, offset: u64, buf: &mut [u8]) -> Result<u64> {
+        let key = cache_key(cache);
+        let guard = self.state.lock();
+        guard.copy_back_run_locked(key, offset, buf)
     }
 
     fn move_back(&self, cache: CacheId, offset: u64, buf: &mut [u8]) -> Result<()> {
@@ -592,14 +750,78 @@ impl PvmState {
         }
         Ok(())
     }
+
+    /// Reads the longest fully-resident page-aligned prefix of
+    /// `[offset, offset + buf.len())` into `buf`, returning its length
+    /// in bytes. A batched `pushOut` uses this so a page that vanished
+    /// mid-run (writeback racing an invalidate) shortens the reply
+    /// instead of failing the whole batch.
+    pub(crate) fn copy_back_run_locked(
+        &self,
+        cache: crate::keys::CacheKey,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<u64> {
+        self.cache(cache)?;
+        let ps = self.ps();
+        let mut cur = 0u64;
+        while cur < buf.len() as u64 {
+            let o = offset + cur;
+            let page_off = self.geom.round_down(o);
+            let in_page = (page_off + ps - o).min(buf.len() as u64 - cur);
+            match self.gmap.get(cache, page_off) {
+                Some(Slot::Present(p)) => {
+                    let frame = self.page(p).frame;
+                    self.phys.read(
+                        frame,
+                        o - page_off,
+                        &mut buf[cur as usize..(cur + in_page) as usize],
+                    );
+                }
+                _ if cur == 0 => {
+                    return Err(GmiError::OutOfRange {
+                        offset: page_off,
+                        size: ps,
+                        what: "copyBack of non-resident data",
+                    })
+                }
+                _ => break,
+            }
+            cur += in_page;
+        }
+        Ok(cur)
+    }
+
+    /// Grows a cache's known segment length after a `pushOut` extended
+    /// the segment to `end`. An unknown length stays unknown (it only
+    /// disables the readahead clamp, never a pull).
+    pub(crate) fn grow_seg_len(&mut self, cache: crate::keys::CacheKey, end: u64) {
+        if let Some(c) = self.caches.get_mut(cache) {
+            if let Some(len) = c.seg_len {
+                if end > len {
+                    c.seg_len = Some(end);
+                }
+            }
+        }
+    }
 }
 
 // ----- the GMI itself ------------------------------------------------------
 
 impl Gmi for Pvm {
     fn cache_create(&self, segment: Option<SegmentId>) -> Result<CacheId> {
+        // Ask the manager for the segment's length before taking the
+        // lock; it clamps clustered pulls at segment end (`None` just
+        // disables the clamp).
+        let seg_len = segment.and_then(|s| self.seg_mgr.segment_size(s));
         let mut guard = self.state.lock();
-        Ok(pub_cache(guard.cache_create_locked(segment)))
+        let key = guard.cache_create_locked(segment);
+        if seg_len.is_some() {
+            if let Ok(c) = guard.cache_mut(key) {
+                c.seg_len = seg_len;
+            }
+        }
+        Ok(pub_cache(key))
     }
 
     fn cache_destroy(&self, cache: CacheId) -> Result<()> {

@@ -9,6 +9,7 @@
 use crate::descriptors::{CowSource, Slot};
 use crate::keys::{CacheKey, PageKey};
 use crate::state::{blocked, done, Attempt, Blocked, Outcome, PvmState};
+use crate::stats::Counter;
 use crate::trace::TraceEvent;
 use chorus_gmi::GmiError;
 use chorus_hal::{Access, OpKind};
@@ -94,14 +95,33 @@ impl PvmState {
                             "owned page with neither residence nor segment",
                         ))?;
                         let ps = self.ps();
+                        let window = self.pull_window(x, o)?;
                         let mut pages = 1u64;
-                        while pages < self.config.pull_cluster_pages {
+                        while pages < window {
                             let next = o + pages * ps;
                             let desc = self.cache(x)?;
+                            // Clamp at segment end: a fully-backed cache
+                            // owns *every* offset, but the mapper has no
+                            // data past the segment's known length, and a
+                            // run crossing it would come back truncated.
+                            if let Some(len) = desc.seg_len {
+                                if next + ps > len {
+                                    break;
+                                }
+                            }
+                            // Stop at resident pages, in-transit stubs and
+                            // COW stubs (all indexed in `entries`): pulling
+                            // them again would be redundant mapper I/O.
                             if !desc.owns(next) || desc.entries.contains(&next) {
                                 break;
                             }
                             pages += 1;
+                        }
+                        if self.config.readahead_adaptive {
+                            let granted = window;
+                            let d = self.cache_mut(x)?;
+                            d.ra_window = granted;
+                            d.ra_next = o + pages * ps;
                         }
                         for k in 0..pages {
                             self.set_slot(x, o + k * ps, Slot::Sync);
@@ -124,6 +144,35 @@ impl PvmState {
                     }
                 }
             }
+        }
+    }
+
+    /// The pull cluster window (in pages) for a miss of `cache` at
+    /// `off`. Static `pull_cluster_pages` unless adaptive readahead is
+    /// on; then a miss landing exactly where the cache's previous
+    /// clustered pull ended continues a sequential stream and doubles
+    /// the window (up to `readahead_max_pages`), while any other
+    /// pattern resets it to the static base.
+    fn pull_window(&mut self, cache: CacheKey, off: u64) -> chorus_gmi::Result<u64> {
+        if !self.config.readahead_adaptive {
+            return Ok(self.config.pull_cluster_pages);
+        }
+        let base = self.config.pull_cluster_pages.max(1);
+        let cap = self.config.readahead_max_pages.max(base);
+        let (prev, ra_next) = {
+            let d = self.cache(cache)?;
+            let prev = if d.ra_window == 0 { base } else { d.ra_window };
+            (prev, d.ra_next)
+        };
+        if ra_next != 0 && off == ra_next {
+            self.stats.bump(Counter::ReadaheadHits);
+            let grown = prev.saturating_mul(2).min(cap);
+            if grown > prev {
+                self.stats.bump(Counter::ReadaheadRamps);
+            }
+            Ok(grown)
+        } else {
+            Ok(base)
         }
     }
 

@@ -42,20 +42,23 @@ pub(crate) enum Blocked {
         /// Access mode for the pull.
         access: Access,
     },
-    /// Perform a `pushOut` upcall for a page being cleaned. The attempt
-    /// has already write-protected the page's mappings and set its
-    /// `cleaning` flag.
+    /// Perform a `pushOut` upcall for a run of pages being cleaned. The
+    /// attempt has already write-protected every page's mappings and set
+    /// their `cleaning` flags; `pages[i]` sits at `offset + i * ps`.
     PushOut {
         /// Source cache.
         cache: CacheKey,
         /// Its segment.
         segment: SegmentId,
-        /// Page-aligned offset.
+        /// Page-aligned offset of the first page of the run.
         offset: u64,
-        /// Size to push.
+        /// Size to push (`pages.len() * page_size`).
         size: u64,
-        /// The page being cleaned.
-        page: PageKey,
+        /// The contiguous run of pages being cleaned, in offset order.
+        pages: Vec<PageKey>,
+        /// Why the run is being pushed (demand eviction, the writeback
+        /// daemon, or an explicit sync/flush).
+        origin: PushOrigin,
     },
     /// The cache needs a segment assigned (`segmentCreate` upcall,
     /// §5.1.2: temporary caches get a swap segment at first push-out).
@@ -78,6 +81,21 @@ pub(crate) enum Blocked {
         /// The page to mark writable on success.
         page: PageKey,
     },
+}
+
+/// Why a [`Blocked::PushOut`] was issued. Demand evictions stall the
+/// faulting thread (tracked in the `fault.evictStall` histogram); daemon
+/// pushes run from the watermark laundering pass and must never fail the
+/// operation that triggered them; sync pushes come from explicit
+/// `cache_sync`/flush/destroy and keep their caller's error semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushOrigin {
+    /// Synchronous eviction inside a demand fault or allocation.
+    Demand,
+    /// Background laundering by the watermark-driven writeback daemon.
+    Daemon,
+    /// Explicit `cache_sync`/flush/destroy writeback.
+    Sync,
 }
 
 /// Result of one locked attempt.
@@ -342,8 +360,7 @@ impl PvmState {
             StubsTo::Loc => {
                 for (dc, doff) in desc.stubs {
                     self.set_slot(dc, doff, Slot::Cow(CowSource::Loc(desc.cache, desc.offset)));
-                    self.gmap
-                        .push_loc_stub(desc.cache, desc.offset, (dc, doff));
+                    self.gmap.push_loc_stub(desc.cache, desc.offset, (dc, doff));
                 }
             }
             StubsTo::AlreadyHandled => {

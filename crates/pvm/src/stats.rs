@@ -128,6 +128,21 @@ counters! {
     /// Full clock-hand sweeps completed while hunting an eviction
     /// victim (each pass over the whole ring counts once).
     clock_full_sweeps => ClockFullSweeps,
+    /// Batched `pushOut` requests shipped to a mapper (each batch
+    /// launders one run of contiguous dirty pages; `push_outs` counts
+    /// the individual pages).
+    push_out_batches => PushOutBatches,
+    /// Batched `pushOut` requests that failed part-way and were split
+    /// into per-page retries to avoid dirty-page loss.
+    push_batch_splits => PushBatchSplits,
+    /// Watermark-driven laundering passes run by the writeback daemon.
+    launder_passes => LaunderPasses,
+    /// Faults that landed on a page pre-fetched by the adaptive
+    /// readahead window (sequential stream continuations).
+    readahead_hits => ReadaheadHits,
+    /// Times the adaptive readahead window grew (doubled) on a
+    /// sequential stream.
+    readahead_ramps => ReadaheadRamps,
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();
@@ -234,7 +249,8 @@ mod tests {
     #[test]
     fn counter_labels_match_snapshot_fields() {
         assert_eq!(Counter::FastPathHits.label(), "fast_path_hits");
-        assert_eq!(Counter::ALL.len(), 22);
+        assert_eq!(Counter::ALL.len(), 27);
+        assert_eq!(Counter::PushOutBatches.label(), "push_out_batches");
     }
 
     #[test]

@@ -46,6 +46,10 @@ phases! {
     GetWriteAccess => "upcall.getWriteAccess",
     /// One sleep on a synchronization page stub.
     StubWait => "stub.wait",
+    /// Demand-fault time spent blocked on a synchronous `pushOut`
+    /// (dirty eviction in the faulting thread — what the writeback
+    /// daemon exists to avoid).
+    EvictStall => "fault.evictStall",
 }
 
 /// One wait-free log2 latency histogram (durations in simulated ns).
@@ -133,6 +137,25 @@ impl HistogramSnapshot {
         }
     }
 
+    /// An upper bound on the `p`-th percentile sample (`0.0..=1.0`):
+    /// the exclusive upper bound of the bucket holding that sample, or
+    /// 0 with no samples. Bucket granularity (log2) bounds the error.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        self.max
+    }
+
     /// Renders the non-empty buckets as fixed-width text rows,
     /// `[lo, hi) ns  count  bar`.
     pub fn render(&self) -> String {
@@ -165,7 +188,10 @@ impl HistogramSnapshot {
 pub fn bucket_bounds(i: usize) -> (u64, u64) {
     match i {
         0 => (0, 1),
-        _ => (1u64 << (i - 1), 1u64.checked_shl(i as u32).unwrap_or(u64::MAX)),
+        _ => (
+            1u64 << (i - 1),
+            1u64.checked_shl(i as u32).unwrap_or(u64::MAX),
+        ),
     }
 }
 
@@ -207,8 +233,23 @@ mod tests {
 
     #[test]
     fn phase_labels_are_stable() {
-        assert_eq!(Phase::ALL.len(), 5);
+        assert_eq!(Phase::ALL.len(), 6);
         assert_eq!(Phase::FaultTotal.label(), "fault.total");
         assert_eq!(Phase::PullIn.label(), "upcall.pullIn");
+        assert_eq!(Phase::EvictStall.label(), "fault.evictStall");
+    }
+
+    #[test]
+    fn percentile_is_bucket_upper_bound() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().percentile(0.99), 0);
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 16)
+        }
+        h.record(1000); // bucket [512, 1024)
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 16);
+        assert_eq!(s.percentile(0.99), 16);
+        assert_eq!(s.percentile(1.0), 1024);
     }
 }

@@ -637,7 +637,10 @@ mod tests {
         assert_eq!(h.count(), 1);
         assert_eq!(h.sum, model.now().nanos());
         let recs = t.drain();
-        assert!(matches!(recs[0].event, TraceEvent::FaultEnter { ctx: 3, .. }));
+        assert!(matches!(
+            recs[0].event,
+            TraceEvent::FaultEnter { ctx: 3, .. }
+        ));
         assert!(matches!(
             recs[1].event,
             TraceEvent::FaultExit {
@@ -665,7 +668,12 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec![("B", "outer"), ("B", "inner"), ("E", "inner"), ("E", "outer")]
+            vec![
+                ("B", "outer"),
+                ("B", "inner"),
+                ("E", "inner"),
+                ("E", "outer")
+            ]
         );
     }
 

@@ -189,10 +189,7 @@ impl TraceSink {
             if let Some(w) = rec.wall_ns {
                 args.push(("wall_ns", w.to_string()));
             }
-            let body: Vec<String> = args
-                .iter()
-                .map(|(k, v)| format!("\"{k}\":{v}"))
-                .collect();
+            let body: Vec<String> = args.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
             ev.push_str(&format!(",\"args\":{{{}}}}}", body.join(",")));
             events.push(ev);
         }

@@ -105,6 +105,105 @@ fn threads_hammer_shared_cache_under_tiny_pool() {
     }
 }
 
+/// The writeback-vs-eviction race: the watermark daemon launders dirty
+/// runs in clustered batches while worker threads rewrite those same
+/// pages and a chaos thread flushes them mid-batch. A page can be
+/// invalidated between the batched pushOut upcall and its copyBack
+/// (the short-run protocol then retries the tail page by page), and a
+/// page rewritten while its batch is in flight must come out of
+/// `finish_clean` still dirty. The byte oracle is the referee: no
+/// rewrite may be lost to a stale batch landing after it.
+#[test]
+fn clustered_writeback_races_flushes_without_losing_writes() {
+    let (pvm, _mgr) = setup_with(24, |o| {
+        o.config.check_invariants = false;
+        o.config.push_cluster_pages = 4;
+        o.config.writeback_daemon = true;
+        o.config.writeback_low_frames = 8;
+        o.config.writeback_high_frames = 12;
+    });
+    let cache = pvm.cache_create(None).unwrap();
+    let total = THREADS as u64 * PAGES_PER_THREAD;
+    let base = 0x1_0000u64;
+
+    let ctxs: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let ctx = pvm.context_create().unwrap();
+            pvm.region_create(ctx, VirtAddr(base), total * PS, Prot::RW, cache, 0)
+                .unwrap();
+            ctx
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let mut handles = Vec::new();
+    for (t, &ctx) in ctxs.iter().enumerate() {
+        let pvm = Arc::clone(&pvm);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let lo = base + t as u64 * PAGES_PER_THREAD * PS;
+            for round in 0..ROUNDS {
+                let tag = (t as u8) << 5 | round;
+                for p in 0..PAGES_PER_THREAD {
+                    write(&pvm, ctx, lo + p * PS, &pattern(tag, PS as usize));
+                }
+                for p in 0..PAGES_PER_THREAD {
+                    assert_eq!(
+                        read(&pvm, ctx, lo + p * PS, PS as usize),
+                        pattern(tag, PS as usize),
+                        "thread {t} page {p} round {round}: lost or foreign bytes"
+                    );
+                }
+            }
+        }));
+    }
+
+    // Chaos: flush pages out from under in-flight laundering batches.
+    let chaos = {
+        let pvm = Arc::clone(&pvm);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..u64::from(ROUNDS) * 8 {
+                let _ = pvm.cache_flush(cache, (i % total) * PS, 2 * PS);
+                if i % 5 == 0 {
+                    let _ = pvm.cache_sync(cache, 0, total * PS);
+                }
+            }
+        })
+    };
+
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    chaos.join().expect("chaos thread");
+    pvm.check_invariants();
+
+    let stats = pvm.stats();
+    assert!(
+        stats.push_out_batches > 0,
+        "clustered writeback never completed a batch"
+    );
+    assert!(
+        stats.launder_passes > 0,
+        "the watermark daemon never woke despite sustained pressure"
+    );
+
+    // Final oracle: every partition holds its last-round pattern.
+    for (t, &ctx) in ctxs.iter().enumerate() {
+        let tag = (t as u8) << 5 | (ROUNDS - 1);
+        let lo = base + t as u64 * PAGES_PER_THREAD * PS;
+        for p in 0..PAGES_PER_THREAD {
+            assert_eq!(
+                read(&pvm, ctx, lo + p * PS, PS as usize),
+                pattern(tag, PS as usize),
+                "thread {t} page {p}: final bytes diverged"
+            );
+        }
+    }
+}
+
 /// The fast-path-vs-eviction race: one thread satisfies soft faults
 /// lock-free on mapped pages while another keeps flushing the cache out
 /// from under it. A hit may only happen while the MMU mapping is live

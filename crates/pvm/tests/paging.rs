@@ -366,7 +366,10 @@ fn region_split_partitions_the_pins() {
     pvm.write_logical(noise, 0, &pattern(1, (8 * PS) as usize))
         .unwrap();
     assert_eq!(pvm.region_status(upper).unwrap().resident_pages, 2);
-    assert_eq!(read(&pvm, ctx, 2 * PS, 4), pattern(0xD8, (2 * PS) as usize + 4)[(2 * PS) as usize..].to_vec());
+    assert_eq!(
+        read(&pvm, ctx, 2 * PS, 4),
+        pattern(0xD8, (2 * PS) as usize + 4)[(2 * PS) as usize..].to_vec()
+    );
     pvm.region_unlock(upper).unwrap();
     pvm.write_logical(noise, 0, &pattern(2, (8 * PS) as usize))
         .unwrap();

@@ -2,11 +2,13 @@
 # Tier-1 verification wrapper for this workspace.
 #
 # Runs the full check sequence from .claude/skills/verify/SKILL.md:
-# release build, test suite, clippy gate, the fast-path liveness probe,
-# the release-mode concurrency stress, and the tracing bit-identity
-# check (Table 5 regenerated with CHORUS_TRACE=1 must match the
-# committed reports/table5.txt byte for byte — the determinism rule:
-# no trace call may advance the cost-model clock).
+# release build, test suite, format gate, clippy gate, the fast-path
+# liveness probe, the writeback-pipeline smoke (clustering must cut
+# pushOut requests >=4x and the daemon must shrink demand evict
+# stalls), the release-mode concurrency stress, and the tracing
+# bit-identity check (Table 5 regenerated with CHORUS_TRACE=1 must
+# match the committed reports/table5.txt byte for byte — the
+# determinism rule: no trace call may advance the cost-model clock).
 #
 # Usage: scripts/verify.sh            (from the repo root or anywhere)
 
@@ -21,6 +23,9 @@ cargo build --release
 step "cargo test -q"
 cargo test -q
 
+step "cargo fmt --check"
+cargo fmt --check
+
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -33,6 +38,24 @@ rows = [r for r in json.load(sys.stdin)["rows"]
 assert rows, "no fast_path resident-read rows"
 assert all(r["fast_path_hits"] > 0 for r in rows), rows
 print("ok: fast_path_hits > 0 on all resident-read rows")
+'
+
+step "ablation_writeback --quick: clustering amortizes, daemon unblocks"
+cargo run --release -q -p chorus-bench --bin ablation_writeback -- --json --quick |
+  python3 -c '
+import json, sys
+rows = json.load(sys.stdin)["rows"]
+def row(cluster, daemon):
+    return next(r for r in rows if r["cluster"] == cluster and r["daemon"] == daemon)
+base = row(1, False)
+clustered = row(8, False)
+daemon = row(8, True)
+assert clustered["pushout_upcalls"] * 4 <= base["pushout_upcalls"], (base, clustered)
+assert daemon["evict_stalls"] < base["evict_stalls"], (base, daemon)
+assert daemon["evict_stall_p99_ns"] < base["evict_stall_p99_ns"], (base, daemon)
+print("ok: pushOut upcalls %d -> %d (>=4x), evict-stall p99 %d -> %d ns"
+      % (base["pushout_upcalls"], clustered["pushout_upcalls"],
+         base["evict_stall_p99_ns"], daemon["evict_stall_p99_ns"]))
 '
 
 step "release-mode concurrent_faults stress"

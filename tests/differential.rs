@@ -517,7 +517,10 @@ fn regression_merge_dangling_history_pvm() {
 // ----- trace/counter invariants -------------------------------------------
 
 /// Counts drained trace events matching `pred`.
-fn count_events(records: &[chorus_pvm::trace::TraceRecord], pred: impl Fn(&TraceEvent) -> bool) -> u64 {
+fn count_events(
+    records: &[chorus_pvm::trace::TraceRecord],
+    pred: impl Fn(&TraceEvent) -> bool,
+) -> u64 {
     records.iter().filter(|r| pred(&r.event)).count() as u64
 }
 
@@ -573,34 +576,40 @@ fn trace_events_agree_with_counters() {
 
     let enters = count_events(&records, |e| matches!(e, TraceEvent::FaultEnter { .. }));
     let exits = count_events(&records, |e| matches!(e, TraceEvent::FaultExit { .. }));
-    let failed = count_events(
-        &records,
-        |e| matches!(e, TraceEvent::FaultExit { resolution: Resolution::Failed, .. }),
-    );
+    let failed = count_events(&records, |e| {
+        matches!(
+            e,
+            TraceEvent::FaultExit {
+                resolution: Resolution::Failed,
+                ..
+            }
+        )
+    });
     assert_eq!(enters, exits, "unbalanced fault enter/exit");
     assert_eq!(failed, 0, "workload must not fail any fault");
     // A fast hit IS a handled fault: the snapshot folds them together,
     // and so does the trace (one enter/exit pair either way).
     assert_eq!(enters, stats.faults, "trace vs counter fault totals");
 
-    let fast_hits = count_events(
-        &records,
-        |e| matches!(e, TraceEvent::FastPathHit { .. }),
-    );
+    let fast_hits = count_events(&records, |e| matches!(e, TraceEvent::FastPathHit { .. }));
     assert_eq!(fast_hits, stats.fast_path_hits);
     assert!(fast_hits > 0, "soft-fault loop should hit the fast path");
-    let fallbacks = count_events(
-        &records,
-        |e| matches!(e, TraceEvent::FastPathFallback { .. }),
-    );
+    let fallbacks = count_events(&records, |e| {
+        matches!(e, TraceEvent::FastPathFallback { .. })
+    });
     assert_eq!(fallbacks, stats.fast_path_fallbacks);
 
     // Per-resolution exits never exceed their counters (zero-fill and
     // cow-copy counters also count non-fault paths like cache_write).
-    let zero_fill_exits = count_events(
-        &records,
-        |e| matches!(e, TraceEvent::FaultExit { resolution: Resolution::ZeroFill, .. }),
-    );
+    let zero_fill_exits = count_events(&records, |e| {
+        matches!(
+            e,
+            TraceEvent::FaultExit {
+                resolution: Resolution::ZeroFill,
+                ..
+            }
+        )
+    });
     assert!(zero_fill_exits <= stats.zero_fills);
     assert!(zero_fill_exits > 0, "demand-zero touches must zero-fill");
 

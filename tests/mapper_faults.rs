@@ -186,7 +186,10 @@ fn thirty_two_seeds_of_transient_faults_all_heal() {
         total_faults += s.faulty_files.take_log().len() + s.faulty_swap.take_log().len();
         assert_eq!(s.pvm.stats().quarantined_caches, 0, "seed={seed}");
     }
-    assert!(total_faults > 100, "plans injected too little: {total_faults}");
+    assert!(
+        total_faults > 100,
+        "plans injected too little: {total_faults}"
+    );
     assert!(total_retries > 50, "retries never fired: {total_retries}");
 }
 
@@ -210,10 +213,24 @@ fn permanent_failure_quarantines_only_the_affected_cache() {
     let good_seg = s.seg_mgr.segment_for(clean.create_segment(&good_init));
     let bad_cache = pvm.cache_create(Some(bad_seg)).unwrap();
     let good_cache = pvm.cache_create(Some(good_seg)).unwrap();
-    pvm.region_create(ctx, VirtAddr(0x10_0000), SEG_SIZE as u64, Prot::RW, bad_cache, 0)
-        .unwrap();
-    pvm.region_create(ctx, VirtAddr(0x20_0000), SEG_SIZE as u64, Prot::RW, good_cache, 0)
-        .unwrap();
+    pvm.region_create(
+        ctx,
+        VirtAddr(0x10_0000),
+        SEG_SIZE as u64,
+        Prot::RW,
+        bad_cache,
+        0,
+    )
+    .unwrap();
+    pvm.region_create(
+        ctx,
+        VirtAddr(0x20_0000),
+        SEG_SIZE as u64,
+        Prot::RW,
+        good_cache,
+        0,
+    )
+    .unwrap();
 
     let mut buf = [0u8; 16];
     // First touch: the permanent failure surfaces as MapperUnavailable.
@@ -310,7 +327,9 @@ fn slow_mapper_times_out_against_the_simulated_deadline() {
     let s = stack(16, slow, FaultPlan::quiet(0), |_| {});
     let pvm = &s.pvm;
     let ctx = pvm.context_create().unwrap();
-    let seg = s.seg_mgr.segment_for(s.files.create_segment(&vec![1; SEG_SIZE]));
+    let seg = s
+        .seg_mgr
+        .segment_for(s.files.create_segment(&vec![1; SEG_SIZE]));
     let cache = pvm.cache_create(Some(seg)).unwrap();
     pvm.region_create(ctx, VirtAddr(0), SEG_SIZE as u64, Prot::RW, cache, 0)
         .unwrap();
@@ -366,7 +385,8 @@ fn failed_pageout_never_loses_a_dirty_page() {
     for p in 0..pages {
         if oracle[p as usize].is_empty() {
             let data: Vec<u8> = (0..PS).map(|k| (p as u8) ^ (k as u8)).collect();
-            pvm.vm_write(ctx, VirtAddr(0x10_0000 + p * PS), &data).unwrap();
+            pvm.vm_write(ctx, VirtAddr(0x10_0000 + p * PS), &data)
+                .unwrap();
             oracle[p as usize] = data;
         }
     }
@@ -378,7 +398,8 @@ fn failed_pageout_never_loses_a_dirty_page() {
     // exactly its oracle bytes.
     for p in 0..pages {
         let mut got = vec![0u8; PS as usize];
-        pvm.vm_read(ctx, VirtAddr(0x10_0000 + p * PS), &mut got).unwrap();
+        pvm.vm_read(ctx, VirtAddr(0x10_0000 + p * PS), &mut got)
+            .unwrap();
         assert_eq!(got, oracle[p as usize], "page {p} lost data");
     }
     pvm.check_invariants();
@@ -407,6 +428,236 @@ fn emergency_pageout_rescues_fill_up_when_replacement_is_off() {
         assert_eq!(buf[0], (p * PS) as u8);
     }
     assert!(pvm.stats().emergency_pageouts >= 1);
+    pvm.check_invariants();
+}
+
+#[test]
+fn clustered_pull_clamps_at_segment_end() {
+    // Regression: a fully-backed cache owns *every* offset, so an
+    // unclamped 8-page cluster faulting at page 0 of a 4-page segment
+    // would pull past the segment end — wasted mapper I/O and frames
+    // full of sparse zeroes. With the clamp the run stops at the
+    // segment's known length.
+    let s = stack(16, FaultPlan::quiet(0), FaultPlan::quiet(0), |c| {
+        c.pull_cluster_pages = 8;
+    });
+    let pvm = &s.pvm;
+    let ctx = pvm.context_create().unwrap();
+    let init: Vec<u8> = (0..SEG_SIZE).map(|k| k as u8).collect();
+    let seg = s.seg_mgr.segment_for(s.files.create_segment(&init));
+    let cache = pvm.cache_create(Some(seg)).unwrap();
+    // The region is twice the segment, so offsets past the segment end
+    // are addressable (and owned, the cache being fully backed).
+    pvm.region_create(ctx, VirtAddr(0), 2 * SEG_SIZE as u64, Prot::READ, cache, 0)
+        .unwrap();
+    let mut buf = [0u8; 4];
+    pvm.vm_read(ctx, VirtAddr(0), &mut buf).unwrap();
+    assert_eq!(buf[0], 0);
+    assert_eq!(pvm.stats().pull_ins, 1);
+    // The last in-segment page rode along in the clamped cluster...
+    pvm.vm_read(ctx, VirtAddr(3 * PS), &mut buf).unwrap();
+    assert_eq!(
+        pvm.stats().pull_ins,
+        1,
+        "page 3 must already be resident from the clustered pull"
+    );
+    // ...but the first page past the segment end did not.
+    pvm.vm_read(ctx, VirtAddr(4 * PS), &mut buf).unwrap();
+    assert_eq!(
+        pvm.stats().pull_ins,
+        2,
+        "the cluster must stop at the segment end"
+    );
+    assert_eq!(buf, [0u8; 4], "data past the segment end is sparse zeroes");
+    pvm.check_invariants();
+}
+
+#[test]
+fn clustered_pull_stops_at_resident_pages() {
+    // Regression: a cluster extending over an already-resident page (or
+    // an in-transit stub) must stop rather than re-pull it.
+    let s = stack(16, FaultPlan::quiet(0), FaultPlan::quiet(0), |c| {
+        c.pull_cluster_pages = 8;
+    });
+    let pvm = &s.pvm;
+    let ctx = pvm.context_create().unwrap();
+    let init: Vec<u8> = (0..SEG_SIZE).map(|k| k as u8).collect();
+    let seg = s.seg_mgr.segment_for(s.files.create_segment(&init));
+    let cache = pvm.cache_create(Some(seg)).unwrap();
+    pvm.region_create(ctx, VirtAddr(0), SEG_SIZE as u64, Prot::READ, cache, 0)
+        .unwrap();
+    let mut buf = [0u8; 4];
+    // First fault at page 2: pulls pages 2..4 (clamped at segment end).
+    pvm.vm_read(ctx, VirtAddr(2 * PS), &mut buf).unwrap();
+    assert_eq!(pvm.stats().pull_ins, 1);
+    // Fault at page 0: the cluster must stop at resident page 2.
+    pvm.vm_read(ctx, VirtAddr(0), &mut buf).unwrap();
+    assert_eq!(pvm.stats().pull_ins, 2);
+    // Everything is now resident; no pull may fire again, and every
+    // byte matches the segment.
+    let mut got = vec![0u8; SEG_SIZE];
+    pvm.vm_read(ctx, VirtAddr(0), &mut got).unwrap();
+    assert_eq!(got, init);
+    assert_eq!(pvm.stats().pull_ins, 2, "re-pulled a resident page");
+    pvm.check_invariants();
+}
+
+#[test]
+fn batched_writeback_faults_never_lose_dirty_pages() {
+    // The full healing workload with clustering and the writeback
+    // daemon on, under transient/truncate/crash fault sprinkling on
+    // *writes* as well as reads: batched copyBacks fail mid-run, get
+    // split and retried page by page, and the byte oracle proves no
+    // dirty page is ever lost. Truncated writes land half the batch
+    // before dying, so the idempotent-rewrite path is exercised too.
+    let mut batches = 0u64;
+    let mut splits = 0u64;
+    for seed in 0..12u64 {
+        let plan = FaultPlan {
+            seed,
+            transient_per_mille: 150,
+            permanent_per_mille: 0,
+            delay_per_mille: 0,
+            delay_ns: 0,
+            truncate_per_mille: 150,
+            crash_at_op: Some(seed % 13 + 2),
+        };
+        let s = stack(
+            8,
+            plan,
+            FaultPlan {
+                seed: !seed,
+                ..plan
+            },
+            |c| {
+                generous_retry(c);
+                c.push_cluster_pages = 4;
+                c.writeback_daemon = true;
+                c.writeback_low_frames = 2;
+                c.writeback_high_frames = 4;
+            },
+        );
+        healing_workload(&s, seed, 3, 40);
+        let stats = s.pvm.stats();
+        batches += stats.push_out_batches;
+        splits += stats.push_batch_splits;
+        assert_eq!(stats.quarantined_caches, 0, "seed={seed}");
+    }
+    assert!(batches > 0, "clustered pushOut never fired");
+    assert!(
+        splits > 0,
+        "no batch ever failed and split: faults too weak"
+    );
+}
+
+#[test]
+fn batched_pushout_permanent_death_quarantines_without_data_loss_elsewhere() {
+    // The file mapper dies permanently right before a batched sync
+    // pushOut: the split pass aborts on the first page, nothing partial
+    // lands on the segment, the cache is quarantined exactly once, and
+    // an unrelated cache on a clean mapper is untouched.
+    let s = stack(16, FaultPlan::quiet(0), FaultPlan::quiet(0), |c| {
+        c.push_cluster_pages = 4;
+    });
+    let clean = Arc::new(MemMapper::new(PortName(7)));
+    s.seg_mgr.register_mapper(PortName(7), clean.clone());
+    let pvm = &s.pvm;
+    let ctx = pvm.context_create().unwrap();
+    let init = vec![0x11u8; SEG_SIZE];
+    let cap = s.files.create_segment(&init);
+    let seg = s.seg_mgr.segment_for(cap);
+    let cache = pvm.cache_create(Some(seg)).unwrap();
+    pvm.region_create(
+        ctx,
+        VirtAddr(0x10_0000),
+        SEG_SIZE as u64,
+        Prot::RW,
+        cache,
+        0,
+    )
+    .unwrap();
+    let good_init: Vec<u8> = (0..SEG_SIZE).map(|k| k as u8).collect();
+    let good_seg = s.seg_mgr.segment_for(clean.create_segment(&good_init));
+    let good_cache = pvm.cache_create(Some(good_seg)).unwrap();
+    pvm.region_create(
+        ctx,
+        VirtAddr(0x20_0000),
+        SEG_SIZE as u64,
+        Prot::RW,
+        good_cache,
+        0,
+    )
+    .unwrap();
+
+    // Dirty all four pages while the mapper is healthy...
+    for p in 0..SEG_PAGES {
+        let data: Vec<u8> = (0..PS).map(|k| (p as u8) ^ (k as u8)).collect();
+        pvm.vm_write(ctx, VirtAddr(0x10_0000 + p * PS), &data)
+            .unwrap();
+    }
+    // ...then it dies, and the sync's 4-page batch fails, splits, and
+    // aborts on the first per-page push.
+    s.faulty_files.set_plan(FaultPlan {
+        permanent_per_mille: 1000,
+        ..FaultPlan::quiet(21)
+    });
+    let err = pvm.cache_sync(cache, 0, SEG_SIZE as u64).unwrap_err();
+    assert!(matches!(err, GmiError::MapperUnavailable { .. }), "{err}");
+    assert!(
+        pvm.stats().push_batch_splits >= 1,
+        "the multi-page batch must have split on failure"
+    );
+    assert_eq!(pvm.stats().quarantined_caches, 1);
+    assert_eq!(
+        s.files.segment_data(cap),
+        init,
+        "no partial write may land on the segment"
+    );
+
+    // The innocent cache on the clean mapper still works end to end.
+    let tag: Vec<u8> = (0..PS).map(|k| 0xA5 ^ (k as u8)).collect();
+    pvm.vm_write(ctx, VirtAddr(0x20_0000), &tag).unwrap();
+    let mut got = vec![0u8; PS as usize];
+    pvm.vm_read(ctx, VirtAddr(0x20_0000), &mut got).unwrap();
+    assert_eq!(got, tag);
+    pvm.check_invariants();
+}
+
+#[test]
+fn adaptive_readahead_ramps_on_sequential_streams() {
+    // A strictly sequential read over a long segment with adaptive
+    // readahead: each miss landing where the previous cluster ended
+    // doubles the window, so the pull count grows logarithmically, and
+    // the ramp counters record the progression. A random re-access
+    // resets the window (no ramp counters move for it).
+    let long_pages = 32u64;
+    let init: Vec<u8> = (0..long_pages * PS).map(|k| (k % 251) as u8).collect();
+    let s = stack(64, FaultPlan::quiet(0), FaultPlan::quiet(0), |c| {
+        c.pull_cluster_pages = 1;
+        c.readahead_adaptive = true;
+        c.readahead_max_pages = 8;
+    });
+    let pvm = &s.pvm;
+    let ctx = pvm.context_create().unwrap();
+    let seg = s.seg_mgr.segment_for(s.files.create_segment(&init));
+    let cache = pvm.cache_create(Some(seg)).unwrap();
+    pvm.region_create(ctx, VirtAddr(0), long_pages * PS, Prot::READ, cache, 0)
+        .unwrap();
+    let mut buf = [0u8; 4];
+    for p in 0..long_pages {
+        pvm.vm_read(ctx, VirtAddr(p * PS), &mut buf).unwrap();
+        assert_eq!(buf[0], ((p * PS) % 251) as u8, "page {p}");
+    }
+    let stats = pvm.stats();
+    // Windows 1,2,4,8,8,... cover 32 pages in 7 pulls; without
+    // adaptation it would take 32.
+    assert!(
+        stats.pull_ins <= 8,
+        "sequential stream did not ramp: {} pulls",
+        stats.pull_ins
+    );
+    assert!(stats.readahead_hits >= 4, "{:?}", stats.readahead_hits);
+    assert!(stats.readahead_ramps >= 3, "{:?}", stats.readahead_ramps);
     pvm.check_invariants();
 }
 

@@ -69,8 +69,9 @@ impl Bencher<'_> {
         // Split the measurement budget into `sample_size` samples.
         let budget_ns = self.config.measurement_time.as_nanos() as f64;
         let samples = self.config.sample_size.max(1);
-        let iters_per_sample =
-            ((budget_ns / samples as f64) / per_iter.max(1.0)).ceil().max(1.0) as u64;
+        let iters_per_sample = ((budget_ns / samples as f64) / per_iter.max(1.0))
+            .ceil()
+            .max(1.0) as u64;
         for _ in 0..samples {
             let start = Instant::now();
             for _ in 0..iters_per_sample {
@@ -96,7 +97,11 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        run_one(self.criterion, &format!("{}/{}", self.name, id.full), &mut f);
+        run_one(
+            self.criterion,
+            &format!("{}/{}", self.name, id.full),
+            &mut f,
+        );
         self
     }
 

@@ -231,7 +231,10 @@ mod tests {
         for _ in 0..1000 {
             counts[strat.new_value(&mut rng) as usize] += 1;
         }
-        assert!(counts[1] > counts[0], "weighted arm should dominate: {counts:?}");
+        assert!(
+            counts[1] > counts[0],
+            "weighted arm should dominate: {counts:?}"
+        );
     }
 
     #[test]
