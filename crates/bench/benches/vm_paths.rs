@@ -87,10 +87,10 @@ fn mix_world() -> ProcessManager<Pvm> {
             geometry: PageGeometry::sun3(),
             frames: 4096,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: false,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(false)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),

@@ -46,11 +46,11 @@ fn run(fault_per_mille: u32, policy: RetryPolicy, policy_name: &'static str) -> 
             geometry: PageGeometry::sun3(),
             frames: (PAGES / 2) as u32,
             cost: CostParams::sun3(),
-            config: PvmConfig {
-                retry: policy,
-                check_invariants: false,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .retry(policy)
+                .check_invariants(false)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),

@@ -22,10 +22,10 @@ fn world(mmu: MmuChoice) -> World<Pvm> {
             frames: 512,
             cost: CostParams::sun3(),
             mmu,
-            config: PvmConfig {
-                check_invariants: false,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(false)
+                .build()
+                .expect("valid config"),
         },
         mgr.clone(),
     ));

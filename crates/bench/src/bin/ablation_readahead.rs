@@ -28,11 +28,11 @@ fn main() {
                 geometry: PageGeometry::sun3(),
                 frames: 2 * PAGES as u32,
                 cost: CostParams::sun3(),
-                config: PvmConfig {
-                    pull_cluster_pages: cluster,
-                    check_invariants: false,
-                    ..PvmConfig::default()
-                },
+                config: PvmConfig::builder()
+                    .pull_cluster_pages(cluster)
+                    .check_invariants(false)
+                    .build()
+                    .expect("valid config"),
                 ..PvmOptions::default()
             },
             mgr.clone(),

@@ -30,10 +30,10 @@ fn run(caching: bool) -> (f64, u64, chorus_nucleus::SegmentCachingStats) {
             geometry: PageGeometry::sun3(),
             frames: 2048,
             cost: CostParams::sun3(),
-            config: PvmConfig {
-                check_invariants: false,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(false)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),

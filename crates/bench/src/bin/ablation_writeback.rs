@@ -75,18 +75,18 @@ fn run_config(shape: &Shape, cluster: u64, daemon: bool) -> Row {
             geometry: PageGeometry::sun3(),
             frames: FRAMES,
             cost: CostParams::sun3(),
-            config: PvmConfig {
-                check_invariants: false,
-                push_cluster_pages: cluster,
-                writeback_daemon: daemon,
-                writeback_low_frames: if daemon { LOW } else { 0 },
-                writeback_high_frames: if daemon { HIGH } else { 0 },
-                trace: TraceConfig {
+            config: PvmConfig::builder()
+                .check_invariants(false)
+                .push_cluster_pages(cluster)
+                .writeback_daemon(daemon)
+                .writeback_low_frames(if daemon { LOW } else { 0 })
+                .writeback_high_frames(if daemon { HIGH } else { 0 })
+                .trace(TraceConfig {
                     enabled: true,
                     ..TraceConfig::default()
-                },
-                ..PvmConfig::default()
-            },
+                })
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         mgr.clone(),

@@ -18,12 +18,11 @@ fn pvm() -> Arc<Pvm> {
             geometry: PageGeometry::sun3(),
             frames: 256,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: true,
-                // Figure output must be identical with tracing on.
-                trace: TraceConfig::from_env(),
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .trace(TraceConfig::from_env())
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         Arc::new(MemSegmentManager::new()),

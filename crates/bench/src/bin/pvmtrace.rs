@@ -2,7 +2,7 @@
 //! full verbosity and exports both trace artifacts:
 //!
 //! - `reports/pvmtrace.trace.json` — Trace Event Format JSON; load it
-//!   in chrome://tracing or https://ui.perfetto.dev,
+//!   in chrome://tracing or <https://ui.perfetto.dev>,
 //! - `reports/pvmtrace.flame.txt` — plain-text flame summary plus the
 //!   per-phase latency histograms.
 //!

@@ -69,11 +69,11 @@ fn make_pvm(fast_path: bool, frames: u32) -> (Arc<Pvm>, Arc<MemSegmentManager>) 
             geometry: PageGeometry::sun3(),
             frames,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: false,
-                fast_path,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(false)
+                .fast_path(fast_path)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         mgr.clone(),

@@ -59,11 +59,11 @@ pub fn pvm_world_traced(frames: u32, trace: TraceConfig) -> World<Pvm> {
             geometry: PageGeometry::sun3(),
             frames,
             cost: CostParams::sun3(),
-            config: PvmConfig {
-                check_invariants: false,
-                trace,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(false)
+                .trace(trace)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         mgr.clone(),

@@ -1,0 +1,119 @@
+//! Deterministic completion scheduling: a queue ranked by
+//! `(due-time, request-id)`.
+//!
+//! Asynchronous upcalls must not introduce nondeterminism into the
+//! simulated tables, so completions are never delivered in OS-thread
+//! arrival order. Instead every in-flight request carries a *due time*
+//! on the simulated clock; the holder of a [`CompletionQueue`] delivers
+//! entries in strictly ascending `(due, id)` order, with the monotonic
+//! request id breaking ties. Two runs that submit the same requests at
+//! the same simulated times therefore observe bit-identical completion
+//! schedules, regardless of host scheduling.
+//!
+//! The queue is shared between the PVM's in-process completion engine
+//! and the Nucleus completion port (`chorus-nucleus`), which layers IPC
+//! message semantics on top.
+
+use std::collections::BTreeMap;
+
+/// A queue of pending completions ranked by `(due_ns, id)`.
+///
+/// `T` is the payload describing the completed work; the queue itself
+/// only orders it.
+#[derive(Debug)]
+pub struct CompletionQueue<T> {
+    entries: BTreeMap<(u64, u64), T>,
+}
+
+impl<T> CompletionQueue<T> {
+    /// An empty queue.
+    pub fn new() -> CompletionQueue<T> {
+        CompletionQueue {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Enqueues a completion due at `due_ns` with tiebreak `id`.
+    ///
+    /// Ids are expected to be unique per queue (they are monotonic at
+    /// every submission site); a duplicate `(due, id)` key replaces the
+    /// old entry, matching map semantics.
+    pub fn insert(&mut self, due_ns: u64, id: u64, value: T) {
+        self.entries.insert((due_ns, id), value);
+    }
+
+    /// The `(due_ns, id)` key of the earliest pending completion.
+    pub fn peek(&self) -> Option<(u64, u64)> {
+        self.entries.keys().next().copied()
+    }
+
+    /// Removes and returns the earliest pending completion, if any.
+    pub fn pop_earliest(&mut self) -> Option<(u64, u64, T)> {
+        self.entries.pop_first().map(|((due, id), v)| (due, id, v))
+    }
+
+    /// Removes and returns the earliest completion whose due time is
+    /// `<= now_ns`, if any.
+    pub fn pop_due(&mut self, now_ns: u64) -> Option<(u64, u64, T)> {
+        match self.peek() {
+            Some((due, _)) if due <= now_ns => self.pop_earliest(),
+            _ => None,
+        }
+    }
+}
+
+impl<T> Default for CompletionQueue<T> {
+    fn default() -> CompletionQueue<T> {
+        CompletionQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_due_order_not_insertion_order() {
+        let mut q = CompletionQueue::new();
+        q.insert(300, 1, "late");
+        q.insert(100, 2, "early");
+        q.insert(200, 3, "middle");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_earliest(), Some((100, 2, "early")));
+        assert_eq!(q.pop_earliest(), Some((200, 3, "middle")));
+        assert_eq!(q.pop_earliest(), Some((300, 1, "late")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn id_breaks_due_time_ties() {
+        let mut q = CompletionQueue::new();
+        q.insert(50, 9, "second");
+        q.insert(50, 4, "first");
+        assert_eq!(q.pop_earliest(), Some((50, 4, "first")));
+        assert_eq!(q.pop_earliest(), Some((50, 9, "second")));
+    }
+
+    #[test]
+    fn pop_due_respects_the_clock() {
+        let mut q = CompletionQueue::new();
+        q.insert(100, 1, ());
+        q.insert(200, 2, ());
+        assert_eq!(q.pop_due(99), None);
+        assert_eq!(q.pop_due(100), Some((100, 1, ())));
+        assert_eq!(q.pop_due(150), None);
+        assert_eq!(q.peek(), Some((200, 2)));
+        assert_eq!(q.pop_due(u64::MAX), Some((200, 2, ())));
+        assert_eq!(q.pop_due(u64::MAX), None);
+    }
+}

@@ -164,6 +164,28 @@ impl fmt::Display for GmiError {
 }
 
 impl GmiError {
+    /// A transient [`GmiError::SegmentIo`]: a failure expected to heal
+    /// (dropped reply, truncated read, device congestion), eligible for
+    /// retry under the [`RetryPolicy`](crate::RetryPolicy).
+    pub fn transient_io(segment: SegmentId, cause: impl Into<String>) -> GmiError {
+        GmiError::SegmentIo {
+            segment,
+            cause: cause.into(),
+            transient: true,
+        }
+    }
+
+    /// A permanent [`GmiError::SegmentIo`]: a failure the mapper declares
+    /// final (bad capability, media error, access denied). Never retried;
+    /// pull/push failures of this class quarantine the affected cache.
+    pub fn permanent_io(segment: SegmentId, cause: impl Into<String>) -> GmiError {
+        GmiError::SegmentIo {
+            segment,
+            cause: cause.into(),
+            transient: false,
+        }
+    }
+
     /// True if retrying the failed operation could plausibly succeed.
     ///
     /// Drives the PVM's [`RetryPolicy`](crate::RetryPolicy): transient

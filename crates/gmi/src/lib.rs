@@ -8,10 +8,14 @@
 //!   access through caches (`copy`/`move`), address-space management
 //!   (contexts, regions), and cache management (`flush`, `sync`,
 //!   `invalidate`, protection and pinning control).
-//! - [`SegmentManager`] is the upward interface (paper Table 3): the
+//! - [`SegmentManagerV2`] is the upward interface (paper Table 3): the
 //!   upcalls a memory manager performs against segment managers to move
-//!   data between a cache and its segment (`pullIn`, `getWriteAccess`,
-//!   `pushOut`, `segmentCreate`).
+//!   data between a cache and its segment, in typed request/completion
+//!   form ([`PullRequest`], [`PushRequest`], [`Completion`]). The
+//!   deprecated positional v1 form survives as [`SegmentManager`]; a
+//!   blanket adapter (and [`SyncShim`] for owned trait objects) makes
+//!   every v1 manager a v2 manager whose submissions complete
+//!   synchronously.
 //! - [`CacheIo`] is the subset of Table 4 a segment manager uses *while
 //!   servicing an upcall* (`fillUp`, `copyBack`, `moveBack`): unlike the
 //!   Table 1 `copy`/`move` operations these never fault — they are used to
@@ -23,6 +27,7 @@
 //! (the Nucleus layer, Chorus/MIX, the benches) is generic over [`Gmi`],
 //! reproducing the paper's "replaceable unit" property.
 
+pub mod completion;
 pub mod conformance;
 pub mod error;
 pub mod ids;
@@ -31,10 +36,14 @@ pub mod testing;
 pub mod traits;
 pub mod types;
 
+pub use completion::CompletionQueue;
 pub use error::{GmiError, Result};
 pub use ids::{CacheId, CtxId, RegionId, SegmentId};
 pub use retry::RetryPolicy;
-pub use traits::{CacheIo, Gmi, SegmentManager};
+pub use traits::{
+    CacheIo, Completion, Gmi, PullRequest, PushRequest, SegmentManager, SegmentManagerV2, SyncShim,
+    UpcallRequest,
+};
 pub use types::{CopyMode, RegionStatus};
 
 // Hardware-level types used throughout the interface.

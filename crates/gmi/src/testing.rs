@@ -10,10 +10,13 @@
 
 use crate::error::{GmiError, Result};
 use crate::ids::{CacheId, SegmentId};
-use crate::traits::{CacheIo, SegmentManager};
+use crate::traits::{
+    CacheIo, PullRequest, PushRequest, SegmentManager, SegmentManagerV2, UpcallRequest,
+};
 use chorus_hal::Access;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A record of one upcall received by a [`MemSegmentManager`].
@@ -157,6 +160,7 @@ impl MemSegmentManager {
     }
 }
 
+#[allow(deprecated)]
 impl SegmentManager for MemSegmentManager {
     fn pull_in(
         &self,
@@ -176,11 +180,7 @@ impl SegmentManager for MemSegmentManager {
             });
             if inner.fail_next_pull {
                 inner.fail_next_pull = false;
-                return Err(GmiError::SegmentIo {
-                    segment,
-                    cause: "injected pull failure".into(),
-                    transient: true,
-                });
+                return Err(GmiError::transient_io(segment, "injected pull failure"));
             }
         }
         self.sleep_latency();
@@ -196,11 +196,7 @@ impl SegmentManager for MemSegmentManager {
             size,
         });
         if inner.deny_write_access {
-            Err(GmiError::SegmentIo {
-                segment,
-                cause: "write access denied".into(),
-                transient: false,
-            })
+            Err(GmiError::permanent_io(segment, "write access denied"))
         } else {
             Ok(())
         }
@@ -228,11 +224,7 @@ impl SegmentManager for MemSegmentManager {
             // copy (writeback racing an invalidate). The prefix is safe;
             // report a transient short transfer so the memory manager
             // retries the remainder page by page.
-            return Err(GmiError::SegmentIo {
-                segment,
-                cause: "short copyBack".into(),
-                transient: true,
-            });
+            return Err(GmiError::transient_io(segment, "short copyBack"));
         }
         Ok(())
     }
@@ -247,7 +239,98 @@ impl SegmentManager for MemSegmentManager {
     }
 }
 
+/// A *native* [`SegmentManagerV2`] over the same in-memory segments:
+/// it implements the v2 trait directly (no sync shim, no v1 trait), so
+/// conformance can drive the typed request/completion path end to end
+/// and prove it equivalent to the adapter.
+///
+/// Requests are logged through the shared [`MemSegmentManager`] log
+/// (as the corresponding [`Upcall`] records), so existing assertions
+/// about upcall traffic keep working against either front end.
+pub struct MemSegmentManagerV2 {
+    base: Arc<MemSegmentManager>,
+    submitted: Mutex<Vec<UpcallRequest>>,
+}
+
+impl MemSegmentManagerV2 {
+    /// Wraps shared in-memory segments with a native v2 front end.
+    pub fn new(base: Arc<MemSegmentManager>) -> MemSegmentManagerV2 {
+        MemSegmentManagerV2 {
+            base,
+            submitted: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The shared backing manager (segment creation, data inspection).
+    pub fn base(&self) -> &Arc<MemSegmentManager> {
+        &self.base
+    }
+
+    /// Returns and clears the typed request log.
+    pub fn take_requests(&self) -> Vec<UpcallRequest> {
+        core::mem::take(&mut self.submitted.lock())
+    }
+}
+
+impl SegmentManagerV2 for MemSegmentManagerV2 {
+    fn submit_pull(&self, io: &dyn CacheIo, req: &PullRequest) -> Result<()> {
+        self.submitted.lock().push(UpcallRequest::Pull(*req));
+        {
+            let mut inner = self.base.inner.lock();
+            inner.log.push(Upcall::PullIn {
+                segment: req.segment,
+                offset: req.offset,
+                size: req.size,
+            });
+            if inner.fail_next_pull {
+                inner.fail_next_pull = false;
+                return Err(GmiError::transient_io(req.segment, "injected pull failure"));
+            }
+        }
+        self.base.sleep_latency();
+        let data = self.base.read_sparse(req.segment, req.offset, req.size)?;
+        io.fill_up(req.cache, req.offset, &data)
+    }
+
+    fn submit_push(&self, io: &dyn CacheIo, req: &PushRequest) -> Result<()> {
+        self.submitted.lock().push(UpcallRequest::Push(*req));
+        self.base.inner.lock().log.push(Upcall::PushOut {
+            segment: req.segment,
+            offset: req.offset,
+            size: req.size,
+        });
+        self.base.sleep_latency();
+        let mut buf = vec![0u8; req.size as usize];
+        let got = io.copy_back_run(req.cache, req.offset, &mut buf)?;
+        self.base
+            .write_sparse(req.segment, req.offset, &buf[..got as usize]);
+        if got < req.size {
+            return Err(GmiError::transient_io(req.segment, "short copyBack"));
+        }
+        Ok(())
+    }
+
+    fn acquire_write_access(&self, segment: SegmentId, offset: u64, size: u64) -> Result<()> {
+        #[allow(deprecated)]
+        self.base.get_write_access(segment, offset, size)
+    }
+
+    fn create_segment_v2(&self, cache: CacheId) -> SegmentId {
+        #[allow(deprecated)]
+        self.base.segment_create(cache)
+    }
+
+    fn segment_len(&self, segment: SegmentId) -> Option<u64> {
+        // Mirror the v1 base (sparse segments, no clamp) so the shim and
+        // native fronts are behaviorally indistinguishable: conformance
+        // proves them equivalent, including upcall traffic.
+        #[allow(deprecated)]
+        self.base.segment_size(segment)
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

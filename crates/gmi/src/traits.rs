@@ -1,11 +1,13 @@
 //! The GMI traits: the downward [`Gmi`] interface, the upward
-//! [`SegmentManager`] interface, and the fault-resolution [`CacheIo`]
-//! subset.
+//! [`SegmentManager`] interface (v1, deprecated) and its typed
+//! request/completion successor [`SegmentManagerV2`], and the
+//! fault-resolution [`CacheIo`] subset.
 
 use crate::error::Result;
 use crate::ids::{CacheId, CtxId, RegionId, SegmentId};
 use crate::types::{CopyMode, RegionStatus};
 use chorus_hal::{Access, PageGeometry, Prot, VirtAddr};
+use std::sync::Arc;
 
 /// Table 4 data-transfer downcalls, used by segment managers to resolve
 /// faults.
@@ -80,6 +82,7 @@ pub trait SegmentManager: Send + Sync {
     /// # Errors
     ///
     /// I/O failure is propagated to the faulting thread.
+    #[deprecated(note = "use `SegmentManagerV2::submit_pull` with a typed `PullRequest`")]
     fn pull_in(
         &self,
         io: &dyn CacheIo,
@@ -98,6 +101,7 @@ pub trait SegmentManager: Send + Sync {
     /// # Errors
     ///
     /// Denial is propagated as a protection error to the faulting thread.
+    #[deprecated(note = "use `SegmentManagerV2::acquire_write_access`")]
     fn get_write_access(&self, segment: SegmentId, offset: u64, size: u64) -> Result<()>;
 
     /// `segment.pushOut(offset, size)`: write data back to the segment.
@@ -107,6 +111,7 @@ pub trait SegmentManager: Send + Sync {
     /// # Errors
     ///
     /// I/O failure aborts the flush/sync/destroy that needed it.
+    #[deprecated(note = "use `SegmentManagerV2::submit_push` with a typed `PushRequest`")]
     fn push_out(
         &self,
         io: &dyn CacheIo,
@@ -120,15 +125,195 @@ pub trait SegmentManager: Send + Sync {
     /// cache (e.g. a working history object, §4.2.3/§3.3.3) and declares
     /// it to the upper layer so it can be swapped; the segment manager
     /// assigns it a (temporary) segment.
+    #[deprecated(note = "use `SegmentManagerV2::create_segment_v2`")]
     fn segment_create(&self, cache: CacheId) -> SegmentId;
 
     /// The current length of a segment in bytes, if the manager knows
     /// it. The memory manager uses this to clamp clustered (readahead)
     /// `pullIn` runs at segment end; `None` (the default, right for
     /// sparse/unbounded segments) only disables the clamp.
+    #[deprecated(note = "use `SegmentManagerV2::segment_len`")]
     fn segment_size(&self, segment: SegmentId) -> Option<u64> {
         let _ = segment;
         None
+    }
+}
+
+// ----- GMI v2: typed request / completion upcalls ------------------------
+
+/// A typed `pullIn` request (GMI v2): read `[offset, offset + size)` of
+/// `segment` into `cache`. Replaces the positional argument list of
+/// [`SegmentManager::pull_in`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PullRequest {
+    /// Destination cache (the `fill_up` target).
+    pub cache: CacheId,
+    /// Source segment.
+    pub segment: SegmentId,
+    /// Byte offset of the fragment, page aligned.
+    pub offset: u64,
+    /// Fragment length in bytes, a whole number of pages.
+    pub size: u64,
+    /// The access that missed (mappers may log or prefetch on it).
+    pub access: Access,
+}
+
+/// A typed `pushOut` request (GMI v2): write `[offset, offset + size)`
+/// of `cache` back to `segment`. Replaces the positional argument list
+/// of [`SegmentManager::push_out`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PushRequest {
+    /// Source cache (the `copy_back` target).
+    pub cache: CacheId,
+    /// Destination segment.
+    pub segment: SegmentId,
+    /// Byte offset of the fragment, page aligned.
+    pub offset: u64,
+    /// Fragment length in bytes, a whole number of pages.
+    pub size: u64,
+}
+
+/// Either kind of v2 data-transfer request, as carried by a
+/// [`Completion`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpcallRequest {
+    /// A `pullIn`.
+    Pull(PullRequest),
+    /// A `pushOut`.
+    Push(PushRequest),
+}
+
+impl UpcallRequest {
+    /// The segment the request addresses.
+    pub fn segment(&self) -> SegmentId {
+        match self {
+            UpcallRequest::Pull(r) => r.segment,
+            UpcallRequest::Push(r) => r.segment,
+        }
+    }
+
+    /// The cache the request addresses.
+    pub fn cache(&self) -> CacheId {
+        match self {
+            UpcallRequest::Pull(r) => r.cache,
+            UpcallRequest::Push(r) => r.cache,
+        }
+    }
+
+    /// The `(offset, size)` window of the request.
+    pub fn window(&self) -> (u64, u64) {
+        match self {
+            UpcallRequest::Pull(r) => (r.offset, r.size),
+            UpcallRequest::Push(r) => (r.offset, r.size),
+        }
+    }
+}
+
+/// The completion record of an asynchronous upcall: which request it
+/// was, and how it ended. Delivered by the completion engine in
+/// deterministic `(due-time, id)` order.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// Monotonic request id, assigned at submission.
+    pub id: u64,
+    /// The request this completion answers.
+    pub request: UpcallRequest,
+    /// The outcome the mapper reported (after the per-request retry
+    /// budget was spent).
+    pub result: Result<()>,
+}
+
+/// GMI v2: the typed submit/complete upcall interface.
+///
+/// The data-transfer calls take whole request structs instead of
+/// positional arguments; the memory manager's completion engine decides
+/// whether to wait for the result inline (the classic synchronous path)
+/// or to defer the bookkeeping into a [`Completion`] delivered later in
+/// deterministic order.
+///
+/// Every v1 [`SegmentManager`] gets this trait for free through a
+/// blanket adapter, and [`SyncShim`] lifts an `Arc<dyn SegmentManager>`
+/// into the v2 object world, so existing managers keep working
+/// unchanged.
+pub trait SegmentManagerV2: Send + Sync {
+    /// Services a [`PullRequest`]: the implementation must deliver the
+    /// bytes with [`CacheIo::fill_up`] before returning.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure is reported to the submitter (or its completion).
+    fn submit_pull(&self, io: &dyn CacheIo, req: &PullRequest) -> Result<()>;
+
+    /// Services a [`PushRequest`]: the implementation collects the bytes
+    /// with [`CacheIo::copy_back_run`] (or `copy_back`/`move_back`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure is reported to the submitter (or its completion).
+    fn submit_push(&self, io: &dyn CacheIo, req: &PushRequest) -> Result<()>;
+
+    /// `segment.getWriteAccess(offset, size)` under its v2 name.
+    ///
+    /// # Errors
+    ///
+    /// Denial is propagated as a protection error to the faulting thread.
+    fn acquire_write_access(&self, segment: SegmentId, offset: u64, size: u64) -> Result<()>;
+
+    /// `segmentCreate(cache)` under its v2 name.
+    fn create_segment_v2(&self, cache: CacheId) -> SegmentId;
+
+    /// The current length of a segment in bytes, if known (used to clamp
+    /// clustered pulls at segment end; `None` disables the clamp).
+    fn segment_len(&self, segment: SegmentId) -> Option<u64>;
+}
+
+/// The blanket sync-shim adapter: wraps *any* v1 [`SegmentManager`]
+/// (concrete or trait object) and makes it a [`SegmentManagerV2`] whose
+/// submissions complete synchronously.
+///
+/// The default type parameter means `SyncShim` alone names
+/// `SyncShim<dyn SegmentManager>`, so `Arc::new(SyncShim::new(mgr))`
+/// coerces to `Arc<dyn SegmentManagerV2>`. The adapter lives on the
+/// wrapper rather than as `impl<T: SegmentManager> SegmentManagerV2 for
+/// T` so the v2 trait stays open for native asynchronous managers.
+pub struct SyncShim<T: ?Sized = dyn SegmentManager> {
+    inner: Arc<T>,
+}
+
+impl<T: ?Sized> SyncShim<T> {
+    /// Wraps a v1 manager.
+    pub fn new(inner: Arc<T>) -> SyncShim<T> {
+        SyncShim { inner }
+    }
+
+    /// The wrapped v1 manager.
+    pub fn inner(&self) -> &Arc<T> {
+        &self.inner
+    }
+}
+
+#[allow(deprecated)]
+impl<T: SegmentManager + ?Sized> SegmentManagerV2 for SyncShim<T> {
+    fn submit_pull(&self, io: &dyn CacheIo, req: &PullRequest) -> Result<()> {
+        self.inner
+            .pull_in(io, req.cache, req.segment, req.offset, req.size, req.access)
+    }
+
+    fn submit_push(&self, io: &dyn CacheIo, req: &PushRequest) -> Result<()> {
+        self.inner
+            .push_out(io, req.cache, req.segment, req.offset, req.size)
+    }
+
+    fn acquire_write_access(&self, segment: SegmentId, offset: u64, size: u64) -> Result<()> {
+        self.inner.get_write_access(segment, offset, size)
+    }
+
+    fn create_segment_v2(&self, cache: CacheId) -> SegmentId {
+        self.inner.segment_create(cache)
+    }
+
+    fn segment_len(&self, segment: SegmentId) -> Option<u64> {
+        self.inner.segment_size(segment)
     }
 }
 

@@ -218,6 +218,26 @@ impl CostModel {
         }
     }
 
+    /// Bumps the counter of one operation *without* advancing the clock.
+    ///
+    /// Used when an operation's time was already accounted for elsewhere
+    /// — e.g. an asynchronous upcall whose service interval the
+    /// completion engine scheduled as a due-time on the simulated clock;
+    /// delivering the completion still counts the IPC and per-page I/O
+    /// operations, but charging them again would double the time.
+    #[inline]
+    pub fn count_only(&self, op: OpKind) {
+        self.count_only_n(op, 1);
+    }
+
+    /// Bumps the counter of `n` operations without advancing the clock.
+    #[inline]
+    pub fn count_only_n(&self, op: OpKind, n: u64) {
+        if n != 0 {
+            self.counts[op as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -331,6 +351,16 @@ mod tests {
         m.charge(OpKind::TlbFlush);
         let s = m.snapshot();
         assert_eq!(s.counts, vec![(OpKind::TlbFlush, 1)]);
+    }
+
+    #[test]
+    fn count_only_counts_without_time() {
+        let m = CostModel::new(CostParams::sun3());
+        m.count_only(OpKind::IpcOp);
+        m.count_only_n(OpKind::SegmentIoPage, 4);
+        assert_eq!(m.now().nanos(), 0);
+        assert_eq!(m.count(OpKind::IpcOp), 1);
+        assert_eq!(m.count(OpKind::SegmentIoPage), 4);
     }
 
     #[test]

@@ -19,10 +19,10 @@ fn fork_with_segment_caching_disabled() {
             geometry: PageGeometry::new(256),
             frames: 512,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: true,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),

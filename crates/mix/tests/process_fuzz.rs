@@ -61,10 +61,10 @@ fn build() -> ProcessManager<Pvm> {
             geometry: PageGeometry::new(PS),
             frames: 256,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: true,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),

@@ -27,10 +27,10 @@ fn mix(frames: u32) -> Mix {
             geometry: PageGeometry::new(PS),
             frames,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: true,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),

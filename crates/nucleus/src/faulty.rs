@@ -195,11 +195,10 @@ impl FaultyMapper {
         };
         if plan.crash_at_op == Some(op) {
             self.record(InjectedFault::Crash);
-            return Err(GmiError::SegmentIo {
+            return Err(GmiError::transient_io(
                 segment,
-                cause: "mapper crashed (restarting)".into(),
-                transient: true,
-            });
+                "mapper crashed (restarting)",
+            ));
         }
         let mut rng = self.rng.lock();
         if rng.hit(plan.permanent_per_mille) {
@@ -220,11 +219,10 @@ impl FaultyMapper {
         if rng.hit(plan.transient_per_mille) {
             drop(rng);
             self.record(InjectedFault::Transient);
-            return Err(GmiError::SegmentIo {
+            return Err(GmiError::transient_io(
                 segment,
-                cause: "injected transient I/O error".into(),
-                transient: true,
-            });
+                "injected transient I/O error",
+            ));
         }
         let truncate = rng.hit(plan.truncate_per_mille);
         drop(rng);
@@ -253,11 +251,10 @@ impl Mapper for FaultyMapper {
             let cut = data.len() / 2;
             self.inner.write(cap, offset, &data[..cut])?;
             self.record(InjectedFault::Truncated(cut));
-            return Err(GmiError::SegmentIo {
-                segment: SegmentId(cap.key),
-                cause: "injected truncated write".into(),
-                transient: true,
-            });
+            return Err(GmiError::transient_io(
+                SegmentId(cap.key),
+                "injected truncated write",
+            ));
         }
         self.inner.write(cap, offset, data)
     }

@@ -61,6 +61,49 @@ impl From<chorus_gmi::GmiError> for IpcError {
     }
 }
 
+impl IpcError {
+    /// Folds an IPC failure into the unified [`GmiError`](chorus_gmi::GmiError) taxonomy, in
+    /// the context of an upcall against `segment`.
+    ///
+    /// This is the single conversion point for the mapper protocol —
+    /// the ad-hoc per-call-site transient/permanent matches it replaces
+    /// all keyed off the same classification:
+    ///
+    /// * a dead port means the mapper is permanently gone
+    ///   ([`GmiError::MapperUnavailable`](chorus_gmi::GmiError::MapperUnavailable), quarantines the cache);
+    /// * a receive timeout is the mapper missing its deadline
+    ///   ([`GmiError::MapperTimeout`](chorus_gmi::GmiError::MapperTimeout), transient);
+    /// * transit exhaustion heals once in-flight messages drain
+    ///   (transient I/O);
+    /// * an oversized message is a protocol violation the retry policy
+    ///   can never fix (permanent I/O);
+    /// * an embedded VM error passes through unchanged.
+    pub fn into_gmi(self, segment: chorus_gmi::SegmentId) -> chorus_gmi::GmiError {
+        use chorus_gmi::GmiError;
+        match self {
+            IpcError::NoSuchPort(_) => GmiError::MapperUnavailable { segment },
+            IpcError::Timeout => GmiError::MapperTimeout { segment },
+            IpcError::TransitFull => GmiError::transient_io(segment, "no free transit slot"),
+            IpcError::MessageTooLarge { size, limit } => GmiError::permanent_io(
+                segment,
+                format!("message of {size} bytes exceeds the {limit}-byte limit"),
+            ),
+            IpcError::Vm(e) => e,
+        }
+    }
+
+    /// True if retrying could plausibly succeed — the same
+    /// classification [`IpcError::into_gmi`] encodes, usable before
+    /// conversion.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            IpcError::Timeout | IpcError::TransitFull => true,
+            IpcError::NoSuchPort(_) | IpcError::MessageTooLarge { .. } => false,
+            IpcError::Vm(e) => e.is_transient(),
+        }
+    }
+}
+
 /// How a queued message's body is carried.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
@@ -187,6 +230,74 @@ impl Ports {
     }
 }
 
+/// A completion port: queue semantics for asynchronous upcall replies.
+///
+/// Unlike a FIFO [`Ports`] queue, every message posted here carries a
+/// *due time* on the simulated clock and is ranked by `(due, id)` — the
+/// order the completion engine delivers replies in, independent of host
+/// thread scheduling. Posting assigns a monotonically increasing id, so
+/// ties on the due time resolve by submission order and two identical
+/// runs drain the port identically.
+pub struct CompletionPort {
+    queue: Mutex<chorus_gmi::CompletionQueue<Message>>,
+    next_id: Mutex<u64>,
+}
+
+impl Default for CompletionPort {
+    fn default() -> CompletionPort {
+        CompletionPort::new()
+    }
+}
+
+impl CompletionPort {
+    /// An empty completion port.
+    pub fn new() -> CompletionPort {
+        CompletionPort {
+            queue: Mutex::new(chorus_gmi::CompletionQueue::new()),
+            next_id: Mutex::new(1),
+        }
+    }
+
+    /// Posts a reply due at `due_ns` (simulated), returning the id
+    /// assigned to it.
+    pub fn post(&self, due_ns: u64, msg: Message) -> u64 {
+        let id = {
+            let mut next = self.next_id.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        self.queue.lock().insert(due_ns, id, msg);
+        id
+    }
+
+    /// The `(due_ns, id)` of the earliest pending reply, if any.
+    pub fn peek(&self) -> Option<(u64, u64)> {
+        self.queue.lock().peek()
+    }
+
+    /// Removes and returns the earliest reply already due at `now_ns`.
+    pub fn poll(&self, now_ns: u64) -> Option<(u64, Message)> {
+        self.queue
+            .lock()
+            .pop_due(now_ns)
+            .map(|(_due, id, m)| (id, m))
+    }
+
+    /// Removes and returns the earliest pending reply regardless of due
+    /// time, with the due time a caller must advance the simulated
+    /// clock to. Used when the engine *must* make progress (a forced
+    /// drain or a stub wait with nothing else runnable).
+    pub fn pop_earliest(&self) -> Option<(u64, u64, Message)> {
+        self.queue.lock().pop_earliest()
+    }
+
+    /// Number of pending replies.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +363,64 @@ mod tests {
         let b = ports.create();
         assert_ne!(a, b);
         assert_eq!(ports.queue_len(a), 0);
+    }
+
+    #[test]
+    fn completion_port_ranks_by_due_time_not_arrival() {
+        let cp = CompletionPort::new();
+        cp.post(300, Message::Inline(vec![3]));
+        cp.post(100, Message::Inline(vec![1]));
+        cp.post(200, Message::Inline(vec![2]));
+        assert_eq!(cp.pending(), 3);
+        assert_eq!(cp.poll(50), None, "nothing is due yet");
+        let (_, m) = cp.poll(150).unwrap();
+        assert_eq!(m, Message::Inline(vec![1]));
+        let (due, _, m) = cp.pop_earliest().unwrap();
+        assert_eq!((due, m), (200, Message::Inline(vec![2])));
+        let (due, _, m) = cp.pop_earliest().unwrap();
+        assert_eq!((due, m), (300, Message::Inline(vec![3])));
+        assert_eq!(cp.pending(), 0);
+    }
+
+    #[test]
+    fn completion_port_breaks_due_ties_by_post_order() {
+        let cp = CompletionPort::new();
+        let first = cp.post(500, Message::Inline(vec![0xA]));
+        let second = cp.post(500, Message::Inline(vec![0xB]));
+        assert!(first < second, "ids are monotonic");
+        let (id, m) = cp.poll(500).unwrap();
+        assert_eq!((id, m), (first, Message::Inline(vec![0xA])));
+        let (id, m) = cp.poll(500).unwrap();
+        assert_eq!((id, m), (second, Message::Inline(vec![0xB])));
+    }
+
+    #[test]
+    fn ipc_errors_fold_into_the_unified_taxonomy() {
+        use chorus_gmi::{GmiError, SegmentId};
+        let seg = SegmentId(7);
+        assert!(matches!(
+            IpcError::NoSuchPort(PortName(1)).into_gmi(seg),
+            GmiError::MapperUnavailable { segment } if segment == seg
+        ));
+        assert!(matches!(
+            IpcError::Timeout.into_gmi(seg),
+            GmiError::MapperTimeout { segment } if segment == seg
+        ));
+        assert!(IpcError::TransitFull.into_gmi(seg).is_transient());
+        assert!(!IpcError::MessageTooLarge { size: 1, limit: 0 }
+            .into_gmi(seg)
+            .is_transient());
+        let inner = GmiError::OutOfMemory;
+        assert_eq!(IpcError::Vm(inner.clone()).into_gmi(seg), inner);
+        // is_transient agrees with the converted classification.
+        for (e, transient) in [
+            (IpcError::NoSuchPort(PortName(1)), false),
+            (IpcError::Timeout, true),
+            (IpcError::TransitFull, true),
+            (IpcError::MessageTooLarge { size: 1, limit: 0 }, false),
+        ] {
+            assert_eq!(e.is_transient(), transient, "{e}");
+            assert_eq!(e.clone().into_gmi(seg).is_transient(), transient, "{e}");
+        }
     }
 }

@@ -39,7 +39,7 @@ pub mod segment_manager;
 pub use capability::{Capability, PortName};
 pub use dsm::{DsmDirectory, DsmSiteManager, DsmStats};
 pub use faulty::{FaultPlan, FaultyMapper, InjectedFault};
-pub use ipc::{IpcError, Message, PortId, Ports};
+pub use ipc::{CompletionPort, IpcError, Message, PortId, Ports};
 pub use mapper::{Mapper, MapperRegistry, MemMapper, SwapMapper};
 pub use nucleus::{Actor, Nucleus};
 pub use segment_manager::{NucleusSegmentManager, SegmentCachingStats};

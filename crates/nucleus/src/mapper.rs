@@ -129,11 +129,10 @@ impl MemMapper {
 
     fn check(&self, cap: Capability) -> Result<()> {
         if cap.port != self.port || !self.segments.lock().contains_key(&cap.key) {
-            return Err(GmiError::SegmentIo {
-                segment: SegmentId(cap.key),
-                cause: "invalid capability".into(),
-                transient: false,
-            });
+            return Err(GmiError::permanent_io(
+                SegmentId(cap.key),
+                "invalid capability",
+            ));
         }
         Ok(())
     }

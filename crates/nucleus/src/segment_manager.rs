@@ -99,11 +99,7 @@ impl NucleusSegmentManager {
             .seg_to_cap
             .get(&segment)
             .copied()
-            .ok_or(GmiError::SegmentIo {
-                segment,
-                cause: "unknown segment".into(),
-                transient: false,
-            })
+            .ok_or_else(|| GmiError::permanent_io(segment, "unknown segment"))
     }
 
     fn route(&self, segment: SegmentId) -> Result<(Capability, Arc<dyn Mapper>)> {
@@ -116,6 +112,7 @@ impl NucleusSegmentManager {
     }
 }
 
+#[allow(deprecated)]
 impl SegmentManager for NucleusSegmentManager {
     fn pull_in(
         &self,
@@ -135,11 +132,7 @@ impl SegmentManager for NucleusSegmentManager {
         // its job to zero-fill); a short reply is a corrupt transfer and
         // must be rejected before fillUp can deliver partial data.
         if (data.len() as u64) < size {
-            return Err(GmiError::SegmentIo {
-                segment,
-                cause: "truncated mapper reply".into(),
-                transient: true,
-            });
+            return Err(GmiError::transient_io(segment, "truncated mapper reply"));
         }
         io.fill_up(cache, offset, &data)
     }
@@ -167,11 +160,7 @@ impl SegmentManager for NucleusSegmentManager {
             // resident is safely on the segment; report a transient short
             // transfer so the memory manager retries the remainder
             // page by page.
-            return Err(GmiError::SegmentIo {
-                segment,
-                cause: "short copyBack".into(),
-                transient: true,
-            });
+            return Err(GmiError::transient_io(segment, "short copyBack"));
         }
         Ok(())
     }
@@ -199,6 +188,7 @@ impl SegmentManager for NucleusSegmentManager {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::mapper::MemMapper;

@@ -30,10 +30,10 @@ fn world(frames: u32) -> World {
             geometry: PageGeometry::new(PS),
             frames,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: true,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),

@@ -4,7 +4,13 @@ use crate::trace::TraceConfig;
 use chorus_gmi::RetryPolicy;
 
 /// Configuration of a [`crate::Pvm`] instance.
+///
+/// Construct via [`PvmConfig::default`] followed by field mutation, or
+/// through the validating [`PvmConfig::builder`]. The struct is
+/// `#[non_exhaustive]` so new knobs can be added without breaking
+/// downstream literals.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct PvmConfig {
     /// `CopyMode::Auto` uses the per-virtual-page technique for copies of
     /// at most this many pages, and history objects above (§4.3: per-page
@@ -77,6 +83,18 @@ pub struct PvmConfig {
     pub readahead_adaptive: bool,
     /// Ceiling for the adaptive readahead window, in pages.
     pub readahead_max_pages: u64,
+    /// Completion-based asynchronous upcalls: readahead tail `pullIn`s
+    /// and watermark-laundering `pushOut`s become fire-and-collect
+    /// requests tracked in a per-mapper in-flight table and delivered
+    /// by a deterministic completion scheduler in (due-time,
+    /// request-id) order. Off by default: every upcall then completes
+    /// synchronously inside the blocked-action driver and the
+    /// evaluation tables are bit-identical to the pre-engine code.
+    pub async_upcalls: bool,
+    /// Maximum outstanding asynchronous upcalls per mapper. Further
+    /// submissions fall back to the synchronous path (pushes) or queue
+    /// as pending coalescible requests (pulls). Must be at least 1.
+    pub max_inflight_upcalls: u64,
 }
 
 impl Default for PvmConfig {
@@ -99,7 +117,127 @@ impl Default for PvmConfig {
             writeback_high_frames: 0,
             readahead_adaptive: false,
             readahead_max_pages: 8,
+            async_upcalls: false,
+            max_inflight_upcalls: 4,
         }
+    }
+}
+
+impl PvmConfig {
+    /// Starts a validating [`PvmConfigBuilder`] seeded with the
+    /// defaults.
+    pub fn builder() -> PvmConfigBuilder {
+        PvmConfigBuilder {
+            config: PvmConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`PvmConfig`] enforcing cross-field invariants that a
+/// plain struct literal cannot: watermark ordering, non-zero cluster
+/// and shard sizes, readahead ceiling at least the base cluster, and a
+/// positive in-flight budget.
+#[derive(Clone, Debug)]
+pub struct PvmConfigBuilder {
+    config: PvmConfig,
+}
+
+macro_rules! setters {
+    ($($(#[$meta:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$meta])*
+            #[must_use]
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.config.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl PvmConfigBuilder {
+    setters! {
+        /// See [`PvmConfig::per_page_max_pages`].
+        per_page_max_pages: u64,
+        /// See [`PvmConfig::enable_pageout`].
+        enable_pageout: bool,
+        /// See [`PvmConfig::check_invariants`].
+        check_invariants: bool,
+        /// See [`PvmConfig::collapse_zombies`].
+        collapse_zombies: bool,
+        /// See [`PvmConfig::pull_cluster_pages`].
+        pull_cluster_pages: u64,
+        /// See [`PvmConfig::retry`].
+        retry: RetryPolicy,
+        /// See [`PvmConfig::quarantine_on_permanent_failure`].
+        quarantine_on_permanent_failure: bool,
+        /// See [`PvmConfig::emergency_pageout`].
+        emergency_pageout: bool,
+        /// See [`PvmConfig::fast_path`].
+        fast_path: bool,
+        /// See [`PvmConfig::global_map_shards`].
+        global_map_shards: usize,
+        /// See [`PvmConfig::trace`].
+        trace: TraceConfig,
+        /// See [`PvmConfig::push_cluster_pages`].
+        push_cluster_pages: u64,
+        /// See [`PvmConfig::writeback_daemon`].
+        writeback_daemon: bool,
+        /// See [`PvmConfig::writeback_low_frames`].
+        writeback_low_frames: u32,
+        /// See [`PvmConfig::writeback_high_frames`].
+        writeback_high_frames: u32,
+        /// See [`PvmConfig::readahead_adaptive`].
+        readahead_adaptive: bool,
+        /// See [`PvmConfig::readahead_max_pages`].
+        readahead_max_pages: u64,
+        /// See [`PvmConfig::async_upcalls`].
+        async_upcalls: bool,
+        /// See [`PvmConfig::max_inflight_upcalls`].
+        max_inflight_upcalls: u64,
+    }
+
+    /// Validates the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`chorus_gmi::GmiError::Unsupported`] naming the violated
+    /// invariant: zero cluster/shard/in-flight sizes, inverted
+    /// writeback watermarks, or a readahead ceiling below the base
+    /// pull cluster.
+    pub fn build(self) -> chorus_gmi::Result<PvmConfig> {
+        let c = &self.config;
+        if c.pull_cluster_pages < 1 {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "pull_cluster_pages must be at least 1",
+            ));
+        }
+        if c.push_cluster_pages < 1 {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "push_cluster_pages must be at least 1",
+            ));
+        }
+        if c.global_map_shards < 1 {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "global_map_shards must be at least 1",
+            ));
+        }
+        if c.writeback_low_frames > c.writeback_high_frames {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "writeback_low_frames must not exceed writeback_high_frames",
+            ));
+        }
+        if c.readahead_max_pages < c.pull_cluster_pages {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "readahead_max_pages must be at least pull_cluster_pages",
+            ));
+        }
+        if c.max_inflight_upcalls < 1 {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "max_inflight_upcalls must be at least 1",
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -129,5 +267,45 @@ mod tests {
         assert_eq!(c.writeback_high_frames, 0);
         assert!(!c.readahead_adaptive, "adaptive readahead is opt-in");
         assert_eq!(c.readahead_max_pages, 8);
+        assert!(!c.async_upcalls, "the completion engine is opt-in");
+        assert!(c.max_inflight_upcalls >= 1);
+    }
+
+    #[test]
+    fn builder_accepts_defaults_and_valid_tweaks() {
+        let c = PvmConfig::builder()
+            .pull_cluster_pages(4)
+            .readahead_max_pages(16)
+            .writeback_daemon(true)
+            .writeback_low_frames(4)
+            .writeback_high_frames(8)
+            .async_upcalls(true)
+            .max_inflight_upcalls(2)
+            .build()
+            .expect("valid config");
+        assert_eq!(c.pull_cluster_pages, 4);
+        assert!(c.async_upcalls);
+        assert_eq!(c.max_inflight_upcalls, 2);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        assert!(PvmConfig::builder().pull_cluster_pages(0).build().is_err());
+        assert!(PvmConfig::builder().push_cluster_pages(0).build().is_err());
+        assert!(PvmConfig::builder().global_map_shards(0).build().is_err());
+        assert!(PvmConfig::builder()
+            .writeback_low_frames(8)
+            .writeback_high_frames(4)
+            .build()
+            .is_err());
+        assert!(PvmConfig::builder()
+            .pull_cluster_pages(8)
+            .readahead_max_pages(4)
+            .build()
+            .is_err());
+        assert!(PvmConfig::builder()
+            .max_inflight_upcalls(0)
+            .build()
+            .is_err());
     }
 }

@@ -1,0 +1,349 @@
+//! The completion-based asynchronous upcall engine.
+//!
+//! With `PvmConfig::async_upcalls` set, readahead tail `pullIn`s and
+//! watermark-laundering `pushOut`s become *fire-and-collect*: the mapper
+//! protocol (including the retry/backoff budget) runs eagerly at submit
+//! time with the state lock released, while the request's bookkeeping —
+//! cost-model charges, stub clearing, `finish_clean`, quarantine and
+//! counters — is deferred into a [`CompletionRecord`] scheduled on the
+//! simulated clock. A record becomes *due* at `submit time + modelled
+//! service time` (one `IpcOp` round trip plus per-page transfer, read
+//! from the cost parameters without charging); the in-flight service
+//! time therefore overlaps whatever the submitting thread does next,
+//! which is exactly the latency the engine exists to hide.
+//!
+//! Delivery is deterministic: completions leave the queue in
+//! `(due-time, request-id)` order — [`chorus_gmi::CompletionQueue`]'s
+//! total order — so the same operation sequence produces bit-identical
+//! counters and clock readings run-to-run. Ordinary delivery happens at
+//! driver entry for every completion already due (no clock movement:
+//! the simulated time was covered by intervening work, so the deferred
+//! charges are applied with `count_only`). *Forced* delivery — a stub
+//! waiter or a frame-starved allocation that cannot make progress any
+//! other way — advances the clock to the record's due time first, which
+//! models blocking until the in-flight transfer finishes.
+//!
+//! The in-flight table is capped per mapper (approximated per segment,
+//! the finest mapper identity the PVM sees) at
+//! `PvmConfig::max_inflight_upcalls`. Over-cap laundering pushes fall
+//! back to the synchronous path; over-cap readahead pulls queue as
+//! *pending* requests, and adjacent pending pulls of one cache coalesce
+//! into a single elastic batch before submission.
+
+use crate::keys::{CacheKey, PageKey};
+use crate::state::PvmState;
+use crate::stats::Counter;
+use crate::trace::{TraceEvent, UpcallKind, UpcallOutcome};
+use chorus_gmi::{CompletionQueue, GmiError, Result, SegmentId};
+use chorus_hal::{Access, FxHashMap, OpKind};
+use std::collections::BTreeSet;
+
+/// A submitted asynchronous upcall whose bookkeeping awaits delivery.
+#[derive(Debug)]
+pub(crate) struct CompletionRecord {
+    /// Pull or push (never `GetWriteAccess`: write-access upcalls stay
+    /// synchronous — a faulting writer cannot proceed without the
+    /// answer, so there is no latency to hide).
+    pub kind: UpcallKind,
+    /// Target cache.
+    pub cache: CacheKey,
+    /// Its segment.
+    pub segment: SegmentId,
+    /// Page-aligned fragment offset.
+    pub offset: u64,
+    /// Fragment size in bytes.
+    pub size: u64,
+    /// For pushes: the run of pages left `cleaning` until delivery.
+    pub pages: Vec<PageKey>,
+    /// The mapper protocol's final result (retries already ran).
+    pub result: Result<()>,
+    /// Transient retries the protocol performed at submit time.
+    pub retries: u64,
+}
+
+/// A readahead pull that could not be submitted (per-mapper cap):
+/// queued, coalescible, submitted as in-flight slots free up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingPull {
+    /// Target cache.
+    pub cache: CacheKey,
+    /// Its segment.
+    pub segment: SegmentId,
+    /// Page-aligned fragment offset.
+    pub offset: u64,
+    /// Fragment size in bytes.
+    pub size: u64,
+    /// Access mode of the originating fault.
+    pub access: Access,
+}
+
+/// The engine's state, living inside the PVM's one state mutex so
+/// submissions and deliveries serialize with every other attempt.
+#[derive(Debug, Default)]
+pub(crate) struct EngineState {
+    /// Completions ordered by `(due_ns, request_id)`.
+    pub queue: CompletionQueue<CompletionRecord>,
+    /// Monotonic request-id source (ids start at 1).
+    next_id: u64,
+    /// Every in-flight request id (submitted, not yet delivered). The
+    /// minimum surviving id below a delivered id is the out-of-order
+    /// delivery signal.
+    inflight_ids: BTreeSet<u64>,
+    /// In-flight request count per segment (the per-mapper cap proxy).
+    inflight_by_segment: FxHashMap<u64, u64>,
+    /// Queued over-cap readahead pulls, in arrival order.
+    pub pending_pulls: Vec<PendingPull>,
+}
+
+impl EngineState {
+    pub fn new() -> EngineState {
+        EngineState {
+            queue: CompletionQueue::new(),
+            next_id: 1,
+            inflight_ids: BTreeSet::new(),
+            inflight_by_segment: FxHashMap::default(),
+            pending_pulls: Vec::new(),
+        }
+    }
+
+    /// In-flight requests currently charged against `segment`'s cap.
+    pub fn inflight_for(&self, segment: SegmentId) -> u64 {
+        self.inflight_by_segment
+            .get(&segment.0)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total in-flight requests (all mappers).
+    pub fn inflight(&self) -> u64 {
+        self.inflight_ids.len() as u64
+    }
+
+    /// True when the engine still owes work: a queued completion, a
+    /// request mid-execution, or a pending pull.
+    pub fn has_work(&self) -> bool {
+        !self.inflight_ids.is_empty() || !self.pending_pulls.is_empty()
+    }
+
+    /// Allocates a request id and enters it in the in-flight table.
+    pub fn register(&mut self, segment: SegmentId) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.inflight_ids.insert(id);
+        *self.inflight_by_segment.entry(segment.0).or_insert(0) += 1;
+        id
+    }
+
+    /// Removes a delivered id; returns true when an older request is
+    /// still in flight (this delivery overtook it).
+    fn retire(&mut self, id: u64, segment: SegmentId) -> bool {
+        self.inflight_ids.remove(&id);
+        if let Some(n) = self.inflight_by_segment.get_mut(&segment.0) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.inflight_by_segment.remove(&segment.0);
+            }
+        }
+        self.inflight_ids.first().is_some_and(|&oldest| oldest < id)
+    }
+
+    /// Queues a pull the cap rejected, coalescing it with an adjacent
+    /// pending pull of the same cache into one elastic batch. Returns
+    /// true when it merged.
+    pub fn queue_pending_pull(&mut self, pull: PendingPull) -> bool {
+        for p in &mut self.pending_pulls {
+            if p.cache != pull.cache || p.segment != pull.segment {
+                continue;
+            }
+            if p.offset + p.size == pull.offset {
+                p.size += pull.size;
+                return true;
+            }
+            if pull.offset + pull.size == p.offset {
+                p.offset = pull.offset;
+                p.size += pull.size;
+                return true;
+            }
+        }
+        self.pending_pulls.push(pull);
+        false
+    }
+
+    /// Takes the first pending pull whose segment has a free in-flight
+    /// slot under `cap`.
+    pub fn take_submittable_pending(&mut self, cap: u64) -> Option<PendingPull> {
+        let idx = self
+            .pending_pulls
+            .iter()
+            .position(|p| self.inflight_for(p.segment) < cap)?;
+        Some(self.pending_pulls.remove(idx))
+    }
+}
+
+impl PvmState {
+    /// The modelled service time of an asynchronous upcall covering
+    /// `pages` pages: one mapper round trip plus the per-page transfer,
+    /// read from the cost parameters *without* charging (the charge is
+    /// deferred to delivery).
+    pub(crate) fn upcall_service_ns(&self, pages: u64) -> u64 {
+        let p = self.model.params();
+        p.get(OpKind::IpcOp) + pages * p.get(OpKind::SegmentIoPage)
+    }
+
+    /// Applies one delivered completion's deferred bookkeeping under the
+    /// state lock. `forced` means a waiter blocked until this transfer
+    /// finished: the clock advances to the record's due time (ordinary
+    /// pumped deliveries are already past it, and only count the ops).
+    pub(crate) fn apply_completion(&mut self, due_ns: u64, id: u64, rec: CompletionRecord) {
+        let now = self.model.now().nanos();
+        if due_ns > now {
+            self.model.advance_ns(due_ns - now);
+        }
+        let overtook = self.engine.retire(id, rec.segment);
+        if overtook {
+            self.stats.bump(Counter::AsyncOutOfOrder);
+        }
+        self.stats.bump(Counter::AsyncDeliveries);
+        self.stats.add(Counter::MapperRetries, rec.retries);
+        let ps = self.ps();
+        let pages = rec.size / ps;
+        match rec.kind {
+            UpcallKind::PullIn => {
+                // Clear any stub the pull left behind: on success the
+                // `fillUp`s already replaced them with real pages; on
+                // failure this wakes every faulter asleep on one so it
+                // re-drives its own (synchronous) pull.
+                let mut cur = rec.offset;
+                while cur < rec.offset + rec.size {
+                    if self.is_sync_stub(rec.cache, cur) {
+                        self.clear_slot(rec.cache, cur);
+                    }
+                    cur += ps;
+                }
+                if rec.result.is_ok() {
+                    self.stats.bump(Counter::PullIns);
+                    self.model.count_only(OpKind::IpcOp);
+                    self.model.count_only_n(OpKind::SegmentIoPage, pages);
+                }
+            }
+            UpcallKind::PushOut => {
+                if rec.result.is_ok() {
+                    self.model.count_only(OpKind::IpcOp);
+                    self.model.count_only_n(OpKind::SegmentIoPage, pages);
+                    self.stats.bump(Counter::PushOutBatches);
+                    for &p in &rec.pages {
+                        self.finish_clean(p, true);
+                    }
+                    self.grow_seg_len(rec.cache, rec.offset + rec.size);
+                } else {
+                    // The pages keep their dirty bits: no modified data
+                    // is lost, the next laundering pass re-drives them.
+                    for &p in &rec.pages {
+                        self.finish_clean(p, false);
+                    }
+                }
+            }
+            UpcallKind::GetWriteAccess => unreachable!("write access is never asynchronous"),
+        }
+        if let Err(e) = &rec.result {
+            if matches!(e, GmiError::MapperTimeout { .. }) {
+                self.stats.bump(Counter::MapperTimeouts);
+            }
+            if !e.is_transient() {
+                self.quarantine_cache(rec.cache);
+            }
+        }
+        let inflight = self.engine.inflight();
+        self.trace.event(|| TraceEvent::UpcallComplete {
+            kind: rec.kind,
+            outcome: match &rec.result {
+                Ok(()) => UpcallOutcome::Ok,
+                Err(GmiError::MapperTimeout { .. }) => UpcallOutcome::Timeout,
+                Err(e) if e.is_transient() => UpcallOutcome::Transient,
+                Err(_) => UpcallOutcome::Permanent,
+            },
+            retries: rec.retries,
+            inflight,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::CacheKey;
+    use chorus_hal::Id;
+
+    fn key() -> CacheKey {
+        Id::from_raw_parts(0, 0)
+    }
+
+    #[test]
+    fn register_and_retire_track_the_per_segment_cap() {
+        let mut e = EngineState::new();
+        let (s1, s2) = (SegmentId(1), SegmentId(2));
+        let a = e.register(s1);
+        let b = e.register(s1);
+        let c = e.register(s2);
+        assert_eq!(e.inflight_for(s1), 2);
+        assert_eq!(e.inflight_for(s2), 1);
+        assert_eq!(e.inflight(), 3);
+        // Retiring b while a is still in flight is an overtake.
+        assert!(e.retire(b, s1));
+        assert!(!e.retire(a, s1));
+        assert_eq!(e.inflight_for(s1), 0);
+        assert!(!e.retire(c, s2));
+        assert!(!e.has_work());
+    }
+
+    #[test]
+    fn adjacent_pending_pulls_coalesce_into_one_batch() {
+        let mut e = EngineState::new();
+        let c = key();
+        let seg = SegmentId(7);
+        let mk = |offset: u64, size: u64| PendingPull {
+            cache: c,
+            segment: seg,
+            offset,
+            size,
+            access: Access::Read,
+        };
+        assert!(!e.queue_pending_pull(mk(0x2000, 0x2000)));
+        // Forward-adjacent: grows the tail.
+        assert!(e.queue_pending_pull(mk(0x4000, 0x1000)));
+        // Backward-adjacent: grows the head.
+        assert!(e.queue_pending_pull(mk(0x1000, 0x1000)));
+        // A gap does not coalesce.
+        assert!(!e.queue_pending_pull(mk(0x9000, 0x1000)));
+        assert_eq!(e.pending_pulls.len(), 2);
+        assert_eq!(e.pending_pulls[0], mk(0x1000, 0x4000));
+    }
+
+    #[test]
+    fn take_submittable_pending_respects_the_cap() {
+        let mut e = EngineState::new();
+        let c = key();
+        let busy = SegmentId(1);
+        let idle = SegmentId(2);
+        e.register(busy);
+        e.queue_pending_pull(PendingPull {
+            cache: c,
+            segment: busy,
+            offset: 0,
+            size: 0x2000,
+            access: Access::Read,
+        });
+        e.queue_pending_pull(PendingPull {
+            cache: c,
+            segment: idle,
+            offset: 0x8000,
+            size: 0x2000,
+            access: Access::Read,
+        });
+        // Cap 1: the busy mapper's pull must wait, the idle one goes.
+        let p = e.take_submittable_pending(1).expect("idle pull");
+        assert_eq!(p.segment, idle);
+        assert!(e.take_submittable_pending(1).is_none());
+        assert!(e.take_submittable_pending(2).is_some());
+    }
+}

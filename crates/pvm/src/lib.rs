@@ -31,6 +31,7 @@ mod config;
 mod copy;
 mod debug;
 mod descriptors;
+mod engine;
 mod fastpath;
 mod fault;
 mod gmap;
@@ -45,7 +46,7 @@ mod state;
 mod stats;
 pub mod trace;
 
-pub use config::PvmConfig;
+pub use config::{PvmConfig, PvmConfigBuilder};
 pub use debug::{CacheDump, SlotDump, TreeDump};
 pub use pvm::{MmuChoice, Pvm, PvmOptions};
 pub use stats::{Counter, PvmStats, StatsRegistry};

@@ -44,7 +44,17 @@ impl PvmState {
                     }
                 }
             }
-            None => Err(GmiError::OutOfMemory),
+            None => {
+                // No victim, but the completion engine owes work (e.g.
+                // every candidate is `cleaning` under an in-flight
+                // laundering push): delivering a completion makes those
+                // pages clean and evictable, so wait for one instead of
+                // reporting a premature OutOfMemory.
+                if self.config.async_upcalls && self.engine.has_work() {
+                    return blocked(Blocked::AwaitCompletion);
+                }
+                Err(GmiError::OutOfMemory)
+            }
         }
     }
 

@@ -12,13 +12,15 @@
 
 use crate::config::PvmConfig;
 use crate::descriptors::Slot;
+use crate::engine::{CompletionRecord, PendingPull};
 use crate::keys::{cache_key, ctx_key, pub_cache, pub_ctx, pub_region, region_key};
 use crate::state::{Attempt, Blocked, Outcome, PushOrigin, PvmState};
 use crate::stats::{Counter, PvmStats, StatsRegistry};
 use crate::trace::{Phase, Resolution, TraceEvent, Tracer, UpcallKind, UpcallOutcome};
 use chorus_gmi::{
-    Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, RegionId,
-    RegionStatus, Result, SegmentId, SegmentManager, VirtAddr,
+    Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, PullRequest,
+    PushRequest, RegionId, RegionStatus, Result, SegmentId, SegmentManager, SegmentManagerV2,
+    SyncShim, VirtAddr,
 };
 use chorus_hal::{CostModel, CostParams, Mmu, PhysicalMemory, SoftMmu, TwoLevelMmu};
 use parking_lot::{Condvar, Mutex};
@@ -67,7 +69,7 @@ impl Default for PvmOptions {
 pub struct Pvm {
     state: Mutex<PvmState>,
     stub_cv: Condvar,
-    seg_mgr: Arc<dyn SegmentManager>,
+    seg_mgr: Arc<dyn SegmentManagerV2>,
     model: Arc<CostModel>,
     /// Page geometry, copied out so `geometry()` never takes the lock.
     geom: PageGeometry,
@@ -84,11 +86,24 @@ pub struct Pvm {
     /// push that re-enters the driver (e.g. a mapper calling back into
     /// the GMI) must not start a second pass.
     laundering: AtomicBool,
+    /// Reentrancy guard for draining the engine's pending pulls:
+    /// executing a pending pull re-enters the driver through `fillUp`
+    /// and must not start a nested drain.
+    pumping: AtomicBool,
 }
 
 impl Pvm {
-    /// Creates a PVM with the given options and segment manager.
+    /// Creates a PVM with the given options and a classic synchronous
+    /// segment manager, adapted through the blanket
+    /// [`chorus_gmi::SyncShim`] so existing managers work unchanged.
     pub fn new(options: PvmOptions, seg_mgr: Arc<dyn SegmentManager>) -> Pvm {
+        Pvm::new_v2(options, Arc::new(SyncShim::new(seg_mgr)))
+    }
+
+    /// Creates a PVM over a typed v2 segment manager
+    /// ([`chorus_gmi::SegmentManagerV2`]) — the native front of the
+    /// asynchronous upcall engine.
+    pub fn new_v2(options: PvmOptions, seg_mgr: Arc<dyn SegmentManagerV2>) -> Pvm {
         let model = Arc::new(CostModel::new(options.cost.clone()));
         let phys = PhysicalMemory::new(options.geometry, options.frames, model.clone());
         let mmu: Box<dyn Mmu> = match options.mmu {
@@ -109,6 +124,7 @@ impl Pvm {
             stats,
             trace,
             laundering: AtomicBool::new(false),
+            pumping: AtomicBool::new(false),
         }
     }
 
@@ -184,6 +200,7 @@ impl Pvm {
 
     fn run<T>(&self, mut attempt: impl FnMut(&mut PvmState) -> Attempt<T>) -> Result<T> {
         let mut guard = self.state.lock();
+        guard = self.pump_completions(guard);
         guard = self.maybe_launder(guard);
         loop {
             match attempt(&mut guard)? {
@@ -287,6 +304,224 @@ impl Pvm {
         (result, retries)
     }
 
+    // ----- the asynchronous upcall engine -----------------------------------
+
+    /// Delivers every completion already due at the current simulated
+    /// time (their service windows were covered by intervening work, so
+    /// the deferred charges only count), then feeds pending pulls into
+    /// freed in-flight slots. Runs at every driver entry; a no-op with
+    /// the engine off.
+    fn pump_completions<'a>(
+        &'a self,
+        mut guard: parking_lot::MutexGuard<'a, PvmState>,
+    ) -> parking_lot::MutexGuard<'a, PvmState> {
+        if !guard.config.async_upcalls {
+            return guard;
+        }
+        loop {
+            let now = guard.model.now().nanos();
+            let Some((due, id, rec)) = guard.engine.queue.pop_due(now) else {
+                break;
+            };
+            guard.apply_completion(due, id, rec);
+        }
+        self.drain_pending(guard)
+    }
+
+    /// Force-delivers the earliest in-flight completion, advancing the
+    /// simulated clock to its due time — a stub waiter or frame-starved
+    /// allocation modelling a block until the transfer lands. Returns
+    /// whether any progress was made (a delivery, or a pending pull
+    /// submitted into a free slot).
+    fn engine_force_one<'a>(
+        &'a self,
+        mut guard: parking_lot::MutexGuard<'a, PvmState>,
+        stall: bool,
+    ) -> (parking_lot::MutexGuard<'a, PvmState>, bool) {
+        if let Some((due, id, rec)) = guard.engine.queue.pop_earliest() {
+            if stall {
+                guard.stats.bump(Counter::AsyncInflightStalls);
+            }
+            guard.apply_completion(due, id, rec);
+            guard = self.drain_pending(guard);
+            return (guard, true);
+        }
+        let before = guard.engine.pending_pulls.len();
+        guard = self.drain_pending(guard);
+        let progressed = guard.engine.pending_pulls.len() < before;
+        (guard, progressed)
+    }
+
+    /// Submits queued over-cap pulls while in-flight slots are free.
+    /// Guarded against reentry: executing a pull re-enters the driver
+    /// through `fillUp`, which pumps again.
+    fn drain_pending<'a>(
+        &'a self,
+        mut guard: parking_lot::MutexGuard<'a, PvmState>,
+    ) -> parking_lot::MutexGuard<'a, PvmState> {
+        if guard.engine.pending_pulls.is_empty() || self.pumping.swap(true, Ordering::Acquire) {
+            return guard;
+        }
+        let cap = guard.config.max_inflight_upcalls.max(1);
+        while let Some(p) = guard.engine.take_submittable_pending(cap) {
+            guard = self.submit_async_pull(guard, p);
+        }
+        self.pumping.store(false, Ordering::Release);
+        guard
+    }
+
+    /// Routes a readahead tail pull into the engine: submitted when the
+    /// mapper has a free in-flight slot, queued (coalescing with an
+    /// adjacent pending pull) otherwise.
+    fn queue_async_pull<'a>(
+        &'a self,
+        mut guard: parking_lot::MutexGuard<'a, PvmState>,
+        pull: PendingPull,
+    ) -> parking_lot::MutexGuard<'a, PvmState> {
+        let cap = guard.config.max_inflight_upcalls.max(1);
+        if guard.engine.pending_pulls.is_empty() && guard.engine.inflight_for(pull.segment) < cap {
+            return self.submit_async_pull(guard, pull);
+        }
+        if guard.engine.queue_pending_pull(pull) {
+            guard.stats.bump(Counter::AsyncCoalesced);
+        }
+        guard
+    }
+
+    /// Submits one asynchronous pull: registers it in the in-flight
+    /// table, runs the mapper protocol eagerly with the lock released
+    /// (retries and backoff charge the clock as they would inline), and
+    /// schedules the completion at `now + modelled service time`. The
+    /// deferred bookkeeping — charges, stub clearing, quarantine — runs
+    /// at delivery.
+    fn submit_async_pull<'a>(
+        &'a self,
+        mut guard: parking_lot::MutexGuard<'a, PvmState>,
+        pull: PendingPull,
+    ) -> parking_lot::MutexGuard<'a, PvmState> {
+        let id = guard.engine.register(pull.segment);
+        let inflight = guard.engine.inflight();
+        guard.stats.bump(Counter::AsyncSubmits);
+        guard.trace.event(|| TraceEvent::UpcallSubmit {
+            kind: UpcallKind::PullIn,
+            segment: pull.segment.0,
+            offset: pull.offset,
+            size: pull.size,
+            inflight,
+        });
+        let policy = guard.config.retry;
+        let service = guard.upcall_service_ns(pull.size / guard.ps());
+        drop(guard);
+        let req = PullRequest {
+            cache: pub_cache(pull.cache),
+            segment: pull.segment,
+            offset: pull.offset,
+            size: pull.size,
+            access: pull.access,
+        };
+        let (result, retries) = self.upcall_with_retry(pull.segment, policy, || {
+            self.seg_mgr.submit_pull(self, &req)
+        });
+        let mut guard = self.state.lock();
+        let due = guard.model.now().nanos() + service;
+        guard.engine.queue.insert(
+            due,
+            id,
+            CompletionRecord {
+                kind: UpcallKind::PullIn,
+                cache: pull.cache,
+                segment: pull.segment,
+                offset: pull.offset,
+                size: pull.size,
+                pages: Vec::new(),
+                result,
+                retries,
+            },
+        );
+        guard
+    }
+
+    /// Submits one asynchronous laundering push. The pages stay
+    /// `cleaning` (write-protected) until the completion delivers, so
+    /// the bytes the mapper read at submit time cannot be re-dirtied
+    /// under it; on a failed completion they keep their dirty bits and
+    /// the next laundering pass re-drives them — no dirty data is lost.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_async_push<'a>(
+        &'a self,
+        mut guard: parking_lot::MutexGuard<'a, PvmState>,
+        cache: crate::keys::CacheKey,
+        segment: SegmentId,
+        offset: u64,
+        size: u64,
+        pages: Vec<crate::keys::PageKey>,
+    ) -> parking_lot::MutexGuard<'a, PvmState> {
+        let id = guard.engine.register(segment);
+        let inflight = guard.engine.inflight();
+        guard.stats.bump(Counter::AsyncSubmits);
+        guard.trace.event(|| TraceEvent::UpcallSubmit {
+            kind: UpcallKind::PushOut,
+            segment: segment.0,
+            offset,
+            size,
+            inflight,
+        });
+        let policy = guard.config.retry;
+        let service = guard.upcall_service_ns(pages.len() as u64);
+        drop(guard);
+        let req = PushRequest {
+            cache: pub_cache(cache),
+            segment,
+            offset,
+            size,
+        };
+        // Same batch discipline as the synchronous path: a multi-page
+        // run gets one shot (a failed batch keeps every page dirty for
+        // the next pass rather than re-driving N-page transfers).
+        let (result, retries) = if pages.len() == 1 {
+            self.upcall_with_retry(segment, policy, || self.seg_mgr.submit_push(self, &req))
+        } else {
+            (self.seg_mgr.submit_push(self, &req), 0)
+        };
+        let mut guard = self.state.lock();
+        let due = guard.model.now().nanos() + service;
+        guard.engine.queue.insert(
+            due,
+            id,
+            CompletionRecord {
+                kind: UpcallKind::PushOut,
+                cache,
+                segment,
+                offset,
+                size,
+                pages,
+                result,
+                retries,
+            },
+        );
+        guard
+    }
+
+    /// Force-delivers every outstanding asynchronous completion (and
+    /// submits queued pending pulls), advancing the simulated clock as
+    /// each transfer lands. Deterministic `(due, id)` order. Call at
+    /// the end of a measurement window so the tables include all
+    /// in-flight work; a no-op with the engine off or idle.
+    pub fn drain_upcalls(&self) {
+        loop {
+            let guard = self.state.lock();
+            if !guard.config.async_upcalls {
+                return;
+            }
+            let (guard, progressed) = self.engine_force_one(guard, false);
+            drop(guard);
+            self.stub_cv.notify_all();
+            if !progressed {
+                return;
+            }
+        }
+    }
+
     /// Performs a blocked action, re-acquiring the lock afterwards.
     fn perform<'a>(
         &'a self,
@@ -295,6 +530,18 @@ impl Pvm {
     ) -> Result<parking_lot::MutexGuard<'a, PvmState>> {
         match action {
             Blocked::WaitStub => {
+                // The stub may belong to an in-flight asynchronous
+                // upcall, whose completion no other thread will deliver:
+                // force the earliest one (advancing the clock to its due
+                // time — this thread is blocked on the transfer) before
+                // considering a sleep.
+                if guard.config.async_upcalls {
+                    let (g, progressed) = self.engine_force_one(guard, true);
+                    guard = g;
+                    if progressed {
+                        return Ok(guard);
+                    }
+                }
                 // Bounded wait: progress is re-checked on every wakeup,
                 // and the timeout guards against lost notifications.
                 let t0 = self.trace.phase_start();
@@ -305,13 +552,46 @@ impl Pvm {
                 self.trace.event(|| TraceEvent::StubWake);
                 Ok(guard)
             }
+            Blocked::AwaitCompletion => {
+                // Frame allocation is starved but the engine owes work
+                // whose delivery can free frames; force it, then retry.
+                let (guard, progressed) = self.engine_force_one(guard, true);
+                if progressed {
+                    return Ok(guard);
+                }
+                // Another thread is mid-execution on the outstanding
+                // request: yield briefly and retry.
+                let mut guard = guard;
+                let _ = self.stub_cv.wait_for(&mut guard, Duration::from_millis(5));
+                Ok(guard)
+            }
             Blocked::PullIn {
                 cache,
                 segment,
                 offset,
-                size,
+                mut size,
                 access,
             } => {
+                // With the engine on, a clustered pull splits: the
+                // faulting head page stays synchronous (the faulter
+                // needs it now), the readahead tail becomes a
+                // fire-and-collect asynchronous pull. The tail pages'
+                // sync stubs are already placed; they clear at the
+                // completion's delivery (or when `fillUp` lands data).
+                let ps = guard.ps();
+                if guard.config.async_upcalls && size > ps {
+                    guard = self.queue_async_pull(
+                        guard,
+                        PendingPull {
+                            cache,
+                            segment,
+                            offset: offset + ps,
+                            size: size - ps,
+                            access,
+                        },
+                    );
+                    size = ps;
+                }
                 let policy = guard.config.retry;
                 drop(guard);
                 let t0 = self.trace.phase_start();
@@ -321,10 +601,15 @@ impl Pvm {
                     offset,
                     size,
                 });
-                let (res, retries) = self.upcall_with_retry(segment, policy, || {
-                    self.seg_mgr
-                        .pull_in(self, pub_cache(cache), segment, offset, size, access)
-                });
+                let req = PullRequest {
+                    cache: pub_cache(cache),
+                    segment,
+                    offset,
+                    size,
+                    access,
+                };
+                let (res, retries) = self
+                    .upcall_with_retry(segment, policy, || self.seg_mgr.submit_pull(self, &req));
                 self.trace.event(|| TraceEvent::UpcallEnd {
                     kind: UpcallKind::PullIn,
                     outcome: upcall_outcome(&res),
@@ -388,6 +673,19 @@ impl Pvm {
                 pages,
                 origin,
             } => {
+                // Daemon-origin laundering pushes are the engine's other
+                // async source: nothing waits on them, so they become
+                // fire-and-collect when the mapper has a free in-flight
+                // slot (at the cap they degrade to the synchronous path
+                // below, never to unbounded queueing of dirty runs).
+                if guard.config.async_upcalls && origin == PushOrigin::Daemon {
+                    let cap = guard.config.max_inflight_upcalls.max(1);
+                    if guard.engine.inflight_for(segment) < cap {
+                        return Ok(
+                            self.submit_async_push(guard, cache, segment, offset, size, pages)
+                        );
+                    }
+                }
                 let policy = guard.config.retry;
                 drop(guard);
                 let ps = self.geom.page_size();
@@ -408,8 +706,15 @@ impl Pvm {
                 });
                 let (res, retries) = if pages.len() == 1 {
                     self.upcall_with_retry(segment, policy, || {
-                        self.seg_mgr
-                            .push_out(self, pub_cache(cache), segment, offset, size)
+                        self.seg_mgr.submit_push(
+                            self,
+                            &PushRequest {
+                                cache: pub_cache(cache),
+                                segment,
+                                offset,
+                                size,
+                            },
+                        )
                     })
                 } else {
                     // A multi-page batch gets one shot: on any failure we
@@ -417,8 +722,15 @@ impl Pvm {
                     // retry budget, rather than re-driving N-page transfers
                     // against a mapper that already dropped one.
                     (
-                        self.seg_mgr
-                            .push_out(self, pub_cache(cache), segment, offset, size),
+                        self.seg_mgr.submit_push(
+                            self,
+                            &PushRequest {
+                                cache: pub_cache(cache),
+                                segment,
+                                offset,
+                                size,
+                            },
+                        ),
                         0,
                     )
                 };
@@ -487,8 +799,15 @@ impl Pvm {
                     }
                     let off_i = offset + i as u64 * ps;
                     let (r, rt) = self.upcall_with_retry(segment, policy, || {
-                        self.seg_mgr
-                            .push_out(self, pub_cache(cache), segment, off_i, ps)
+                        self.seg_mgr.submit_push(
+                            self,
+                            &PushRequest {
+                                cache: pub_cache(cache),
+                                segment,
+                                offset: off_i,
+                                size: ps,
+                            },
+                        )
                     });
                     retries_total += rt;
                     if r.as_ref().err().map(|e| !e.is_transient()).unwrap_or(false) {
@@ -538,8 +857,8 @@ impl Pvm {
             }
             Blocked::NeedSegment { cache } => {
                 drop(guard);
-                let segment = self.seg_mgr.segment_create(pub_cache(cache));
-                let seg_len = self.seg_mgr.segment_size(segment);
+                let segment = self.seg_mgr.create_segment_v2(pub_cache(cache));
+                let seg_len = self.seg_mgr.segment_len(segment);
                 let mut guard = self.state.lock();
                 if let Ok(c) = guard.cache_mut(cache) {
                     if c.segment.is_none() {
@@ -566,7 +885,7 @@ impl Pvm {
                     size,
                 });
                 let (res, retries) = self.upcall_with_retry(segment, policy, || {
-                    self.seg_mgr.get_write_access(segment, offset, size)
+                    self.seg_mgr.acquire_write_access(segment, offset, size)
                 });
                 self.trace.event(|| TraceEvent::UpcallEnd {
                     kind: UpcallKind::GetWriteAccess,
@@ -813,7 +1132,7 @@ impl Gmi for Pvm {
         // Ask the manager for the segment's length before taking the
         // lock; it clamps clustered pulls at segment end (`None` just
         // disables the clamp).
-        let seg_len = segment.and_then(|s| self.seg_mgr.segment_size(s));
+        let seg_len = segment.and_then(|s| self.seg_mgr.segment_len(s));
         let mut guard = self.state.lock();
         let key = guard.cache_create_locked(segment);
         if seg_len.is_some() {

@@ -66,6 +66,12 @@ pub(crate) enum Blocked {
         /// The segment-less cache.
         cache: CacheKey,
     },
+    /// Frame allocation found no victim, but the completion engine has
+    /// in-flight (or pending) asynchronous upcalls whose delivery can
+    /// free frames (a finished laundering push makes its pages clean
+    /// and evictable). The driver force-delivers the earliest
+    /// completion and retries.
+    AwaitCompletion,
     /// Ask the segment manager for write access (`getWriteAccess`).
     GetWriteAccess {
         /// The cache whose page needs write access (kept for telemetry
@@ -161,6 +167,10 @@ pub(crate) struct PvmState {
     /// The event tracer, shared with `Pvm` and (for correlation) the
     /// nucleus mapper layers.
     pub trace: Arc<Tracer>,
+    /// The asynchronous-upcall completion engine (in-flight table,
+    /// deterministic completion queue, pending coalescible pulls).
+    /// Entirely inert unless `config.async_upcalls` is set.
+    pub engine: crate::engine::EngineState,
 }
 
 impl PvmState {
@@ -190,6 +200,7 @@ impl PvmState {
             config,
             stats,
             trace,
+            engine: crate::engine::EngineState::new(),
         }
     }
 

@@ -143,6 +143,21 @@ counters! {
     /// Times the adaptive readahead window grew (doubled) on a
     /// sequential stream.
     readahead_ramps => ReadaheadRamps,
+    /// Asynchronous upcalls submitted to the completion engine
+    /// (fire-and-collect readahead pulls and laundering pushes).
+    async_submits => AsyncSubmits,
+    /// Asynchronous completions delivered by the scheduler (each
+    /// applies its deferred bookkeeping under the state lock).
+    async_deliveries => AsyncDeliveries,
+    /// Pending asynchronous pulls merged into an adjacent in-flight or
+    /// queued request instead of submitting a new one.
+    async_coalesced => AsyncCoalesced,
+    /// Times a thread had to force-deliver the earliest in-flight
+    /// completion to make progress (stub wait or frame exhaustion).
+    async_inflight_stalls => AsyncInflightStalls,
+    /// Completions delivered in a different order than their requests
+    /// were submitted (the observable signature of the engine).
+    async_out_of_order => AsyncOutOfOrder,
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();
@@ -249,7 +264,8 @@ mod tests {
     #[test]
     fn counter_labels_match_snapshot_fields() {
         assert_eq!(Counter::FastPathHits.label(), "fast_path_hits");
-        assert_eq!(Counter::ALL.len(), 27);
+        assert_eq!(Counter::ALL.len(), 32);
+        assert_eq!(Counter::AsyncSubmits.label(), "async_submits");
         assert_eq!(Counter::PushOutBatches.label(), "push_out_batches");
     }
 

@@ -277,6 +277,33 @@ pub enum TraceEvent {
         /// Transient retries performed.
         retries: u64,
     },
+    /// An asynchronous upcall entered the per-mapper in-flight table
+    /// (fire-and-collect; the mapper protocol already ran eagerly, the
+    /// bookkeeping is deferred to the completion delivery).
+    UpcallSubmit {
+        /// Which upcall.
+        kind: UpcallKind,
+        /// Target segment.
+        segment: u64,
+        /// Fragment offset.
+        offset: u64,
+        /// Fragment size.
+        size: u64,
+        /// In-flight requests (this one included) after the submit.
+        inflight: u64,
+    },
+    /// A completion was delivered by the scheduler and its deferred
+    /// bookkeeping applied.
+    UpcallComplete {
+        /// Which upcall.
+        kind: UpcallKind,
+        /// Final outcome.
+        outcome: UpcallOutcome,
+        /// Transient retries performed.
+        retries: u64,
+        /// In-flight requests remaining after the delivery.
+        inflight: u64,
+    },
     /// The clock algorithm evicted a page.
     Eviction {
         /// Owning cache index.

@@ -110,6 +110,36 @@ fn parts(e: &TraceEvent) -> (Ph, String, Vec<(&'static str, String)>) {
                 ("retries", retries.to_string()),
             ],
         ),
+        TraceEvent::UpcallSubmit {
+            kind,
+            segment,
+            offset,
+            size,
+            inflight,
+        } => (
+            Ph::Instant,
+            format!("upcall.submit.{}", kind.label()),
+            vec![
+                ("segment", segment.to_string()),
+                ("offset", offset.to_string()),
+                ("size", size.to_string()),
+                ("inflight", inflight.to_string()),
+            ],
+        ),
+        TraceEvent::UpcallComplete {
+            kind,
+            outcome,
+            retries,
+            inflight,
+        } => (
+            Ph::Instant,
+            format!("upcall.complete.{}", kind.label()),
+            vec![
+                ("outcome", s(outcome.label())),
+                ("retries", retries.to_string()),
+                ("inflight", inflight.to_string()),
+            ],
+        ),
         TraceEvent::Eviction { cache, offset } => (
             Ph::Instant,
             "clock.evict".into(),

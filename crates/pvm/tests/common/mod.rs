@@ -27,10 +27,10 @@ pub fn setup_with(
         frames,
         cost: CostParams::zero(),
         mmu: MmuChoice::Soft,
-        config: PvmConfig {
-            check_invariants: true,
-            ..PvmConfig::default()
-        },
+        config: PvmConfig::builder()
+            .check_invariants(true)
+            .build()
+            .expect("valid config"),
     };
     tweak(&mut options);
     (Arc::new(Pvm::new(options, mgr.clone())), mgr)

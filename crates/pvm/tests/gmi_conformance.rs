@@ -15,10 +15,10 @@ fn pvm_passes_gmi_conformance() {
                 geometry: PageGeometry::new(256),
                 frames: 128,
                 cost: CostParams::zero(),
-                config: PvmConfig {
-                    check_invariants: true,
-                    ..PvmConfig::default()
-                },
+                config: PvmConfig::builder()
+                    .check_invariants(true)
+                    .build()
+                    .expect("valid config"),
                 ..PvmOptions::default()
             },
             mgr.clone(),
@@ -37,14 +37,54 @@ fn pvm_passes_gmi_conformance_under_pressure() {
                 geometry: PageGeometry::new(256),
                 frames: 6,
                 cost: CostParams::zero(),
-                config: PvmConfig {
-                    check_invariants: true,
-                    ..PvmConfig::default()
-                },
+                config: PvmConfig::builder()
+                    .check_invariants(true)
+                    .build()
+                    .expect("valid config"),
                 ..PvmOptions::default()
             },
             mgr.clone(),
         ));
+        Fixture { gmi, mgr }
+    });
+}
+
+#[test]
+fn pvm_passes_gmi_conformance_through_v2() {
+    use chorus_gmi::conformance::V2Mode;
+    use chorus_gmi::testing::MemSegmentManagerV2;
+
+    conformance::run_v2(|mode| {
+        let mgr = Arc::new(MemSegmentManager::new());
+        // Knobs that actually put traffic through the completion
+        // engine in the native mode: clustered pulls split their tail
+        // into asynchronous submissions and the laundering daemon
+        // issues fire-and-collect pushes.
+        let config = PvmConfig::builder()
+            .check_invariants(true)
+            .pull_cluster_pages(4)
+            .readahead_max_pages(8)
+            .push_cluster_pages(4)
+            .writeback_daemon(true)
+            .writeback_low_frames(4)
+            .writeback_high_frames(8)
+            .async_upcalls(mode == V2Mode::NativeAsync)
+            .max_inflight_upcalls(2)
+            .build()
+            .expect("valid config");
+        let options = PvmOptions {
+            geometry: PageGeometry::new(256),
+            frames: 16,
+            cost: CostParams::zero(),
+            config,
+            ..PvmOptions::default()
+        };
+        let gmi = Arc::new(match mode {
+            V2Mode::Shim => Pvm::new(options, mgr.clone()),
+            V2Mode::NativeAsync => {
+                Pvm::new_v2(options, Arc::new(MemSegmentManagerV2::new(mgr.clone())))
+            }
+        });
         Fixture { gmi, mgr }
     });
 }

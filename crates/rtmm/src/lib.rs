@@ -11,7 +11,7 @@
 //! - copies are **eager** — no history objects, no per-page stubs, no
 //!   deferred anything: every `cache.copy` materializes destination
 //!   pages at once (deterministic cost, the real-time trade-off);
-//! - segments still work through the standard [`SegmentManager`]
+//! - segments still work through the standard [`SegmentManager`](chorus_gmi::SegmentManager)
 //!   upcalls: mapped files are pulled in on first touch and `sync` /
 //!   `flush` push dirty data back, so the same kernel layers run
 //!   unchanged (the replaceability property of §5.2).

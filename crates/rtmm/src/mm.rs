@@ -167,6 +167,10 @@ impl MinimalMm {
         if need_pull {
             let segment = segment.expect("fully backed without segment");
             let ps = self.state.lock().geom.page_size();
+            // Deliberately stays on the v1 synchronous upcall: the
+            // minimal manager doubles as coverage for the deprecated
+            // entry points behind the `SyncShim` adapter.
+            #[allow(deprecated)]
             self.seg_mgr
                 .pull_in(self, pub_cache(cache), segment, page_off, ps, Access::Read)?;
             let mut s = self.state.lock();
@@ -749,6 +753,8 @@ impl Gmi for MinimalMm {
                     (Some(o), Some(seg)) => (seg, o, s.ps()),
                 }
             };
+            // v1 on purpose — see the pull-side comment.
+            #[allow(deprecated)]
             self.seg_mgr.push_out(self, cache, segment, dirty_off, ps)?;
             let mut s = self.state.lock();
             s.stats.push_outs += 1;

@@ -12,8 +12,9 @@ use crate::objects::{
     SRegion,
 };
 use chorus_gmi::{
-    Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, RegionId,
-    RegionStatus, Result, SegmentId, SegmentManager, VirtAddr,
+    Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, PullRequest,
+    PushRequest, RegionId, RegionStatus, Result, SegmentId, SegmentManager, SegmentManagerV2,
+    SyncShim, VirtAddr,
 };
 use chorus_hal::{
     Arena, CostModel, CostParams, FrameNo, Id, Mmu, OpKind, PhysicalMemory, SoftMmu, Vpn,
@@ -117,7 +118,7 @@ struct SState {
 /// exercised single-threaded by the benches and the differential tests).
 pub struct ShadowVm {
     state: Mutex<SState>,
-    seg_mgr: Arc<dyn SegmentManager>,
+    seg_mgr: Arc<dyn SegmentManagerV2>,
     model: Arc<CostModel>,
 }
 
@@ -161,8 +162,14 @@ fn sregion_key(id: RegionId) -> SRegKey {
 }
 
 impl ShadowVm {
-    /// Creates a shadow-object manager.
+    /// Creates a shadow-object manager over a v1 [`SegmentManager`],
+    /// adapted through [`SyncShim`].
     pub fn new(options: ShadowOptions, seg_mgr: Arc<dyn SegmentManager>) -> ShadowVm {
+        ShadowVm::new_v2(options, Arc::new(SyncShim::new(seg_mgr)))
+    }
+
+    /// Creates a shadow-object manager over a v2 [`SegmentManagerV2`].
+    pub fn new_v2(options: ShadowOptions, seg_mgr: Arc<dyn SegmentManagerV2>) -> ShadowVm {
         let model = Arc::new(CostModel::new(options.cost.clone()));
         let phys = PhysicalMemory::new(options.geometry, options.frames, model.clone());
         let mmu: Box<dyn Mmu> = Box::new(SoftMmu::new(options.geometry, model.clone()));
@@ -235,13 +242,15 @@ impl ShadowVm {
                 } => {
                     let size = guard.geom.page_size();
                     drop(guard);
-                    self.seg_mgr.pull_in(
+                    self.seg_mgr.submit_pull(
                         self,
-                        pub_object(object),
-                        segment,
-                        obj_off,
-                        size,
-                        Access::Read,
+                        &PullRequest {
+                            cache: pub_object(object),
+                            segment,
+                            offset: obj_off,
+                            size,
+                            access: Access::Read,
+                        },
                     )?;
                     let mut guard = self.state.lock();
                     guard.stats.pull_ins += 1;
@@ -258,9 +267,15 @@ impl ShadowVm {
                 } => {
                     let size = guard.geom.page_size();
                     drop(guard);
-                    let res =
-                        self.seg_mgr
-                            .push_out(self, pub_object(object), segment, obj_off, size);
+                    let res = self.seg_mgr.submit_push(
+                        self,
+                        &PushRequest {
+                            cache: pub_object(object),
+                            segment,
+                            offset: obj_off,
+                            size,
+                        },
+                    );
                     let mut guard = self.state.lock();
                     if res.is_ok() {
                         guard.stats.push_outs += 1;
@@ -277,7 +292,7 @@ impl ShadowVm {
                 }
                 Step::NeedSegment { object } => {
                     drop(guard);
-                    let segment = self.seg_mgr.segment_create(pub_object(object));
+                    let segment = self.seg_mgr.create_segment_v2(pub_object(object));
                     let mut guard = self.state.lock();
                     if let Some(o) = guard.objects.get_mut(object) {
                         if o.pager.is_none() {

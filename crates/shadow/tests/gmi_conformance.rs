@@ -23,3 +23,29 @@ fn shadow_passes_gmi_conformance() {
         Fixture { gmi, mgr }
     });
 }
+
+#[test]
+fn shadow_passes_gmi_conformance_through_v2() {
+    use chorus_gmi::conformance::V2Mode;
+    use chorus_gmi::testing::MemSegmentManagerV2;
+
+    conformance::run_v2(|mode| {
+        let mgr = Arc::new(MemSegmentManager::new());
+        let options = ShadowOptions {
+            geometry: PageGeometry::new(256),
+            frames: 512,
+            cost: CostParams::zero(),
+            collapse_chains: true,
+        };
+        // The shadow baseline has no completion engine of its own, so
+        // the native mode checks the typed v2 requests it emits
+        // directly, and the shim mode checks the blanket adapter.
+        let gmi = Arc::new(match mode {
+            V2Mode::Shim => ShadowVm::new(options, mgr.clone()),
+            V2Mode::NativeAsync => {
+                ShadowVm::new_v2(options, Arc::new(MemSegmentManagerV2::new(mgr.clone())))
+            }
+        });
+        Fixture { gmi, mgr }
+    });
+}

@@ -2,10 +2,12 @@
 # Tier-1 verification wrapper for this workspace.
 #
 # Runs the full check sequence from .claude/skills/verify/SKILL.md:
-# release build, test suite, format gate, clippy gate, the fast-path
-# liveness probe, the writeback-pipeline smoke (clustering must cut
-# pushOut requests >=4x and the daemon must shrink demand evict
-# stalls), the release-mode concurrency stress, and the tracing
+# release build, test suite, format gate, clippy gate, doc gate
+# (rustdoc warnings are errors), the fast-path liveness probe, the
+# writeback-pipeline smoke (clustering must cut pushOut requests >=4x
+# and the daemon must shrink demand evict stalls), the async-upcall
+# smoke (the completion engine must beat the synchronous baseline),
+# the release-mode concurrency stress, and the tracing
 # bit-identity check (Table 5 regenerated with CHORUS_TRACE=1 must
 # match the committed reports/table5.txt byte for byte — the
 # determinism rule: no trace call may advance the cost-model clock).
@@ -28,6 +30,14 @@ cargo fmt --check
 
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo doc --no-deps (warnings are errors)"
+# Only the chorus crates: the vendored third-party members are not
+# held to this repo's documentation standard.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p chorus-hal -p chorus-gmi -p chorus-pvm -p chorus-shadow \
+  -p chorus-nucleus -p chorus-mix -p chorus-rtmm -p chorus-bench \
+  -p chorus-vm
 
 step "scale_faults --quick: fast path alive"
 cargo run --release -q -p chorus-bench --bin scale_faults -- --json --quick |
@@ -56,6 +66,22 @@ assert daemon["evict_stall_p99_ns"] < base["evict_stall_p99_ns"], (base, daemon)
 print("ok: pushOut upcalls %d -> %d (>=4x), evict-stall p99 %d -> %d ns"
       % (base["pushout_upcalls"], clustered["pushout_upcalls"],
          base["evict_stall_p99_ns"], daemon["evict_stall_p99_ns"]))
+'
+
+step "ablation_async_upcalls --quick: engine beats sync baseline"
+# The bench asserts internally that engine-on improves end-to-end sim
+# time and demand-fault p99 over the synchronous baseline, and that
+# the completion scheduler is bit-identical across re-runs.
+cargo run --release -q -p chorus-bench --bin ablation_async_upcalls -- --json --quick |
+  python3 -c '
+import json, sys
+rows = json.load(sys.stdin)["rows"]
+sync = next(r for r in rows if not r["engine"])
+best = min((r for r in rows if r["engine"]), key=lambda r: r["sim_ms"])
+assert best["sim_ms"] < sync["sim_ms"], (sync, best)
+assert best["async_deliveries"] == best["async_submits"] > 0, best
+print("ok: engine-on sim time %.1f ms vs sync %.1f ms"
+      % (best["sim_ms"], sync["sim_ms"]))
 '
 
 step "release-mode concurrent_faults stress"

@@ -335,17 +335,14 @@ fn pvm_with_manager(frames: u32) -> (Arc<Pvm>, Arc<MemSegmentManager>) {
             geometry: PageGeometry::new(PS),
             frames,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: true,
-                // The whole differential suite runs with the tracer on:
-                // any behavioural difference tracing introduced would
-                // surface as an oracle divergence.
-                trace: TraceConfig {
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .trace(TraceConfig {
                     enabled: true,
                     ..TraceConfig::default()
-                },
-                ..PvmConfig::default()
-            },
+                })
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         mgr.clone(),

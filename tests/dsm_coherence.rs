@@ -28,10 +28,10 @@ fn build(sites: usize, pages: u64) -> (Arc<DsmDirectory>, Vec<Site>) {
                 geometry: PageGeometry::new(PS),
                 frames: 64,
                 cost: CostParams::zero(),
-                config: PvmConfig {
-                    check_invariants: true,
-                    ..PvmConfig::default()
-                },
+                config: PvmConfig::builder()
+                    .check_invariants(true)
+                    .build()
+                    .expect("valid config"),
                 ..PvmOptions::default()
             },
             mgr,

@@ -109,10 +109,10 @@ fn nucleus_and_mix_behave_identically_over_both_memory_managers() {
             geometry: PageGeometry::new(PS),
             frames: 1024,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: true,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),
@@ -163,10 +163,10 @@ fn minimal_rt_mm_runs_the_same_workload() {
             geometry: PageGeometry::new(PS),
             frames: 1024,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: true,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),
@@ -186,10 +186,10 @@ fn mmu_backends_behave_identically_under_the_full_stack() {
                 frames: 1024,
                 cost: CostParams::zero(),
                 mmu,
-                config: PvmConfig {
-                    check_invariants: true,
-                    ..PvmConfig::default()
-                },
+                config: PvmConfig::builder()
+                    .check_invariants(true)
+                    .build()
+                    .expect("valid config"),
             },
             seg_mgr.clone(),
         ));
@@ -209,10 +209,10 @@ fn workload_survives_memory_pressure_on_the_pvm() {
             geometry: PageGeometry::new(PS),
             frames: 4,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: true,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),
@@ -228,10 +228,10 @@ fn workload_survives_memory_pressure_on_the_pvm() {
             geometry: PageGeometry::new(PS),
             frames: 1024,
             cost: CostParams::zero(),
-            config: PvmConfig {
-                check_invariants: true,
-                ..PvmConfig::default()
-            },
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .build()
+                .expect("valid config"),
             ..PvmOptions::default()
         },
         seg_mgr.clone(),
