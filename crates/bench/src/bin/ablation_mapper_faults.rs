@@ -38,6 +38,7 @@ fn run(fault_per_mille: u32, policy: RetryPolicy, policy_name: &'static str) -> 
         delay_ns: 0,
         truncate_per_mille: 0,
         crash_at_op: None,
+        hang_at_op: None,
     };
     let faulty = Arc::new(FaultyMapper::new(files.clone(), plan));
     seg_mgr.register_mapper(PortName(1), faulty.clone());

@@ -70,6 +70,21 @@ impl<T> CompletionQueue<T> {
             _ => None,
         }
     }
+
+    /// Removes and returns the completion at exactly `(due_ns, id)`, if
+    /// present — the watchdog's cancel-by-key primitive: a deadline
+    /// sweep first selects expired entries by inspection, then detaches
+    /// them here without disturbing the delivery order of the rest.
+    pub fn remove(&mut self, due_ns: u64, id: u64) -> Option<T> {
+        self.entries.remove(&(due_ns, id))
+    }
+
+    /// Iterates every pending completion in `(due_ns, id)` order without
+    /// removing anything. Deadline sweeps use this to pick expired
+    /// entries deterministically before cancelling them by key.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u64, u64), &T)> {
+        self.entries.iter()
+    }
 }
 
 impl<T> Default for CompletionQueue<T> {
@@ -102,6 +117,21 @@ mod tests {
         q.insert(50, 4, "first");
         assert_eq!(q.pop_earliest(), Some((50, 4, "first")));
         assert_eq!(q.pop_earliest(), Some((50, 9, "second")));
+    }
+
+    #[test]
+    fn remove_detaches_by_key_without_reordering() {
+        let mut q = CompletionQueue::new();
+        q.insert(100, 1, "a");
+        q.insert(200, 2, "b");
+        q.insert(300, 3, "c");
+        assert_eq!(q.remove(200, 2), Some("b"));
+        assert_eq!(q.remove(200, 2), None, "already removed");
+        assert_eq!(q.remove(300, 99), None, "id must match too");
+        let keys: Vec<(u64, u64)> = q.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, vec![(100, 1), (300, 3)]);
+        assert_eq!(q.pop_earliest(), Some((100, 1, "a")));
+        assert_eq!(q.pop_earliest(), Some((300, 3, "c")));
     }
 
     #[test]

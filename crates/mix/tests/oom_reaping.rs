@@ -1,0 +1,105 @@
+//! MIX-level OOM semantics: when the memory manager's OOM killer tears
+//! down a process's address space, the process table converges to Unix
+//! behavior — the victim becomes `Zombie(137)` (128 + SIGKILL) on its
+//! first observed access, its parent can `wait` for it, and every other
+//! process keeps its memory intact.
+
+use chorus_gmi::{GmiError, VirtAddr};
+use chorus_hal::{CostParams, PageGeometry};
+use chorus_mix::{ProcState, ProcessManager, ProgramStore};
+use chorus_nucleus::{MemMapper, Nucleus, NucleusSegmentManager, PortName, SwapMapper};
+use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use std::sync::Arc;
+
+const PS: u64 = 256;
+
+/// A fixed-allocation MIX stack: no page replacement (every frame is
+/// effectively pinned once allocated), so exhaustion forces the OOM
+/// killer rather than pageout.
+fn mix_oom(frames: u32) -> ProcessManager<Pvm> {
+    let seg_mgr = Arc::new(NucleusSegmentManager::new());
+    let files = Arc::new(MemMapper::new(PortName(1)));
+    let swap = Arc::new(SwapMapper::new(PortName(2)));
+    seg_mgr.register_mapper(PortName(1), files.clone());
+    seg_mgr.register_mapper(PortName(2), swap.clone());
+    seg_mgr.set_default_mapper(PortName(2));
+    let pvm = Arc::new(Pvm::new(
+        PvmOptions {
+            geometry: PageGeometry::new(PS),
+            frames,
+            cost: CostParams::zero(),
+            config: PvmConfig::builder()
+                .check_invariants(true)
+                .enable_pageout(false)
+                .oom_killer(true)
+                .build()
+                .expect("valid config"),
+            ..PvmOptions::default()
+        },
+        seg_mgr.clone(),
+    ));
+    let nucleus = Arc::new(Nucleus::new(pvm, seg_mgr, 4));
+    let store = Arc::new(ProgramStore::new(files, PS));
+    store.register("sh", b"#!shell text", b"PS1=$ ");
+    ProcessManager::new(nucleus, store)
+}
+
+fn pattern(tag: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| tag.wrapping_add(i as u8)).collect()
+}
+
+#[test]
+fn oom_kill_surfaces_as_zombie_137_and_spares_siblings() {
+    let pm = mix_oom(24);
+    let gmi = pm.nucleus().gmi().clone();
+    let parent = pm.spawn("sh").unwrap();
+    let big = pm.fork(parent).unwrap();
+    let small = pm.fork(parent).unwrap();
+    let heap = pm.heap_base();
+
+    // The victim-to-be builds the dominant footprint on its sparse
+    // heap, stopping well short of exhaustion.
+    let mut big_pages = 0u64;
+    while gmi.free_frames() > 6 && big_pages < 64 {
+        pm.write_mem(big, VirtAddr(heap.0 + big_pages * PS), &pattern(0xB0, 8))
+            .unwrap();
+        big_pages += 1;
+    }
+    assert!(big_pages >= 4, "pool too large for the scenario");
+
+    // The sibling's writes exhaust the pool. Every write succeeds: when
+    // the last frame goes, the kernel kills the largest context (the
+    // sibling's own footprint is still small), frees its frames and the
+    // allocation proceeds.
+    let mut small_pages = 0u64;
+    while gmi.stats().oom_kills == 0 && small_pages < 8 {
+        pm.write_mem(
+            small,
+            VirtAddr(heap.0 + small_pages * PS),
+            &pattern(0x50, 8),
+        )
+        .unwrap();
+        small_pages += 1;
+    }
+    assert_eq!(gmi.stats().oom_kills, 1, "the pool never ran dry");
+
+    // The victim's first observed access reports the kill and reaps it
+    // to Zombie(137) for its parent.
+    let mut buf = [0u8; 8];
+    let err = pm.read_mem(big, heap, &mut buf).unwrap_err();
+    assert!(matches!(err, GmiError::ContextKilled(_)), "{err}");
+    assert_eq!(pm.state(big), Some(ProcState::Zombie(137)));
+
+    // The sibling's memory survived intact, and it keeps running.
+    for p in 0..small_pages {
+        pm.read_mem(small, VirtAddr(heap.0 + p * PS), &mut buf)
+            .unwrap();
+        assert_eq!(buf, pattern(0x50, 8)[..], "sibling page {p} corrupted");
+    }
+
+    // Unix convergence: the parent reaps exit status 137.
+    assert_eq!(pm.wait(parent), Some((big, 137)));
+    assert_eq!(pm.state(big), None);
+    assert_eq!(pm.live_processes(), 2);
+    gmi.check_invariants();
+}

@@ -44,6 +44,14 @@ pub struct FaultPlan {
     /// fails transiently, simulating a mapper restart; operations
     /// after it succeed again.
     pub crash_at_op: Option<u64>,
+    /// Hang window: from the operation with this index (0-based)
+    /// onward the mapper is wedged — every request times out
+    /// ([`GmiError::MapperTimeout`]) without touching the inner mapper
+    /// or consuming RNG draws, so a run's fault schedule up to the hang
+    /// is unchanged. Unlike permanent death the error is *transient*:
+    /// the mapper looks alive but never answers, which is exactly the
+    /// failure the upcall watchdog exists for. `set_plan` un-wedges.
+    pub hang_at_op: Option<u64>,
 }
 
 impl FaultPlan {
@@ -57,6 +65,7 @@ impl FaultPlan {
             delay_ns: 0,
             truncate_per_mille: 0,
             crash_at_op: None,
+            hang_at_op: None,
         }
     }
 
@@ -82,6 +91,9 @@ pub enum InjectedFault {
     Truncated(usize),
     /// The crash-once window fired.
     Crash,
+    /// The hang window opened: the mapper is wedged and every request
+    /// from here on times out. Logged once, at the transition.
+    Hang,
 }
 
 /// splitmix64: a tiny, high-quality deterministic PRNG. Good enough
@@ -111,6 +123,8 @@ pub struct FaultyMapper {
     rng: Mutex<SplitMix64>,
     ops: Mutex<u64>,
     dead: AtomicBool,
+    /// Wedged by the hang window: alive but never answering.
+    wedged: AtomicBool,
     log: Mutex<Vec<InjectedFault>>,
     /// When set, delays advance this simulated clock.
     clock: Mutex<Option<Arc<CostModel>>>,
@@ -129,6 +143,7 @@ impl FaultyMapper {
             rng: Mutex::new(SplitMix64(plan.seed)),
             ops: Mutex::new(0),
             dead: AtomicBool::new(false),
+            wedged: AtomicBool::new(false),
             log: Mutex::new(Vec::new()),
             clock: Mutex::new(None),
             tracer: Mutex::new(None),
@@ -153,6 +168,7 @@ impl FaultyMapper {
         // plan.seed is deliberately not re-applied to the running RNG.
         *self.plan.lock() = plan;
         self.dead.store(false, Ordering::SeqCst);
+        self.wedged.store(false, Ordering::SeqCst);
     }
 
     /// Drains the log of injected faults.
@@ -165,6 +181,11 @@ impl FaultyMapper {
         self.dead.load(Ordering::SeqCst)
     }
 
+    /// True once the hang window has opened (cleared by `set_plan`).
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.load(Ordering::SeqCst)
+    }
+
     fn record(&self, fault: InjectedFault) {
         if let Some(t) = self.tracer.lock().clone() {
             let kind = match fault {
@@ -173,6 +194,7 @@ impl FaultyMapper {
                 InjectedFault::Delay(_) => InjectedKind::Delay,
                 InjectedFault::Truncated(_) => InjectedKind::Truncated,
                 InjectedFault::Crash => InjectedKind::Crash,
+                InjectedFault::Hang => InjectedKind::Hang,
             };
             t.event(|| TraceEvent::MapperFaultInjected { kind });
         }
@@ -186,6 +208,11 @@ impl FaultyMapper {
         if self.dead.load(Ordering::SeqCst) {
             return Err(GmiError::MapperUnavailable { segment });
         }
+        if self.wedged.load(Ordering::SeqCst) {
+            // Already wedged: time out without logging again or
+            // consuming RNG draws.
+            return Err(GmiError::MapperTimeout { segment });
+        }
         let plan = *self.plan.lock();
         let op = {
             let mut ops = self.ops.lock();
@@ -193,6 +220,11 @@ impl FaultyMapper {
             *ops += 1;
             op
         };
+        if plan.hang_at_op.is_some_and(|h| op >= h) {
+            self.wedged.store(true, Ordering::SeqCst);
+            self.record(InjectedFault::Hang);
+            return Err(GmiError::MapperTimeout { segment });
+        }
         if plan.crash_at_op == Some(op) {
             self.record(InjectedFault::Crash);
             return Err(GmiError::transient_io(
@@ -376,6 +408,40 @@ mod tests {
         // Half the data landed before the transfer died.
         assert_eq!(mem.segment_data(cap), [1, 1, 1, 1, 0, 0, 0, 0]);
         assert_eq!(m.take_log(), vec![InjectedFault::Truncated(4)]);
+    }
+
+    #[test]
+    fn hang_window_wedges_stickily_and_logs_once() {
+        let plan = FaultPlan {
+            hang_at_op: Some(2),
+            ..FaultPlan::quiet(13)
+        };
+        let (m, cap) = wrapped(plan);
+        assert!(m.read(cap, 0, 1).is_ok()); // op 0
+        assert!(m.read(cap, 0, 1).is_ok()); // op 1
+        for _ in 0..3 {
+            let err = m.read(cap, 0, 1).unwrap_err();
+            assert!(matches!(err, GmiError::MapperTimeout { .. }), "{err}");
+            assert!(err.is_transient(), "a hang must look transient: {err}");
+        }
+        assert!(m.is_wedged());
+        assert!(!m.is_dead());
+        // One Hang entry for the whole wedged episode.
+        assert_eq!(m.take_log(), vec![InjectedFault::Hang]);
+    }
+
+    #[test]
+    fn set_plan_unwedges_a_hung_mapper() {
+        let plan = FaultPlan {
+            hang_at_op: Some(0),
+            ..FaultPlan::quiet(17)
+        };
+        let (m, cap) = wrapped(plan);
+        assert!(m.read(cap, 0, 1).is_err());
+        assert!(m.is_wedged());
+        m.set_plan(FaultPlan::quiet(17));
+        assert!(!m.is_wedged());
+        assert_eq!(m.read(cap, 0, 4).unwrap(), vec![7; 4]);
     }
 
     #[test]

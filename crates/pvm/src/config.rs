@@ -95,6 +95,44 @@ pub struct PvmConfig {
     /// submissions fall back to the synchronous path (pushes) or queue
     /// as pending coalescible requests (pulls). Must be at least 1.
     pub max_inflight_upcalls: u64,
+    /// Deadline watchdog over the asynchronous in-flight table: every
+    /// driver entry sweeps the completion queue on the simulated clock
+    /// and cancels requests whose per-request deadline (submit time +
+    /// [`RetryPolicy::deadline_ns`]) has expired, failing them through
+    /// the existing transient taxonomy (`MapperTimeout`) so pull stubs
+    /// are cleared and push pages stay dirty for relaundering. Off by
+    /// default: hung requests then park in the queue until force-
+    /// delivered, reproducing the pre-watchdog stall behaviour.
+    pub upcall_watchdog: bool,
+    /// Watchdog timeouts after which a mapper is escalated to the
+    /// `Suspected` state: its in-flight cap shrinks to 1 and demand
+    /// pulls stop splitting an asynchronous readahead tail (fully
+    /// synchronous path). A successful delivery clears the suspicion.
+    pub suspect_after_timeouts: u32,
+    /// Watchdog timeouts after which the affected cache is quarantined
+    /// outright (the full `CachePoisoned` escalation). Must be at least
+    /// [`PvmConfig::suspect_after_timeouts`].
+    pub quarantine_after_timeouts: u32,
+    /// Backpressure bound on the pending asynchronous pull queue: a
+    /// faulting thread entering the slow path while this many pulls are
+    /// queued (not yet submitted) blocks on `Blocked::Throttled`,
+    /// force-draining completions instead of growing the queue without
+    /// bound. 0 disables throttling.
+    pub max_pending_pulls: u64,
+    /// Emergency frame reserve: ordinary allocations launder/evict
+    /// until this many frames stay free, while pull-recovery (`fillUp`)
+    /// allocations may draw the reserve down to zero. Closes the
+    /// frame-exhaustion deadlock where laundering itself needs a frame.
+    /// 0 disables the reserve.
+    pub emergency_reserve_frames: u32,
+    /// Out-of-memory escalation: when the frame pool is dry and a full
+    /// clock sweep finds no victim (and the completion engine has no
+    /// deliverable work), score contexts by resident+dirty footprint
+    /// and recent fault count, tear down the worst victim through the
+    /// normal context-destroy path, and reclaim its frames. Accesses
+    /// through the dead handle then report `ContextKilled`. Off by
+    /// default: exhaustion returns `OutOfMemory` as before.
+    pub oom_killer: bool,
 }
 
 impl Default for PvmConfig {
@@ -119,6 +157,12 @@ impl Default for PvmConfig {
             readahead_max_pages: 8,
             async_upcalls: false,
             max_inflight_upcalls: 4,
+            upcall_watchdog: false,
+            suspect_after_timeouts: 2,
+            quarantine_after_timeouts: 4,
+            max_pending_pulls: 0,
+            emergency_reserve_frames: 0,
+            oom_killer: false,
         }
     }
 }
@@ -195,6 +239,18 @@ impl PvmConfigBuilder {
         async_upcalls: bool,
         /// See [`PvmConfig::max_inflight_upcalls`].
         max_inflight_upcalls: u64,
+        /// See [`PvmConfig::upcall_watchdog`].
+        upcall_watchdog: bool,
+        /// See [`PvmConfig::suspect_after_timeouts`].
+        suspect_after_timeouts: u32,
+        /// See [`PvmConfig::quarantine_after_timeouts`].
+        quarantine_after_timeouts: u32,
+        /// See [`PvmConfig::max_pending_pulls`].
+        max_pending_pulls: u64,
+        /// See [`PvmConfig::emergency_reserve_frames`].
+        emergency_reserve_frames: u32,
+        /// See [`PvmConfig::oom_killer`].
+        oom_killer: bool,
     }
 
     /// Validates the assembled configuration.
@@ -237,6 +293,16 @@ impl PvmConfigBuilder {
                 "max_inflight_upcalls must be at least 1",
             ));
         }
+        if c.suspect_after_timeouts < 1 {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "suspect_after_timeouts must be at least 1",
+            ));
+        }
+        if c.quarantine_after_timeouts < c.suspect_after_timeouts {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "quarantine_after_timeouts must be at least suspect_after_timeouts",
+            ));
+        }
         Ok(self.config)
     }
 }
@@ -269,6 +335,12 @@ mod tests {
         assert_eq!(c.readahead_max_pages, 8);
         assert!(!c.async_upcalls, "the completion engine is opt-in");
         assert!(c.max_inflight_upcalls >= 1);
+        assert!(!c.upcall_watchdog, "the deadline watchdog is opt-in");
+        assert_eq!(c.suspect_after_timeouts, 2);
+        assert_eq!(c.quarantine_after_timeouts, 4);
+        assert_eq!(c.max_pending_pulls, 0, "backpressure is opt-in");
+        assert_eq!(c.emergency_reserve_frames, 0, "the reserve is opt-in");
+        assert!(!c.oom_killer, "the OOM killer is opt-in");
     }
 
     #[test]
@@ -281,11 +353,21 @@ mod tests {
             .writeback_high_frames(8)
             .async_upcalls(true)
             .max_inflight_upcalls(2)
+            .upcall_watchdog(true)
+            .suspect_after_timeouts(1)
+            .quarantine_after_timeouts(3)
+            .max_pending_pulls(16)
+            .emergency_reserve_frames(2)
+            .oom_killer(true)
             .build()
             .expect("valid config");
         assert_eq!(c.pull_cluster_pages, 4);
         assert!(c.async_upcalls);
         assert_eq!(c.max_inflight_upcalls, 2);
+        assert!(c.upcall_watchdog);
+        assert_eq!(c.quarantine_after_timeouts, 3);
+        assert_eq!(c.max_pending_pulls, 16);
+        assert!(c.oom_killer);
     }
 
     #[test]
@@ -305,6 +387,15 @@ mod tests {
             .is_err());
         assert!(PvmConfig::builder()
             .max_inflight_upcalls(0)
+            .build()
+            .is_err());
+        assert!(PvmConfig::builder()
+            .suspect_after_timeouts(0)
+            .build()
+            .is_err());
+        assert!(PvmConfig::builder()
+            .suspect_after_timeouts(5)
+            .quarantine_after_timeouts(2)
             .build()
             .is_err());
     }

@@ -59,7 +59,21 @@ pub(crate) struct CompletionRecord {
     pub result: Result<()>,
     /// Transient retries the protocol performed at submit time.
     pub retries: u64,
+    /// Absolute simulated deadline: submit time plus the retry
+    /// policy's per-upcall deadline (`u64::MAX` when deadlines are
+    /// disabled). The watchdog cancels the request once the clock
+    /// passes this while the record is still undelivered.
+    pub deadline_ns: u64,
 }
+
+/// Simulated "never": the due time given to a request whose mapper
+/// protocol timed out at submit — the reply will not arrive on its
+/// own. One simulated hour: far beyond any workload's horizon but
+/// finite, so a forced delivery advances the clock instead of
+/// overflowing it. The watchdog cancels such requests at their
+/// deadline; with the watchdog off, forcing one reproduces the
+/// pre-watchdog stall (the observable hang in the ablation tests).
+pub(crate) const HUNG_REPLY_NS: u64 = 3_600_000_000_000;
 
 /// A readahead pull that could not be submitted (per-mapper cap):
 /// queued, coalescible, submitted as in-flight slots free up.
@@ -93,6 +107,12 @@ pub(crate) struct EngineState {
     inflight_by_segment: FxHashMap<u64, u64>,
     /// Queued over-cap readahead pulls, in arrival order.
     pub pending_pulls: Vec<PendingPull>,
+    /// Watchdog timeouts per segment since its last successful
+    /// delivery; feeds the Suspected/quarantine escalation ladder.
+    timeouts_by_segment: FxHashMap<u64, u32>,
+    /// Segments whose mapper is currently Suspected: in-flight cap
+    /// shrunk to 1 and demand pulls degraded to the synchronous path.
+    suspected: BTreeSet<u64>,
 }
 
 impl EngineState {
@@ -103,7 +123,45 @@ impl EngineState {
             inflight_ids: BTreeSet::new(),
             inflight_by_segment: FxHashMap::default(),
             pending_pulls: Vec::new(),
+            timeouts_by_segment: FxHashMap::default(),
+            suspected: BTreeSet::new(),
         }
+    }
+
+    /// True when `segment`'s mapper is under suspicion (repeated
+    /// watchdog timeouts without a successful delivery in between).
+    pub fn is_suspected(&self, segment: SegmentId) -> bool {
+        self.suspected.contains(&segment.0)
+    }
+
+    /// The effective in-flight cap for `segment`: the configured cap,
+    /// shrunk to 1 while the mapper is Suspected.
+    pub fn cap_for(&self, segment: SegmentId, cap: u64) -> u64 {
+        if self.is_suspected(segment) {
+            1
+        } else {
+            cap
+        }
+    }
+
+    /// Records one watchdog timeout against `segment`; returns the
+    /// total observed since the last successful delivery.
+    pub fn note_timeout(&mut self, segment: SegmentId) -> u32 {
+        let n = self.timeouts_by_segment.entry(segment.0).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Marks `segment` Suspected; returns true on the transition.
+    pub fn mark_suspected(&mut self, segment: SegmentId) -> bool {
+        self.suspected.insert(segment.0)
+    }
+
+    /// A successful delivery clears `segment`'s suspicion and timeout
+    /// count: the mapper is demonstrably alive again.
+    pub fn note_success(&mut self, segment: SegmentId) {
+        self.timeouts_by_segment.remove(&segment.0);
+        self.suspected.remove(&segment.0);
     }
 
     /// In-flight requests currently charged against `segment`'s cap.
@@ -170,12 +228,13 @@ impl EngineState {
     }
 
     /// Takes the first pending pull whose segment has a free in-flight
-    /// slot under `cap`.
+    /// slot under its effective cap (`cap`, shrunk to 1 when the
+    /// mapper is Suspected).
     pub fn take_submittable_pending(&mut self, cap: u64) -> Option<PendingPull> {
         let idx = self
             .pending_pulls
             .iter()
-            .position(|p| self.inflight_for(p.segment) < cap)?;
+            .position(|p| self.inflight_for(p.segment) < self.cap_for(p.segment, cap))?;
         Some(self.pending_pulls.remove(idx))
     }
 }
@@ -245,12 +304,16 @@ impl PvmState {
             }
             UpcallKind::GetWriteAccess => unreachable!("write access is never asynchronous"),
         }
-        if let Err(e) = &rec.result {
-            if matches!(e, GmiError::MapperTimeout { .. }) {
-                self.stats.bump(Counter::MapperTimeouts);
-            }
-            if !e.is_transient() {
-                self.quarantine_cache(rec.cache);
+        match &rec.result {
+            // A live reply exonerates a Suspected mapper.
+            Ok(()) => self.engine.note_success(rec.segment),
+            Err(e) => {
+                if matches!(e, GmiError::MapperTimeout { .. }) {
+                    self.stats.bump(Counter::MapperTimeouts);
+                }
+                if !e.is_transient() {
+                    self.quarantine_cache(rec.cache);
+                }
             }
         }
         let inflight = self.engine.inflight();
@@ -265,6 +328,68 @@ impl PvmState {
             retries: rec.retries,
             inflight,
         });
+    }
+
+    /// Cancels one in-flight completion whose deadline expired: the
+    /// request is failed as a mapper timeout through the ordinary
+    /// delivery path (pull stubs are cleared so sleepers re-fault,
+    /// push pages keep their dirty bits for relaundering — the
+    /// existing transient taxonomy), and the timeout is scored against
+    /// the mapper for the Suspected/quarantine escalation ladder. The
+    /// record is applied at the *current* clock: a cancellation never
+    /// advances simulated time to the hung due time.
+    pub(crate) fn cancel_completion(&mut self, id: u64, mut rec: CompletionRecord) {
+        let segment = rec.segment;
+        let cache = rec.cache;
+        self.stats.bump(Counter::WatchdogCancels);
+        self.trace.event(|| TraceEvent::WatchdogCancel {
+            kind: rec.kind,
+            segment: segment.0,
+        });
+        rec.result = Err(GmiError::MapperTimeout { segment });
+        let now = self.model.now().nanos();
+        self.apply_completion(now, id, rec);
+        let n = self.engine.note_timeout(segment);
+        if n >= self.config.suspect_after_timeouts && self.engine.mark_suspected(segment) {
+            self.stats.bump(Counter::SuspectedMappers);
+            self.trace.event(|| TraceEvent::MapperSuspected {
+                segment: segment.0,
+                timeouts: n,
+            });
+        }
+        if n >= self.config.quarantine_after_timeouts {
+            self.quarantine_cache(cache);
+        }
+    }
+
+    /// The deadline watchdog sweep: cancels every in-flight completion
+    /// whose per-request deadline has expired on the simulated clock
+    /// while its due time is still in the future (a record already due
+    /// is delivered normally by the next pump). Runs at driver entry;
+    /// returns the number of cancellations so the driver can wake stub
+    /// sleepers whose stubs were just cleared.
+    pub(crate) fn watchdog_sweep(&mut self) -> usize {
+        if !self.config.async_upcalls
+            || !self.config.upcall_watchdog
+            || self.engine.queue.is_empty()
+        {
+            return 0;
+        }
+        let now = self.model.now().nanos();
+        let expired: Vec<(u64, u64)> = self
+            .engine
+            .queue
+            .iter()
+            .filter(|(&(due, _), rec)| due > now && rec.deadline_ns <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        let n = expired.len();
+        for (due, id) in expired {
+            if let Some(rec) = self.engine.queue.remove(due, id) {
+                self.cancel_completion(id, rec);
+            }
+        }
+        n
     }
 }
 

@@ -27,6 +27,21 @@ impl PvmState {
         va: VirtAddr,
         access: Access,
     ) -> Attempt<Resolution> {
+        // A context torn down by the OOM killer answers faults with
+        // `ContextKilled`, not `NoSuchContext`, so MIX can reap it.
+        self.check_context_alive(ctx)?;
+        // Backpressure: when the pending asynchronous pull queue is at
+        // its configured bound, stall this fault deterministically
+        // rather than letting the queue grow without bound.
+        if self.config.async_upcalls
+            && self.config.max_pending_pulls > 0
+            && self.engine.pending_pulls.len() as u64 >= self.config.max_pending_pulls
+        {
+            return blocked(crate::state::Blocked::Throttled);
+        }
+        if let Some(c) = self.contexts.get_mut(ctx) {
+            c.recent_faults += 1;
+        }
         // Region lookup ("the PVM searches in its list of region
         // descriptors for the region containing the fault address").
         let reg_key = self

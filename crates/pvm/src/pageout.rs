@@ -18,43 +18,76 @@ use chorus_hal::{FrameNo, OpKind};
 
 impl PvmState {
     /// Allocates a frame, running page replacement when the pool is dry.
+    /// Ordinary allocations keep `emergency_reserve_frames` frames off
+    /// limits so the reclaim machinery itself (laundering pushes need a
+    /// frame to land pulled data) can always make progress.
     pub fn alloc_frame(&mut self) -> Attempt<FrameNo> {
-        if let Some(f) = self.phys.alloc() {
-            return done(f);
+        let floor = self.config.emergency_reserve_frames;
+        self.alloc_frame_with_floor(floor)
+    }
+
+    /// Frame allocation for reclaim-critical work (`fillUp` delivering
+    /// pulled data): may dip into the emergency reserve that ordinary
+    /// faults cannot touch, closing the deadlock where freeing frames
+    /// itself needs a frame.
+    pub fn alloc_frame_reserved(&mut self) -> Attempt<FrameNo> {
+        let reserve = self.config.emergency_reserve_frames;
+        if reserve > 0 {
+            let free = self.phys.free_frames();
+            if free > 0 && free <= reserve {
+                self.stats.bump(Counter::ReserveGrants);
+            }
         }
-        if !self.config.enable_pageout {
+        self.alloc_frame_with_floor(0)
+    }
+
+    /// The allocation loop: frames above `floor` are handed out freely;
+    /// at or below it, page replacement runs (clean victims evicted
+    /// inline, dirty ones cleaned via `pushOut`), and when replacement
+    /// finds nothing the out-of-memory killer (if enabled) reclaims one
+    /// victim context before the allocation finally fails.
+    fn alloc_frame_with_floor(&mut self, floor: u32) -> Attempt<FrameNo> {
+        let mut oom_killed_once = false;
+        loop {
+            if self.phys.free_frames() > floor {
+                return done(self.phys.alloc().expect("free frame count lied"));
+            }
+            if self.config.enable_pageout {
+                match self.select_victim() {
+                    Some(victim) => {
+                        if self.page(victim).dirty {
+                            match self.start_clean(victim, PushOrigin::Demand)? {
+                                Outcome::Blocked(b) => return blocked(b),
+                                Outcome::Done(()) => continue,
+                            }
+                        } else {
+                            self.evict(victim);
+                            continue;
+                        }
+                    }
+                    None => {
+                        // No victim, but the completion engine owes work
+                        // (e.g. every candidate is `cleaning` under an
+                        // in-flight laundering push): delivering a
+                        // completion makes those pages clean and
+                        // evictable, so wait for one instead of reporting
+                        // a premature OutOfMemory.
+                        if self.config.async_upcalls && self.engine.has_work() {
+                            return blocked(Blocked::AwaitCompletion);
+                        }
+                    }
+                }
+            }
+            // Reclaim made no progress at all (or is disabled). Kill at
+            // most one victim context per allocation attempt; if even
+            // that frees nothing, the allocation fails.
+            if self.config.oom_killer && !oom_killed_once {
+                oom_killed_once = true;
+                if self.oom_kill_victim() > 0 {
+                    continue;
+                }
+            }
             return Err(GmiError::OutOfMemory);
-        }
-        match self.select_victim() {
-            Some(victim) => {
-                let page = self.page(victim);
-                if page.dirty {
-                    match self.start_clean(victim, PushOrigin::Demand)? {
-                        Outcome::Blocked(b) => blocked(b),
-                        Outcome::Done(()) => match self.phys.alloc() {
-                            Some(f) => done(f),
-                            None => Err(GmiError::OutOfMemory),
-                        },
-                    }
-                } else {
-                    self.evict(victim);
-                    match self.phys.alloc() {
-                        Some(f) => done(f),
-                        None => Err(GmiError::OutOfMemory),
-                    }
-                }
-            }
-            None => {
-                // No victim, but the completion engine owes work (e.g.
-                // every candidate is `cleaning` under an in-flight
-                // laundering push): delivering a completion makes those
-                // pages clean and evictable, so wait for one instead of
-                // reporting a premature OutOfMemory.
-                if self.config.async_upcalls && self.engine.has_work() {
-                    return blocked(Blocked::AwaitCompletion);
-                }
-                Err(GmiError::OutOfMemory)
-            }
         }
     }
 
@@ -275,5 +308,104 @@ impl PvmState {
     /// True if (cache, off) currently holds a synchronization stub.
     pub fn is_sync_stub(&self, cache: crate::keys::CacheKey, off: u64) -> bool {
         matches!(self.gmap.get(cache, off), Some(Slot::Sync))
+    }
+
+    /// Resident and dirty page counts of a context's footprint: every
+    /// resident page reachable through one of its regions' windows.
+    /// Probes the global map directly (uncharged — pure accounting for
+    /// the OOM score, never on the default path).
+    fn context_footprint(&self, ctx: crate::keys::CtxKey) -> (u64, u64) {
+        let mut resident = 0u64;
+        let mut dirty = 0u64;
+        let Some(desc) = self.contexts.get(ctx) else {
+            return (0, 0);
+        };
+        for &r in &desc.regions {
+            let Some(region) = self.regions.get(r) else {
+                continue;
+            };
+            let Some(cache) = self.caches.get(region.cache) else {
+                continue;
+            };
+            for &off in cache
+                .entries
+                .range(region.offset..region.offset + region.size)
+            {
+                if let Some(Slot::Present(p)) = self.gmap.get(region.cache, off) {
+                    resident += 1;
+                    dirty += self.page(p).dirty as u64;
+                }
+            }
+        }
+        (resident, dirty)
+    }
+
+    /// The out-of-memory killer: scores every context by footprint
+    /// (resident + dirty pages) and recent fault activity, tears the
+    /// worst victim down through the ordinary context-destroy path, and
+    /// frees the reclaimable resident pages of caches that thereby lost
+    /// their last user. Dirty contents die with the victim — that is
+    /// the OOM contract — but pages other caches still depend on
+    /// (copy-on-write stub sources) are left alone. Returns the number
+    /// of frames returned to the pool. Deterministic: ties break toward
+    /// the lowest arena index.
+    pub fn oom_kill_victim(&mut self) -> u64 {
+        let mut best: Option<(crate::keys::CtxKey, u64, u64, u64)> = None;
+        for ctx in self.contexts.ids() {
+            let (resident, dirty) = self.context_footprint(ctx);
+            let faults = self.contexts.get(ctx).map(|c| c.recent_faults).unwrap_or(0);
+            let score = (resident + dirty).max(faults);
+            if best.map(|(_, _, _, s)| score > s).unwrap_or(true) {
+                best = Some((ctx, resident, dirty, score));
+            }
+        }
+        let Some((victim, resident, dirty, _)) = best else {
+            return 0;
+        };
+        let free_before = self.phys.free_frames();
+        // Caches the victim maps: once the context is gone they may
+        // have no user left, making their resident pages freeable.
+        let mut touched: Vec<crate::keys::CacheKey> = Vec::new();
+        if let Some(desc) = self.contexts.get(victim) {
+            for &r in &desc.regions.clone() {
+                if let Some(region) = self.regions.get(r) {
+                    if !touched.contains(&region.cache) {
+                        touched.push(region.cache);
+                    }
+                }
+            }
+        }
+        // Tear the address space down through the existing destroy path
+        // (force-unlocks pinned regions, invalidates mappings, drops
+        // the translation cache generation).
+        let _ = self.context_destroy_locked(victim);
+        for cache in touched {
+            let Some(c) = self.caches.get(cache) else {
+                continue;
+            };
+            if c.mapped_regions != 0 || c.internal || c.zombie || !c.children.is_empty() {
+                // Still in use (another context, or history descendants
+                // that may pull values from it): keep its pages.
+                continue;
+            }
+            let offsets: Vec<u64> = c.entries.iter().copied().collect();
+            for off in offsets {
+                let Some(Slot::Present(p)) = self.gmap.get(cache, off) else {
+                    continue;
+                };
+                let page = self.page(p);
+                if page.lock_count == 0 && !page.cleaning && page.stubs.is_empty() {
+                    self.free_page(p, StubsTo::AlreadyHandled, true);
+                }
+            }
+        }
+        self.stats.bump(Counter::OomKills);
+        self.oom_killed.push(crate::keys::pub_ctx(victim));
+        self.trace.event(|| TraceEvent::OomKill {
+            ctx: victim.index(),
+            resident,
+            dirty,
+        });
+        (self.phys.free_frames() - free_before) as u64
     }
 }

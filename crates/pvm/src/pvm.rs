@@ -201,6 +201,13 @@ impl Pvm {
     fn run<T>(&self, mut attempt: impl FnMut(&mut PvmState) -> Attempt<T>) -> Result<T> {
         let mut guard = self.state.lock();
         guard = self.pump_completions(guard);
+        if guard.watchdog_sweep() > 0 {
+            // Cancelled pulls cleared their stubs and freed in-flight
+            // slots: wake sleepers so they re-fault, and feed queued
+            // pending pulls into the freed slots.
+            self.stub_cv.notify_all();
+            guard = self.drain_pending(guard);
+        }
         guard = self.maybe_launder(guard);
         loop {
             match attempt(&mut guard)? {
@@ -342,7 +349,20 @@ impl Pvm {
             if stall {
                 guard.stats.bump(Counter::AsyncInflightStalls);
             }
-            guard.apply_completion(due, id, rec);
+            if guard.config.upcall_watchdog && rec.deadline_ns < due {
+                // The waiter would block until a due time past the
+                // request's deadline (a hung reply). The unified wake
+                // path: advance only to the deadline and cancel, so
+                // the waiter observes the timeout and re-faults
+                // instead of waiting out a reply that never comes.
+                let now = guard.model.now().nanos();
+                if rec.deadline_ns > now {
+                    guard.model.advance_ns(rec.deadline_ns - now);
+                }
+                guard.cancel_completion(id, rec);
+            } else {
+                guard.apply_completion(due, id, rec);
+            }
             guard = self.drain_pending(guard);
             return (guard, true);
         }
@@ -378,7 +398,9 @@ impl Pvm {
         mut guard: parking_lot::MutexGuard<'a, PvmState>,
         pull: PendingPull,
     ) -> parking_lot::MutexGuard<'a, PvmState> {
-        let cap = guard.config.max_inflight_upcalls.max(1);
+        let cap = guard
+            .engine
+            .cap_for(pull.segment, guard.config.max_inflight_upcalls.max(1));
         if guard.engine.pending_pulls.is_empty() && guard.engine.inflight_for(pull.segment) < cap {
             return self.submit_async_pull(guard, pull);
         }
@@ -411,6 +433,7 @@ impl Pvm {
         });
         let policy = guard.config.retry;
         let service = guard.upcall_service_ns(pull.size / guard.ps());
+        let deadline_ns = request_deadline(guard.model.now().nanos(), &policy);
         drop(guard);
         let req = PullRequest {
             cache: pub_cache(pull.cache),
@@ -423,6 +446,15 @@ impl Pvm {
             self.seg_mgr.submit_pull(self, &req)
         });
         let mut guard = self.state.lock();
+        // A protocol-level timeout means the reply is not coming on its
+        // own: park the record at the hung-reply horizon instead of the
+        // modelled service time, so the watchdog (or a forced delivery)
+        // decides its fate.
+        let service = if matches!(result, Err(GmiError::MapperTimeout { .. })) {
+            crate::engine::HUNG_REPLY_NS
+        } else {
+            service
+        };
         let due = guard.model.now().nanos() + service;
         guard.engine.queue.insert(
             due,
@@ -436,6 +468,7 @@ impl Pvm {
                 pages: Vec::new(),
                 result,
                 retries,
+                deadline_ns,
             },
         );
         guard
@@ -468,6 +501,7 @@ impl Pvm {
         });
         let policy = guard.config.retry;
         let service = guard.upcall_service_ns(pages.len() as u64);
+        let deadline_ns = request_deadline(guard.model.now().nanos(), &policy);
         drop(guard);
         let req = PushRequest {
             cache: pub_cache(cache),
@@ -484,6 +518,14 @@ impl Pvm {
             (self.seg_mgr.submit_push(self, &req), 0)
         };
         let mut guard = self.state.lock();
+        // As with pulls: a timed-out push parks at the hung-reply
+        // horizon (its pages stay `cleaning` until cancelled or forced,
+        // then keep their dirty bits — no modified data is lost).
+        let service = if matches!(result, Err(GmiError::MapperTimeout { .. })) {
+            crate::engine::HUNG_REPLY_NS
+        } else {
+            service
+        };
         let due = guard.model.now().nanos() + service;
         guard.engine.queue.insert(
             due,
@@ -497,6 +539,7 @@ impl Pvm {
                 pages,
                 result,
                 retries,
+                deadline_ns,
             },
         );
         guard
@@ -552,6 +595,22 @@ impl Pvm {
                 self.trace.event(|| TraceEvent::StubWake);
                 Ok(guard)
             }
+            Blocked::Throttled => {
+                // Backpressure: the pending-pull queue is at its bound.
+                // Force-deliver the earliest completion — freeing an
+                // in-flight slot feeds a pending pull forward — so the
+                // stall drains the queue instead of merely sleeping.
+                guard.stats.bump(Counter::ThrottleStalls);
+                let pending = guard.engine.pending_pulls.len() as u64;
+                guard.trace.event(|| TraceEvent::Throttled { pending });
+                let (mut guard, progressed) = self.engine_force_one(guard, true);
+                if !progressed {
+                    // Another thread is mid-submit on the outstanding
+                    // request: yield briefly and retry.
+                    let _ = self.stub_cv.wait_for(&mut guard, Duration::from_millis(5));
+                }
+                Ok(guard)
+            }
             Blocked::AwaitCompletion => {
                 // Frame allocation is starved but the engine owes work
                 // whose delivery can free frames; force it, then retry.
@@ -579,7 +638,10 @@ impl Pvm {
                 // sync stubs are already placed; they clear at the
                 // completion's delivery (or when `fillUp` lands data).
                 let ps = guard.ps();
-                if guard.config.async_upcalls && size > ps {
+                // A Suspected mapper gets no asynchronous tail: the
+                // whole clustered pull degrades to the synchronous path
+                // until a successful delivery clears the suspicion.
+                if guard.config.async_upcalls && size > ps && !guard.engine.is_suspected(segment) {
                     guard = self.queue_async_pull(
                         guard,
                         PendingPull {
@@ -679,7 +741,9 @@ impl Pvm {
                 // slot (at the cap they degrade to the synchronous path
                 // below, never to unbounded queueing of dirty runs).
                 if guard.config.async_upcalls && origin == PushOrigin::Daemon {
-                    let cap = guard.config.max_inflight_upcalls.max(1);
+                    let cap = guard
+                        .engine
+                        .cap_for(segment, guard.config.max_inflight_upcalls.max(1));
                     if guard.engine.inflight_for(segment) < cap {
                         return Ok(
                             self.submit_async_push(guard, cache, segment, offset, size, pages)
@@ -1007,13 +1071,15 @@ impl PvmState {
             }
             _ => {
                 // Failing this allocation would strand the pulled data
-                // and error the recovery; degrade through an emergency
-                // eviction pass before giving up.
-                let alloc = match self.alloc_frame() {
+                // and error the recovery; this is reclaim-critical work,
+                // so it may draw from the emergency reserve, and it
+                // degrades through an emergency eviction pass before
+                // giving up.
+                let alloc = match self.alloc_frame_reserved() {
                     Err(GmiError::OutOfMemory)
                         if self.config.emergency_pageout && self.emergency_evict() > 0 =>
                     {
-                        self.alloc_frame()
+                        self.alloc_frame_reserved()
                     }
                     other => other,
                 };
@@ -1369,6 +1435,17 @@ impl Gmi for Pvm {
     }
 }
 
+/// The absolute simulated deadline of a request submitted at
+/// `submit_ns`: the retry policy's per-upcall deadline from submission,
+/// or "never" when deadlines are disabled.
+fn request_deadline(submit_ns: u64, policy: &chorus_gmi::RetryPolicy) -> u64 {
+    if policy.deadline_ns == 0 {
+        u64::MAX
+    } else {
+        submit_ns.saturating_add(policy.deadline_ns)
+    }
+}
+
 /// Maps an upcall's final result onto the traced outcome.
 fn upcall_outcome(res: &Result<()>) -> UpcallOutcome {
     match res {
@@ -1409,6 +1486,9 @@ impl Pvm {
             let mut tries = 0;
             loop {
                 let mut guard = self.state.lock();
+                // An OOM-killed context reports the kill, not a bare
+                // "no such context", so MIX can reap the process.
+                guard.check_context_alive(key)?;
                 let mmu_ctx = guard.ctx(key)?.mmu_ctx;
                 match guard.mmu.translate(mmu_ctx, addr, access, false) {
                     Ok(pa) => {

@@ -14,6 +14,7 @@ impl PvmState {
         self.contexts.insert(ContextDesc {
             mmu_ctx,
             regions: Vec::new(),
+            recent_faults: 0,
         })
     }
 

@@ -72,6 +72,12 @@ pub(crate) enum Blocked {
     /// and evictable). The driver force-delivers the earliest
     /// completion and retries.
     AwaitCompletion,
+    /// Backpressure: the pending asynchronous pull queue reached
+    /// `PvmConfig::max_pending_pulls`. The faulting thread is stalled
+    /// deterministically — the driver force-delivers a completion
+    /// (feeding a pending pull into the freed slot) and retries —
+    /// instead of letting the queue grow without bound.
+    Throttled,
     /// Ask the segment manager for write access (`getWriteAccess`).
     GetWriteAccess {
         /// The cache whose page needs write access (kept for telemetry
@@ -171,6 +177,12 @@ pub(crate) struct PvmState {
     /// deterministic completion queue, pending coalescible pulls).
     /// Entirely inert unless `config.async_upcalls` is set.
     pub engine: crate::engine::EngineState,
+    /// Public ids of contexts torn down by the out-of-memory killer.
+    /// Lookups through a dead handle consult this so the error is
+    /// `ContextKilled`, not a bare `NoSuchContext` (MIX keys process
+    /// reaping off the distinction). Grows only when `oom_killer` is
+    /// on, and one entry per kill — never a space concern.
+    pub oom_killed: Vec<chorus_gmi::CtxId>,
 }
 
 impl PvmState {
@@ -201,6 +213,7 @@ impl PvmState {
             stats,
             trace,
             engine: crate::engine::EngineState::new(),
+            oom_killed: Vec::new(),
         }
     }
 
@@ -216,6 +229,21 @@ impl PvmState {
         self.contexts
             .get_mut(k)
             .ok_or(GmiError::NoSuchContext(crate::keys::pub_ctx(k)))
+    }
+
+    /// Distinguishes "context was killed by the OOM killer" from a
+    /// plain dangling handle: a killed context's public id is recorded
+    /// in `oom_killed`, and accesses through it report `ContextKilled`
+    /// so the MIX layer can reap the process rather than treat the
+    /// handle as a caller bug.
+    pub fn check_context_alive(&self, k: CtxKey) -> Result<()> {
+        if self.contexts.get(k).is_none() {
+            let id = crate::keys::pub_ctx(k);
+            if self.oom_killed.contains(&id) {
+                return Err(GmiError::ContextKilled(id));
+            }
+        }
+        Ok(())
     }
 
     pub fn region(&self, k: RegKey) -> Result<&RegionDesc> {
@@ -260,9 +288,11 @@ impl PvmState {
         if !self.config.quarantine_on_permanent_failure {
             return;
         }
+        let mut transitioned = false;
         if let Some(c) = self.caches.get_mut(k) {
             if !c.poisoned {
                 c.poisoned = true;
+                transitioned = true;
                 self.stats.bump(Counter::QuarantinedCaches);
                 self.trace
                     .event(|| TraceEvent::Quarantine { cache: k.index() });
@@ -270,6 +300,38 @@ impl PvmState {
                 // slow path to observe `CachePoisoned`; drop every fast
                 // translation rather than finding the cache's mappings.
                 self.fast.bump_generation();
+            }
+        }
+        if transitioned {
+            // Coalesced pulls still queued behind an in-flight request
+            // must fail, not vanish: clear their synchronization stubs
+            // so the waiting faults re-run and observe `CachePoisoned`
+            // instead of sleeping on a request that will never be
+            // resubmitted for a quarantined cache.
+            let drained: Vec<_> = {
+                let pending = &mut self.engine.pending_pulls;
+                let mut kept = Vec::with_capacity(pending.len());
+                let mut gone = Vec::new();
+                for p in pending.drain(..) {
+                    if p.cache == k {
+                        gone.push(p);
+                    } else {
+                        kept.push(p);
+                    }
+                }
+                *pending = kept;
+                gone
+            };
+            for p in drained {
+                self.stats.bump(Counter::AsyncPendingFailed);
+                let ps = self.ps();
+                let mut off = p.offset;
+                while off < p.offset + p.size {
+                    if self.is_sync_stub(p.cache, off) {
+                        self.clear_slot(p.cache, off);
+                    }
+                    off += ps;
+                }
             }
         }
     }

@@ -158,6 +158,28 @@ counters! {
     /// Completions delivered in a different order than their requests
     /// were submitted (the observable signature of the engine).
     async_out_of_order => AsyncOutOfOrder,
+    /// In-flight upcalls cancelled by the deadline watchdog after their
+    /// per-request deadline (derived from the retry policy) expired on
+    /// the simulated clock.
+    watchdog_cancels => WatchdogCancels,
+    /// Mappers escalated to the `Suspected` state after repeated
+    /// watchdog timeouts (degraded to the synchronous path with a
+    /// shrunken in-flight cap, one step short of quarantine).
+    suspected_mappers => SuspectedMappers,
+    /// Faulting threads stalled by backpressure because the pending
+    /// asynchronous pull queue was at its configured bound.
+    throttle_stalls => ThrottleStalls,
+    /// Contexts killed by the out-of-memory escalation path (frame
+    /// exhaustion with no reclaim progress).
+    oom_kills => OomKills,
+    /// Pending (queued, never submitted) asynchronous pulls failed
+    /// because their cache was quarantined while they waited; their
+    /// stubs are cleared so waiters observe the poisoning instead of
+    /// hanging.
+    async_pending_failed => AsyncPendingFailed,
+    /// Allocations that dipped into the emergency frame reserve (only
+    /// pull-recovery and pageout work may draw from it).
+    reserve_grants => ReserveGrants,
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();
@@ -264,7 +286,9 @@ mod tests {
     #[test]
     fn counter_labels_match_snapshot_fields() {
         assert_eq!(Counter::FastPathHits.label(), "fast_path_hits");
-        assert_eq!(Counter::ALL.len(), 32);
+        assert_eq!(Counter::ALL.len(), 38);
+        assert_eq!(Counter::WatchdogCancels.label(), "watchdog_cancels");
+        assert_eq!(Counter::OomKills.label(), "oom_kills");
         assert_eq!(Counter::AsyncSubmits.label(), "async_submits");
         assert_eq!(Counter::PushOutBatches.label(), "push_out_batches");
     }

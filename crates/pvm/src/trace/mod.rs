@@ -181,6 +181,10 @@ pub enum InjectedKind {
     Truncated,
     /// Mapper death.
     Crash,
+    /// Mapper hang: the request never completes; every operation from
+    /// the hang point on reports a deadline timeout until the plan is
+    /// replaced.
+    Hang,
 }
 
 impl InjectedKind {
@@ -192,6 +196,7 @@ impl InjectedKind {
             InjectedKind::Delay => "delay",
             InjectedKind::Truncated => "truncated",
             InjectedKind::Crash => "crash",
+            InjectedKind::Hang => "hang",
         }
     }
 }
@@ -320,6 +325,38 @@ pub enum TraceEvent {
     Quarantine {
         /// Quarantined cache index.
         cache: u32,
+    },
+    /// The deadline watchdog cancelled an in-flight upcall whose
+    /// per-request deadline expired on the simulated clock.
+    WatchdogCancel {
+        /// Which upcall was cancelled.
+        kind: UpcallKind,
+        /// The segment whose mapper went quiet.
+        segment: u64,
+    },
+    /// A mapper was escalated to the `Suspected` state after repeated
+    /// watchdog timeouts (in-flight cap shrunk, degraded to the
+    /// synchronous path).
+    MapperSuspected {
+        /// The suspected segment.
+        segment: u64,
+        /// Watchdog timeouts observed so far.
+        timeouts: u32,
+    },
+    /// A faulting thread was stalled by backpressure: the pending
+    /// asynchronous pull queue hit its configured bound.
+    Throttled {
+        /// Pending pulls queued at the stall.
+        pending: u64,
+    },
+    /// The out-of-memory escalation killed a context.
+    OomKill {
+        /// Killed context index.
+        ctx: u32,
+        /// Resident pages attributed to the victim at the kill.
+        resident: u64,
+        /// Dirty pages among them.
+        dirty: u64,
     },
     /// The nucleus fault injector fired (correlation marker).
     MapperFaultInjected {

@@ -160,6 +160,37 @@ fn parts(e: &TraceEvent) -> (Ph, String, Vec<(&'static str, String)>) {
             "mapper.inject".into(),
             vec![("kind", s(kind.label()))],
         ),
+        TraceEvent::WatchdogCancel { kind, segment } => (
+            Ph::Instant,
+            format!("watchdog.cancel.{}", kind.label()),
+            vec![("segment", segment.to_string())],
+        ),
+        TraceEvent::MapperSuspected { segment, timeouts } => (
+            Ph::Instant,
+            "mapper.suspected".into(),
+            vec![
+                ("segment", segment.to_string()),
+                ("timeouts", timeouts.to_string()),
+            ],
+        ),
+        TraceEvent::Throttled { pending } => (
+            Ph::Instant,
+            "throttle.stall".into(),
+            vec![("pending", pending.to_string())],
+        ),
+        TraceEvent::OomKill {
+            ctx,
+            resident,
+            dirty,
+        } => (
+            Ph::Instant,
+            "oom.kill".into(),
+            vec![
+                ("ctx", ctx.to_string()),
+                ("resident", resident.to_string()),
+                ("dirty", dirty.to_string()),
+            ],
+        ),
         TraceEvent::SpanBegin { name } => (Ph::Begin, name.into(), vec![]),
         TraceEvent::SpanEnd { name } => (Ph::End, name.into(), vec![]),
     }

@@ -7,6 +7,8 @@
 # writeback-pipeline smoke (clustering must cut pushOut requests >=4x
 # and the daemon must shrink demand evict stalls), the async-upcall
 # smoke (the completion engine must beat the synchronous baseline),
+# the pressure smoke (the watchdog must bound hung-upcall stalls with
+# zero data loss and the OOM killer must reclaim exactly one victim),
 # the release-mode concurrency stress, and the tracing
 # bit-identity check (Table 5 regenerated with CHORUS_TRACE=1 must
 # match the committed reports/table5.txt byte for byte — the
@@ -82,6 +84,30 @@ assert best["sim_ms"] < sync["sim_ms"], (sync, best)
 assert best["async_deliveries"] == best["async_submits"] > 0, best
 print("ok: engine-on sim time %.1f ms vs sync %.1f ms"
       % (best["sim_ms"], sync["sim_ms"]))
+'
+
+step "ablation_pressure --quick: watchdog bounds hung-upcall stalls"
+# The bench asserts internally that no configuration loses data, that
+# the watchdog cuts the hung-reply stall by >=100x, that the OOM killer
+# reclaims exactly one victim with the survivor bit-intact, and that
+# the whole layer is deterministic across re-runs.
+cargo run --release -q -p chorus-bench --bin ablation_pressure -- --json --quick |
+  tee BENCH_pressure.json |
+  python3 -c '
+import json, sys
+out = json.load(sys.stdin)
+rows = out["rows"]
+assert all(r["lost_pages"] == 0 for r in rows), rows
+bare = next(r for r in rows if r["hang"] and not r["watchdog"])
+dog = next(r for r in rows if r["hang"] and r["watchdog"] and not r["backpressure"])
+bp = next(r for r in rows if r["backpressure"])
+assert dog["sim_ms"] * 100 < bare["sim_ms"], (bare, dog)
+assert dog["watchdog_cancels"] >= 1 and dog["suspected_mappers"] >= 1, dog
+assert bp["throttle_stalls"] >= 1, bp
+oom = out["oom"]
+assert oom["oom_kills"] == 1 and oom["victim_reported"] and oom["survivor_intact"], oom
+print("ok: hung-reply stall %.0f ms -> %.1f ms, %d throttle stalls, 1 OOM kill"
+      % (bare["sim_ms"], dog["sim_ms"], bp["throttle_stalls"]))
 '
 
 step "release-mode concurrent_faults stress"

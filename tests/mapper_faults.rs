@@ -161,6 +161,7 @@ fn healable_plan(seed: u64) -> FaultPlan {
         delay_ns: 20_000,
         truncate_per_mille: 100,
         crash_at_op: Some(seed % 17 + 3),
+        hang_at_op: None,
     }
 }
 
@@ -521,6 +522,7 @@ fn batched_writeback_faults_never_lose_dirty_pages() {
             delay_ns: 0,
             truncate_per_mille: 150,
             crash_at_op: Some(seed % 13 + 2),
+            hang_at_op: None,
         };
         let s = stack(
             8,
@@ -680,6 +682,7 @@ proptest! {
             delay_ns: 10_000,
             truncate_per_mille: truncate,
             crash_at_op: Some(crash_at),
+            hang_at_op: None,
         };
         let s = stack(8, plan, FaultPlan { seed: !seed, ..plan }, generous_retry);
         healing_workload(&s, seed, 2, 30);
@@ -900,4 +903,407 @@ fn async_completions_deliver_out_of_order_and_deterministically() {
     let (t2, stats2) = ooo_run(&ooo_stack());
     assert_eq!(t1, t2, "simulated time diverged across identical runs");
     assert_eq!(stats1, stats2, "counters diverged across identical runs");
+}
+
+// ===== memory-pressure survival: watchdog, backpressure, OOM killer =====
+
+/// One simulated hour: the horizon a hung (timed-out) asynchronous
+/// upcall parks at when nobody cancels it.
+const HOUR: u64 = 3_600_000_000_000;
+
+/// A plan whose only fault is a hang: from upcall number `at` on, the
+/// mapper wedges and every reply is a transient-looking `MapperTimeout`.
+fn hang_plan(at: u64) -> FaultPlan {
+    FaultPlan {
+        seed: 1,
+        transient_per_mille: 0,
+        permanent_per_mille: 0,
+        delay_per_mille: 0,
+        delay_ns: 0,
+        truncate_per_mille: 0,
+        crash_at_op: None,
+        hang_at_op: Some(at),
+    }
+}
+
+/// The pressure-suite knobs: clustered async pulls without the
+/// writeback daemon (so the only engine traffic is what the test
+/// drives), readahead capped at the cluster size to keep pull
+/// boundaries fixed.
+fn pressure_knobs(c: &mut PvmConfig) {
+    async_knobs(c);
+    c.writeback_daemon = false;
+    c.readahead_max_pages = 4;
+}
+
+fn file_region(
+    s: &FaultStack,
+    pages: u64,
+    base: u64,
+) -> (chorus_gmi::CtxId, chorus_gmi::CacheId, Vec<u8>) {
+    let init: Vec<u8> = (0..pages * PS)
+        .map(|k| (k as u8).wrapping_mul(7).wrapping_add(3))
+        .collect();
+    let cap = s.files.create_segment(&init);
+    let seg = s.seg_mgr.segment_for(cap);
+    let cache = s.pvm.cache_create(Some(seg)).unwrap();
+    let ctx = s.pvm.context_create().unwrap();
+    s.pvm
+        .region_create(ctx, VirtAddr(base), pages * PS, Prot::RW, cache, 0)
+        .unwrap();
+    (ctx, cache, init)
+}
+
+#[test]
+fn watchdog_cancels_hung_pull_and_degrades_the_segment_to_sync() {
+    let s = stack(16, hang_plan(0), FaultPlan::quiet(2), |c| {
+        pressure_knobs(c);
+        c.upcall_watchdog = true;
+        c.suspect_after_timeouts = 1;
+        c.quarantine_after_timeouts = 10;
+    });
+    let pvm = &s.pvm;
+    let init: Vec<u8> = (0..SEG_SIZE)
+        .map(|k| (k as u8).wrapping_mul(7).wrapping_add(3))
+        .collect();
+    let cap = s.files.create_segment(&init);
+    let seg = s.seg_mgr.segment_for(cap);
+    let cache = pvm.cache_create(Some(seg)).unwrap();
+    let ctx = pvm.context_create().unwrap();
+    let base = 0x10_0000u64;
+    pvm.region_create(ctx, VirtAddr(base), SEG_SIZE as u64, Prot::RW, cache, 0)
+        .unwrap();
+
+    // First fault: the clustered pull splits, the async tail wedges in
+    // the hung mapper and parks in flight, the sync head times out
+    // against the retry deadline and surfaces a transient error.
+    let mut byte = [0u8; 1];
+    let err = pvm.vm_read(ctx, VirtAddr(base), &mut byte).unwrap_err();
+    assert!(matches!(err, GmiError::MapperTimeout { .. }), "{err}");
+    assert!(s.faulty_files.is_wedged());
+
+    // Heal the mapper, then let the watchdog rule on the parked pull:
+    // it is cancelled at its deadline (about a simulated second), not
+    // at the hung-reply horizon, and the segment becomes Suspected.
+    s.faulty_files.set_plan(FaultPlan::quiet(2));
+    pvm.drain_upcalls();
+    let stats = pvm.stats();
+    assert_eq!(stats.watchdog_cancels, 1, "{stats:?}");
+    assert_eq!(stats.suspected_mappers, 1, "{stats:?}");
+    assert_eq!(stats.quarantined_caches, 0, "{stats:?}");
+    let t = pvm.cost_model().now().nanos();
+    assert!(t < HOUR, "watchdog waited for the hung reply: {t} ns");
+
+    // A Suspected segment degrades to the synchronous path, which is
+    // slower but correct: the full content reads back.
+    let mut got = vec![0u8; SEG_SIZE];
+    pvm.vm_read(ctx, VirtAddr(base), &mut got).unwrap();
+    assert_eq!(got, init);
+
+    // No dirty page is lost across the recovery: overwrite the whole
+    // segment and push it back through the degraded path.
+    let new: Vec<u8> = (0..SEG_SIZE)
+        .map(|k| (k as u8).wrapping_mul(13).wrapping_add(5))
+        .collect();
+    pvm.vm_write(ctx, VirtAddr(base), &new).unwrap();
+    pvm.cache_sync(cache, 0, SEG_SIZE as u64).unwrap();
+    assert_eq!(s.files.segment_data(cap), new, "dirty pages lost");
+    pvm.check_invariants();
+}
+
+#[test]
+fn watchdog_bounds_the_stall_where_the_bare_engine_waits_an_hour() {
+    // Identical stacks, identical workload, one knob: with the watchdog
+    // the hung pull is cancelled at its retry deadline; without it the
+    // forced delivery must ride out the full hung-reply horizon.
+    let run = |watchdog: bool| {
+        let s = stack(16, hang_plan(0), FaultPlan::quiet(2), |c| {
+            pressure_knobs(c);
+            c.upcall_watchdog = watchdog;
+        });
+        let (ctx, _cache, _init) = file_region(&s, SEG_PAGES, 0x10_0000);
+        let mut byte = [0u8; 1];
+        let err = s
+            .pvm
+            .vm_read(ctx, VirtAddr(0x10_0000), &mut byte)
+            .unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        s.pvm.drain_upcalls();
+        s.pvm.check_invariants();
+        (s.pvm.cost_model().now().nanos(), s.pvm.stats())
+    };
+    let (t_on, stats_on) = run(true);
+    let (t_off, stats_off) = run(false);
+    assert!(t_on < HOUR, "watchdog run stalled: {t_on} ns");
+    assert!(t_off >= HOUR, "bare run finished early: {t_off} ns");
+    assert_eq!(stats_on.watchdog_cancels, 1, "{stats_on:?}");
+    assert_eq!(stats_off.watchdog_cancels, 0, "{stats_off:?}");
+
+    // The watchdog path is bit-deterministic.
+    let (t_on2, stats_on2) = run(true);
+    assert_eq!(t_on, t_on2, "simulated time diverged");
+    assert_eq!(stats_on, stats_on2, "counters diverged");
+}
+
+#[test]
+fn repeated_hangs_escalate_from_suspected_to_quarantine() {
+    let s = stack(16, hang_plan(0), FaultPlan::quiet(2), |c| {
+        pressure_knobs(c);
+        c.upcall_watchdog = true;
+        c.suspect_after_timeouts = 1;
+        c.quarantine_after_timeouts = 1;
+    });
+    let pvm = &s.pvm;
+    let (ctx, _cache, init) = file_region(&s, SEG_PAGES, 0x10_0000);
+    let mut byte = [0u8; 1];
+    let err = pvm
+        .vm_read(ctx, VirtAddr(0x10_0000), &mut byte)
+        .unwrap_err();
+    assert!(err.is_transient(), "{err}");
+
+    // The watchdog cancellation both suspects the segment and, at the
+    // quarantine threshold, poisons the cache.
+    pvm.drain_upcalls();
+    let err = pvm
+        .vm_read(ctx, VirtAddr(0x10_0000), &mut byte)
+        .unwrap_err();
+    assert!(matches!(err, GmiError::CachePoisoned(_)), "{err}");
+    let stats = pvm.stats();
+    assert_eq!(stats.watchdog_cancels, 1, "{stats:?}");
+    assert_eq!(stats.suspected_mappers, 1, "{stats:?}");
+    assert_eq!(stats.quarantined_caches, 1, "{stats:?}");
+
+    // The quarantine is cache-level, the suspicion segment-level: a
+    // fresh cache on the healed mapper works through the degraded
+    // synchronous path.
+    s.faulty_files.set_plan(FaultPlan::quiet(2));
+    let cap2 = s.files.create_segment(&init);
+    let seg2 = s.seg_mgr.segment_for(cap2);
+    let cache2 = pvm.cache_create(Some(seg2)).unwrap();
+    pvm.region_create(
+        ctx,
+        VirtAddr(0x20_0000),
+        SEG_SIZE as u64,
+        Prot::RW,
+        cache2,
+        0,
+    )
+    .unwrap();
+    let mut got = vec![0u8; SEG_SIZE];
+    pvm.vm_read(ctx, VirtAddr(0x20_0000), &mut got).unwrap();
+    assert_eq!(got, init);
+    assert!(pvm.cost_model().now().nanos() < HOUR);
+    pvm.check_invariants();
+}
+
+#[test]
+fn quarantine_mid_flight_fails_coalesced_pending_pulls() {
+    // Regression: a cache quarantined while one of its pulls is in
+    // flight must fail the coalesced pulls queued behind that request
+    // (clearing their stubs) rather than drop them, or a faulter on the
+    // queued range sleeps on a stub that will never be filled.
+    let s = stack(16, hang_plan(0), FaultPlan::quiet(2), |c| {
+        pressure_knobs(c);
+        c.max_inflight_upcalls = 1;
+    });
+    let pvm = &s.pvm;
+    let (ctx, _cache, _init) = file_region(&s, 8, 0x10_0000);
+    let base = 0x10_0000u64;
+
+    // Fault page 0: the async tail (pages 1..4) wedges and parks in
+    // flight; the sync head times out.
+    let mut byte = [0u8; 1];
+    let err = pvm.vm_read(ctx, VirtAddr(base), &mut byte).unwrap_err();
+    assert!(err.is_transient(), "{err}");
+
+    // The mapper now fails permanently (set_plan also un-wedges it).
+    s.faulty_files.set_plan(FaultPlan {
+        permanent_per_mille: 1000,
+        ..FaultPlan::quiet(3)
+    });
+
+    // Fault page 4: its tail (pages 5..8) queues behind the parked
+    // request (in-flight cap 1); the sync head's permanent failure
+    // quarantines the cache mid-flight.
+    let err = pvm
+        .vm_read(ctx, VirtAddr(base + 4 * PS), &mut byte)
+        .unwrap_err();
+    assert!(!err.is_transient(), "{err}");
+
+    // A faulter on the queued tail range observes the quarantine
+    // promptly instead of sleeping behind the hung request.
+    let err = pvm
+        .vm_read(ctx, VirtAddr(base + 5 * PS), &mut byte)
+        .unwrap_err();
+    assert!(matches!(err, GmiError::CachePoisoned(_)), "{err}");
+    let t = pvm.cost_model().now().nanos();
+    assert!(t < HOUR, "faulter waited on the hung reply: {t} ns");
+    let stats = pvm.stats();
+    assert_eq!(stats.async_pending_failed, 1, "{stats:?}");
+    assert_eq!(stats.quarantined_caches, 1, "{stats:?}");
+
+    pvm.drain_upcalls();
+    pvm.check_invariants();
+}
+
+#[test]
+fn backpressure_throttles_faulters_at_the_pending_pull_bound() {
+    let s = stack(16, hang_plan(0), FaultPlan::quiet(2), |c| {
+        pressure_knobs(c);
+        c.max_inflight_upcalls = 1;
+        c.max_pending_pulls = 1;
+        c.upcall_watchdog = true;
+        c.suspect_after_timeouts = 10;
+        c.quarantine_after_timeouts = 10;
+    });
+    let pvm = &s.pvm;
+    let (ctx, _cache, init) = file_region(&s, 12, 0x10_0000);
+    let base = 0x10_0000u64;
+    let mut byte = [0u8; 1];
+
+    // Saturate: one parked in-flight pull (pages 1..4), one pending
+    // pull queued behind it (pages 5..8).
+    let err = pvm.vm_read(ctx, VirtAddr(base), &mut byte).unwrap_err();
+    assert!(err.is_transient(), "{err}");
+    let err = pvm
+        .vm_read(ctx, VirtAddr(base + 4 * PS), &mut byte)
+        .unwrap_err();
+    assert!(err.is_transient(), "{err}");
+
+    // The third faulter hits the bound: it is throttled, and the stall
+    // force-delivers (cancels) the parked request to drain the queue
+    // forward rather than merely sleeping.
+    let err = pvm
+        .vm_read(ctx, VirtAddr(base + 8 * PS), &mut byte)
+        .unwrap_err();
+    assert!(err.is_transient(), "{err}");
+    let stats = pvm.stats();
+    assert_eq!(stats.throttle_stalls, 1, "{stats:?}");
+    assert_eq!(stats.watchdog_cancels, 1, "{stats:?}");
+    let t = pvm.cost_model().now().nanos();
+    assert!(
+        t < HOUR,
+        "throttled faulter waited for the hung reply: {t} ns"
+    );
+
+    // Heal; the drained pipeline recovers and every byte reads back.
+    s.faulty_files.set_plan(FaultPlan::quiet(2));
+    pvm.drain_upcalls();
+    let mut got = vec![0u8; (12 * PS) as usize];
+    pvm.vm_read(ctx, VirtAddr(base), &mut got).unwrap();
+    assert_eq!(got, init);
+    assert!(pvm.cost_model().now().nanos() < HOUR);
+    pvm.check_invariants();
+}
+
+#[test]
+fn emergency_reserve_fences_ordinary_allocations_but_feeds_fill_up() {
+    let s = stack(4, FaultPlan::quiet(1), FaultPlan::quiet(2), |c| {
+        c.emergency_reserve_frames = 2;
+    });
+    let pvm = &s.pvm;
+    let ctx = pvm.context_create().unwrap();
+    let cache = pvm.cache_create(None).unwrap();
+    pvm.region_create(ctx, VirtAddr(0x10_0000), 8 * PS, Prot::RW, cache, 0)
+        .unwrap();
+    // Ordinary (zero-fill) allocations never dip below the reserve:
+    // page replacement runs early and squeezes the anonymous working
+    // set into the unreserved frames.
+    for p in 0..8u64 {
+        pvm.vm_write(ctx, VirtAddr(0x10_0000 + p * PS), &[p as u8])
+            .unwrap();
+    }
+    assert_eq!(
+        pvm.free_frames(),
+        2,
+        "ordinary allocations breached the reserve"
+    );
+
+    // Reclaim-critical work -- `fillUp` landing pulled data -- may draw
+    // from the reserve, closing the regress where freeing frames itself
+    // needs a frame.
+    let init: Vec<u8> = (0..PS as usize).map(|k| (k as u8) ^ 0x5A).collect();
+    let cap = s.files.create_segment(&init);
+    let seg = s.seg_mgr.segment_for(cap);
+    let cache_f = pvm.cache_create(Some(seg)).unwrap();
+    pvm.region_create(ctx, VirtAddr(0x20_0000), PS, Prot::READ, cache_f, 0)
+        .unwrap();
+    let mut got = vec![0u8; PS as usize];
+    pvm.vm_read(ctx, VirtAddr(0x20_0000), &mut got).unwrap();
+    assert_eq!(got, init);
+    let stats = pvm.stats();
+    assert!(stats.reserve_grants >= 1, "{stats:?}");
+    assert!(pvm.free_frames() < 2, "fillUp did not use the reserve");
+    pvm.check_invariants();
+}
+
+/// The OOM scenario: every frame pinned by two contexts (the victim
+/// with six locked dirty pages, the survivor with two), then a third
+/// context faults. Reclaim can make no progress, so the killer must
+/// reclaim exactly one context -- the largest footprint.
+fn oom_scenario() -> (u64, chorus_pvm::PvmStats, Vec<u8>) {
+    let s = stack(8, FaultPlan::quiet(1), FaultPlan::quiet(2), |c| {
+        c.oom_killer = true;
+    });
+    let pvm = &s.pvm;
+    let ctx1 = pvm.context_create().unwrap();
+    let cache1 = pvm.cache_create(None).unwrap();
+    let r1 = pvm
+        .region_create(ctx1, VirtAddr(0x10_0000), 6 * PS, Prot::RW, cache1, 0)
+        .unwrap();
+    pvm.region_lock_in_memory(r1).unwrap();
+
+    let ctx2 = pvm.context_create().unwrap();
+    let cache2 = pvm.cache_create(None).unwrap();
+    let r2 = pvm
+        .region_create(ctx2, VirtAddr(0x20_0000), 2 * PS, Prot::RW, cache2, 0)
+        .unwrap();
+    let keep: Vec<u8> = (0..2 * PS as usize)
+        .map(|k| (k as u8).wrapping_mul(31).wrapping_add(7))
+        .collect();
+    pvm.vm_write(ctx2, VirtAddr(0x20_0000), &keep).unwrap();
+    pvm.region_lock_in_memory(r2).unwrap();
+    assert_eq!(pvm.free_frames(), 0, "setup must exhaust the pool");
+
+    // Third context: a file-backed read needs a frame.
+    let init: Vec<u8> = (0..PS as usize).map(|k| (k as u8) ^ 0x5A).collect();
+    let cap = s.files.create_segment(&init);
+    let seg = s.seg_mgr.segment_for(cap);
+    let cache3 = pvm.cache_create(Some(seg)).unwrap();
+    let ctx3 = pvm.context_create().unwrap();
+    pvm.region_create(ctx3, VirtAddr(0x30_0000), PS, Prot::READ, cache3, 0)
+        .unwrap();
+    let mut got = vec![0u8; PS as usize];
+    pvm.vm_read(ctx3, VirtAddr(0x30_0000), &mut got).unwrap();
+    assert_eq!(got, init, "the fault that triggered the kill must complete");
+
+    // The victim's handle reports the kill, not a bare missing context.
+    let err = pvm
+        .vm_read(ctx1, VirtAddr(0x10_0000), &mut [0u8; 1])
+        .unwrap_err();
+    assert!(
+        matches!(err, GmiError::ContextKilled(id) if id == ctx1),
+        "{err}"
+    );
+
+    // Differential check: the survivor's locked pages are untouched.
+    let mut back = vec![0u8; keep.len()];
+    pvm.vm_read(ctx2, VirtAddr(0x20_0000), &mut back).unwrap();
+    assert_eq!(back, keep, "survivor's pages corrupted by the kill");
+    let st = pvm.region_status(r2).unwrap();
+    assert!(st.locked);
+    assert_eq!(st.resident_pages, 2);
+    pvm.check_invariants();
+    (pvm.cost_model().now().nanos(), pvm.stats(), back)
+}
+
+#[test]
+fn oom_killer_reclaims_exactly_one_deterministic_victim() {
+    let (t1, stats1, back1) = oom_scenario();
+    assert_eq!(stats1.oom_kills, 1, "{stats1:?}");
+    // Bit-identical repeat: same victim, same clock, same counters.
+    let (t2, stats2, back2) = oom_scenario();
+    assert_eq!(t1, t2, "simulated time diverged across identical runs");
+    assert_eq!(stats1, stats2, "counters diverged across identical runs");
+    assert_eq!(back1, back2);
 }
