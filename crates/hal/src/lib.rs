@@ -34,4 +34,5 @@ pub use frame::{FrameNo, MemStats, PhysicalMemory};
 pub use fx::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mmu::{Access, Mmu, MmuCtx, MmuFault, Prot};
 pub use soft_mmu::SoftMmu;
+pub use tlb::TlbStats;
 pub use two_level::TwoLevelMmu;

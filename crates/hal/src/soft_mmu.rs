@@ -17,13 +17,23 @@ use std::sync::Arc;
 pub const DEFAULT_TLB_ENTRIES: usize = 64;
 
 /// A software MMU with per-context hash page tables.
+///
+/// Supports an optional *large-page level*: per-context tables keyed by
+/// large virtual page number (`geometry().large_factor()` base pages per
+/// entry), cached by a second, separate TLB with its own statistics. The
+/// large path costs nothing until the first large mapping is installed.
 pub struct SoftMmu {
     geom: PageGeometry,
     model: Arc<CostModel>,
     ctxs: HashMap<u32, HashMap<Vpn, (FrameNo, Prot)>>,
+    large: HashMap<u32, HashMap<Vpn, (FrameNo, Prot)>>,
+    /// Live large mappings across all contexts (fast guard: translation
+    /// skips the large path entirely while this is zero).
+    large_total: usize,
     next: u32,
     current: Option<MmuCtx>,
     tlb: Tlb,
+    large_tlb: Tlb,
 }
 
 impl SoftMmu {
@@ -33,15 +43,57 @@ impl SoftMmu {
             geom,
             model,
             ctxs: HashMap::new(),
+            large: HashMap::new(),
+            large_total: 0,
             next: 0,
             current: None,
             tlb: Tlb::new(DEFAULT_TLB_ENTRIES),
+            large_tlb: Tlb::new(DEFAULT_TLB_ENTRIES),
         }
     }
 
     /// TLB statistics (for benches and the ablation on MMU back-ends).
     pub fn tlb_stats(&self) -> TlbStats {
         self.tlb.stats()
+    }
+
+    /// Attempts a large-page translation. Returns `None` when no usable
+    /// large mapping covers `va` — including protection mismatches, which
+    /// fall through to the base path so the fault carries the base
+    /// mapping's protection.
+    fn translate_large(
+        &mut self,
+        ctx: MmuCtx,
+        va: VirtAddr,
+        access: Access,
+        system_mode: bool,
+    ) -> Option<PhysAddr> {
+        if self.large.get(&ctx.0).is_none_or(|t| t.is_empty()) {
+            return None;
+        }
+        let lvpn = self.geom.large_vpn(va);
+        let cached = if self.current == Some(ctx) {
+            self.large_tlb.lookup(lvpn)
+        } else {
+            None
+        };
+        let (frame, prot) = match cached {
+            Some(hit) => hit,
+            None => {
+                let entry = self.large.get(&ctx.0)?.get(&lvpn).copied()?;
+                self.model.charge(OpKind::TlbMiss);
+                if self.current == Some(ctx) {
+                    self.large_tlb.insert(lvpn, entry.0, entry.1);
+                }
+                entry
+            }
+        };
+        if !prot.allows(access, system_mode) {
+            return None;
+        }
+        Some(PhysAddr(
+            frame.0 as u64 * self.geom.page_size() + self.geom.large_offset(va),
+        ))
     }
 
     fn table(&self, ctx: MmuCtx) -> &HashMap<Vpn, (FrameNo, Prot)> {
@@ -80,9 +132,14 @@ impl Mmu for SoftMmu {
             .remove(&ctx.0)
             .expect("MMU context does not exist");
         self.model.charge_n(OpKind::UnmapPage, table.len() as u64);
+        if let Some(large) = self.large.remove(&ctx.0) {
+            self.large_total -= large.len();
+            self.model.charge_n(OpKind::UnmapPage, large.len() as u64);
+        }
         if self.current == Some(ctx) {
             self.current = None;
             self.tlb.flush();
+            self.large_tlb.flush();
             self.model.charge(OpKind::TlbFlush);
         }
     }
@@ -92,6 +149,7 @@ impl Mmu for SoftMmu {
         if self.current != Some(ctx) {
             self.current = Some(ctx);
             self.tlb.flush();
+            self.large_tlb.flush();
             self.model.charge(OpKind::TlbFlush);
         }
     }
@@ -138,6 +196,14 @@ impl Mmu for SoftMmu {
         access: Access,
         system_mode: bool,
     ) -> Result<PhysAddr, MmuFault> {
+        // Large mappings take precedence; a miss (or protection mismatch)
+        // falls through to the base tables. The guard keeps this free for
+        // configurations that never promote.
+        if self.large_total > 0 {
+            if let Some(pa) = self.translate_large(ctx, va, access, system_mode) {
+                return Ok(pa);
+            }
+        }
         let vpn = self.geom.vpn(va);
         let offset = self.geom.page_offset(va);
         let cached = if self.current == Some(ctx) {
@@ -169,6 +235,53 @@ impl Mmu for SoftMmu {
 
     fn mapped_count(&self, ctx: MmuCtx) -> usize {
         self.table(ctx).len()
+    }
+
+    fn supports_large(&self) -> bool {
+        true
+    }
+
+    fn map_large(&mut self, ctx: MmuCtx, lvpn: Vpn, base_frame: FrameNo, prot: Prot) -> bool {
+        assert!(self.ctxs.contains_key(&ctx.0), "MMU context does not exist");
+        let prev = self
+            .large
+            .entry(ctx.0)
+            .or_default()
+            .insert(lvpn, (base_frame, prot));
+        if prev.is_none() {
+            self.large_total += 1;
+        }
+        if self.current == Some(ctx) {
+            self.large_tlb.invalidate(lvpn);
+        }
+        self.model.charge(OpKind::MapPage);
+        true
+    }
+
+    fn unmap_large(&mut self, ctx: MmuCtx, lvpn: Vpn) -> Option<FrameNo> {
+        let removed = self.large.get_mut(&ctx.0).and_then(|t| t.remove(&lvpn));
+        if removed.is_some() {
+            self.large_total -= 1;
+            if self.current == Some(ctx) {
+                self.large_tlb.invalidate(lvpn);
+            }
+            self.model.charge(OpKind::UnmapPage);
+        }
+        removed.map(|(f, _)| f)
+    }
+
+    fn has_large_mapping(&self, ctx: MmuCtx, lvpn: Vpn) -> bool {
+        self.large
+            .get(&ctx.0)
+            .is_some_and(|t| t.contains_key(&lvpn))
+    }
+
+    fn large_mapped_count(&self, ctx: MmuCtx) -> usize {
+        self.large.get(&ctx.0).map_or(0, HashMap::len)
+    }
+
+    fn large_tlb_stats(&self) -> Option<TlbStats> {
+        Some(self.large_tlb.stats())
     }
 }
 
@@ -229,6 +342,95 @@ mod tests {
             Ok(PhysAddr(2 * 256 + 8))
         );
         assert_eq!(m.tlb_stats().hits, 0);
+    }
+
+    /// Geometry 256-byte pages, large factor 4 (1 KiB large pages).
+    fn mk_large() -> SoftMmu {
+        SoftMmu::new(
+            PageGeometry::new(256).with_large_factor(4),
+            Arc::new(CostModel::counting()),
+        )
+    }
+
+    #[test]
+    fn large_mapping_translates_whole_run() {
+        let mut m = mk_large();
+        let c = m.ctx_create();
+        m.switch(c);
+        assert!(m.supports_large());
+        // Large page 1 covers VAs [1024, 2048) -> frames 8..12.
+        assert!(m.map_large(c, Vpn(1), FrameNo(8), Prot::READ));
+        assert!(m.has_large_mapping(c, Vpn(1)));
+        assert_eq!(m.large_mapped_count(c), 1);
+        // No base mapping needed anywhere in the run.
+        for off in [0u64, 255, 256, 1023] {
+            let va = VirtAddr(1024 + off);
+            assert_eq!(
+                m.translate(c, va, Access::Read, false),
+                Ok(PhysAddr(8 * 256 + off))
+            );
+        }
+        // First translation walks, the rest hit the large TLB.
+        let ls = m.large_tlb_stats().unwrap();
+        assert_eq!(ls.misses, 1);
+        assert_eq!(ls.hits, 3);
+        // The base TLB never saw any of it.
+        assert_eq!(m.tlb_stats().hits + m.tlb_stats().misses, 0);
+    }
+
+    #[test]
+    fn large_protection_mismatch_falls_through_to_base() {
+        let mut m = mk_large();
+        let c = m.ctx_create();
+        m.switch(c);
+        m.map_large(c, Vpn(0), FrameNo(0), Prot::READ);
+        // A write inside a read-only large page reports the *base* fault:
+        // not-mapped here, since no base mapping exists.
+        assert!(matches!(
+            m.translate(c, VirtAddr(100), Access::Write, false),
+            Err(MmuFault::NotMapped { .. })
+        ));
+        // With a writable base mapping underneath, the write goes through.
+        m.map(c, Vpn(0), FrameNo(0), Prot::RW);
+        assert_eq!(
+            m.translate(c, VirtAddr(100), Access::Write, false),
+            Ok(PhysAddr(100))
+        );
+    }
+
+    #[test]
+    fn unmap_large_demotes_to_base_mappings() {
+        let mut m = mk_large();
+        let c = m.ctx_create();
+        m.switch(c);
+        m.map(c, Vpn(4), FrameNo(20), Prot::READ);
+        m.map_large(c, Vpn(1), FrameNo(20), Prot::READ);
+        assert_eq!(m.unmap_large(c, Vpn(1)), Some(FrameNo(20)));
+        assert!(!m.has_large_mapping(c, Vpn(1)));
+        assert_eq!(m.unmap_large(c, Vpn(1)), None);
+        // The base mapping still serves the page.
+        assert_eq!(
+            m.translate(c, VirtAddr(1024), Access::Read, false),
+            Ok(PhysAddr(20 * 256))
+        );
+    }
+
+    #[test]
+    fn ctx_destroy_drops_large_mappings() {
+        let mut m = mk_large();
+        let a = m.ctx_create();
+        let b = m.ctx_create();
+        m.map_large(a, Vpn(0), FrameNo(0), Prot::READ);
+        m.map_large(b, Vpn(0), FrameNo(4), Prot::READ);
+        m.ctx_destroy(a);
+        assert_eq!(m.large_total, 1);
+        assert!(m.has_large_mapping(b, Vpn(0)));
+        // ctx b was never current, so its translation bypasses both TLBs.
+        assert_eq!(
+            m.translate(b, VirtAddr(3), Access::Read, false),
+            Ok(PhysAddr(4 * 256 + 3))
+        );
+        assert_eq!(m.large_tlb_stats().unwrap().hits, 0);
     }
 
     #[test]

@@ -133,6 +133,24 @@ pub struct PvmConfig {
     /// through the dead handle then report `ContextKilled`. Off by
     /// default: exhaustion returns `OutOfMemory` as before.
     pub oom_killer: bool,
+    /// Contiguous frame runs from the buddy physical tier: a pull window
+    /// that covers a whole aligned large page reserves one contiguous
+    /// pre-zeroed run (`alloc_run_zeroed`) so large-page promotion finds
+    /// physically contiguous frames. Off by default: frames are handed
+    /// out one at a time exactly as before.
+    pub buddy_runs: bool,
+    /// Large-page promotion: a fully resident, aligned, uniformly
+    /// protected run of [`PvmConfig::promote_threshold_pages`] base pages
+    /// backed by contiguous frames is additionally mapped by a single
+    /// large MMU entry, so subsequent accesses anywhere in the run
+    /// translate without faulting. Any per-page mutation (unmap,
+    /// reprotect, evict, quarantine) demotes the large mapping first.
+    /// Requires [`PvmConfig::buddy_runs`]. Off by default.
+    pub large_pages: bool,
+    /// Base pages per large page (the promotion granule). Must be a
+    /// power of two of at least 2. 256 matches the 2 MiB class over the
+    /// paper's 8 KiB pages.
+    pub promote_threshold_pages: u64,
 }
 
 impl Default for PvmConfig {
@@ -163,6 +181,9 @@ impl Default for PvmConfig {
             max_pending_pulls: 0,
             emergency_reserve_frames: 0,
             oom_killer: false,
+            buddy_runs: false,
+            large_pages: false,
+            promote_threshold_pages: 256,
         }
     }
 }
@@ -251,6 +272,12 @@ impl PvmConfigBuilder {
         emergency_reserve_frames: u32,
         /// See [`PvmConfig::oom_killer`].
         oom_killer: bool,
+        /// See [`PvmConfig::buddy_runs`].
+        buddy_runs: bool,
+        /// See [`PvmConfig::large_pages`].
+        large_pages: bool,
+        /// See [`PvmConfig::promote_threshold_pages`].
+        promote_threshold_pages: u64,
     }
 
     /// Validates the assembled configuration.
@@ -303,6 +330,16 @@ impl PvmConfigBuilder {
                 "quarantine_after_timeouts must be at least suspect_after_timeouts",
             ));
         }
+        if c.large_pages && !c.buddy_runs {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "large_pages requires buddy_runs",
+            ));
+        }
+        if !c.promote_threshold_pages.is_power_of_two() || c.promote_threshold_pages < 2 {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "promote_threshold_pages must be a power of two >= 2",
+            ));
+        }
         Ok(self.config)
     }
 }
@@ -341,6 +378,13 @@ mod tests {
         assert_eq!(c.max_pending_pulls, 0, "backpressure is opt-in");
         assert_eq!(c.emergency_reserve_frames, 0, "the reserve is opt-in");
         assert!(!c.oom_killer, "the OOM killer is opt-in");
+        assert!(!c.buddy_runs, "contiguous runs are opt-in");
+        assert!(!c.large_pages, "large pages are opt-in");
+        assert_eq!(
+            c.promote_threshold_pages * 8192,
+            2 * 1024 * 1024,
+            "the default granule is the 2 MiB class over 8 KiB pages"
+        );
     }
 
     #[test]
@@ -398,5 +442,22 @@ mod tests {
             .quarantine_after_timeouts(2)
             .build()
             .is_err());
+        assert!(PvmConfig::builder().large_pages(true).build().is_err());
+        assert!(PvmConfig::builder()
+            .promote_threshold_pages(48)
+            .build()
+            .is_err());
+        assert!(PvmConfig::builder()
+            .promote_threshold_pages(1)
+            .build()
+            .is_err());
+        let c = PvmConfig::builder()
+            .buddy_runs(true)
+            .large_pages(true)
+            .promote_threshold_pages(16)
+            .build()
+            .expect("valid large-page config");
+        assert!(c.large_pages);
+        assert_eq!(c.promote_threshold_pages, 16);
     }
 }

@@ -27,6 +27,7 @@ impl PvmState {
         self.check_frames();
         self.check_clock_ring();
         self.check_fast_path();
+        self.check_large_maps();
     }
 
     fn check_global_map(&self) {
@@ -264,8 +265,8 @@ impl PvmState {
     fn check_frames(&self) {
         assert_eq!(
             self.phys.stats().in_use as usize,
-            self.pages.len(),
-            "allocated frames != live pages"
+            self.pages.len() + self.reserved_frames.len(),
+            "allocated frames != live pages + reserved pull frames"
         );
         assert_eq!(
             self.frame_owner.len(),
@@ -278,6 +279,53 @@ impl PvmState {
                 "frame_owner lists unallocated frame {f}"
             );
             assert!(self.pages.contains(p), "frame_owner lists dead page");
+        }
+        for (&(cache, off), &f) in &self.reserved_frames {
+            assert!(
+                self.phys.is_allocated(f),
+                "reserved frame {} for ({cache:?},{off:#x}) not allocated",
+                f.0
+            );
+            assert!(
+                !self.frame_owner.contains_key(&f.0),
+                "reserved frame {} already owned by a page",
+                f.0
+            );
+        }
+    }
+
+    /// Every promotion record must describe a live, fully resident,
+    /// physically contiguous run whose large MMU mapping is installed.
+    fn check_large_maps(&self) {
+        let factor = self.geom.large_factor();
+        let ps = self.geom.page_size();
+        for rec in &self.large_maps {
+            let ctx = self
+                .contexts
+                .get(rec.ctx)
+                .unwrap_or_else(|| panic!("large map for dead context {:?}", rec.ctx));
+            assert!(
+                self.mmu.has_large_mapping(ctx.mmu_ctx, rec.lvpn),
+                "promotion record without MMU large mapping at lvpn {}",
+                rec.lvpn.0
+            );
+            for k in 0..factor {
+                let off = rec.offset + k * ps;
+                let Some(crate::descriptors::Slot::Present(p)) = self.gmap.get(rec.cache, off)
+                else {
+                    panic!(
+                        "promoted run ({:?},{:#x}) page {k} not resident",
+                        rec.cache, rec.offset
+                    );
+                };
+                assert_eq!(
+                    u64::from(self.pages.get(p).expect("promoted page dead").frame.0),
+                    u64::from(rec.base_frame.0) + k,
+                    "promoted run ({:?},{:#x}) not physically contiguous at page {k}",
+                    rec.cache,
+                    rec.offset
+                );
+            }
         }
     }
 }

@@ -265,6 +265,7 @@ impl PvmState {
         }
         let via = region.cache;
         self.map_page(page, ctx, vpn, prot, via);
+        self.maybe_promote(ctx, vpn, region);
     }
 
     /// Fault entry used by `lockInMemory`: faults a page in (and, when

@@ -37,6 +37,7 @@ mod fault;
 mod gmap;
 mod history;
 mod keys;
+mod large;
 mod pageout;
 mod perpage;
 mod pvm;

@@ -229,6 +229,16 @@ impl PvmState {
         let base = self.page(victim).offset;
         let mut start = base;
         let mut pages = vec![victim];
+        // With large pages on, clamp the run to the victim's large page
+        // so a batched push never straddles a promotion-granule boundary
+        // — cleaning one run demotes at most one large mapping, and
+        // writeback I/O stays huge-page aligned.
+        let (lo_bound, hi_bound) = if self.config.large_pages {
+            let lo = self.geom.round_down_large(base);
+            (lo, lo + self.geom.large_page_size())
+        } else {
+            (0, u64::MAX)
+        };
         let eligible = |o: u64| -> Option<PageKey> {
             match self.gmap.get(cache, o) {
                 Some(Slot::Present(p)) => {
@@ -238,13 +248,13 @@ impl PvmState {
                 _ => None,
             }
         };
-        while (pages.len() as u64) < limit && start >= ps {
+        while (pages.len() as u64) < limit && start >= ps && start - ps >= lo_bound {
             let Some(p) = eligible(start - ps) else { break };
             pages.insert(0, p);
             start -= ps;
         }
         let mut next = base + ps;
-        while (pages.len() as u64) < limit {
+        while (pages.len() as u64) < limit && next + ps <= hi_bound {
             let Some(p) = eligible(next) else { break };
             pages.push(p);
             next += ps;

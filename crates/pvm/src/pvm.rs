@@ -105,12 +105,22 @@ impl Pvm {
     /// asynchronous upcall engine.
     pub fn new_v2(options: PvmOptions, seg_mgr: Arc<dyn SegmentManagerV2>) -> Pvm {
         let model = Arc::new(CostModel::new(options.cost.clone()));
-        let phys = PhysicalMemory::new(options.geometry, options.frames, model.clone());
-        let mmu: Box<dyn Mmu> = match options.mmu {
-            MmuChoice::Soft => Box::new(SoftMmu::new(options.geometry, model.clone())),
-            MmuChoice::TwoLevel => Box::new(TwoLevelMmu::new(options.geometry, model.clone())),
+        // With large pages on, the promotion threshold becomes the
+        // geometry's large factor so the HAL tiers (buddy runs, large
+        // TLB level) agree with the PVM on the run size.
+        let geometry = if options.config.large_pages {
+            options
+                .geometry
+                .with_large_factor(options.config.promote_threshold_pages)
+        } else {
+            options.geometry
         };
-        let state = PvmState::new(options.geometry, phys, mmu, model.clone(), options.config);
+        let phys = PhysicalMemory::new(geometry, options.frames, model.clone());
+        let mmu: Box<dyn Mmu> = match options.mmu {
+            MmuChoice::Soft => Box::new(SoftMmu::new(geometry, model.clone())),
+            MmuChoice::TwoLevel => Box::new(TwoLevelMmu::new(geometry, model.clone())),
+        };
+        let state = PvmState::new(geometry, phys, mmu, model.clone(), options.config);
         let fast = state.fast.clone();
         let stats = state.stats.clone();
         let trace = state.trace.clone();
@@ -119,7 +129,7 @@ impl Pvm {
             stub_cv: Condvar::new(),
             seg_mgr,
             model,
-            geom: options.geometry,
+            geom: geometry,
             fast,
             stats,
             trace,
@@ -176,6 +186,17 @@ impl Pvm {
     /// Physical memory statistics.
     pub fn mem_stats(&self) -> chorus_hal::MemStats {
         self.state.lock().phys.stats()
+    }
+
+    /// Hit/miss statistics of the MMU's large-page TLB, if the backing
+    /// MMU has a large level (`None` otherwise).
+    pub fn large_tlb_stats(&self) -> Option<chorus_hal::TlbStats> {
+        self.state.lock().mmu.large_tlb_stats()
+    }
+
+    /// Number of currently installed large mappings.
+    pub fn large_mapping_count(&self) -> usize {
+        self.state.lock().large_maps.len()
     }
 
     /// Runs the structural invariant checker (also run automatically when
@@ -692,6 +713,9 @@ impl Pvm {
                     }
                     cur += ps;
                 }
+                // Return any contiguous-run frames the mapper did not
+                // fill (short delivery or failure) to the buddy pool.
+                guard.release_reservations(cache, offset, size);
                 match res {
                     Ok(()) => {
                         guard.stats.bump(Counter::PullIns);
@@ -1070,6 +1094,19 @@ impl PvmState {
                 crate::state::done(())
             }
             _ => {
+                // A frame reserved for this pull window is consumed in
+                // place: it is part of a contiguous pre-zeroed run, so
+                // only the payload bytes need writing and the later
+                // promotion check sees consecutive frame numbers.
+                if let Some(frame) = self.reserved_frames.remove(&(cache, page_off)) {
+                    self.phys.write(frame, 0, chunk);
+                    if let Some(Slot::Cow(src)) = self.slot(cache, page_off) {
+                        self.unthread_cow_stub(cache, page_off, src);
+                    }
+                    let writable = !self.has_history_covering(cache, page_off);
+                    self.create_page(cache, page_off, frame, writable, false);
+                    return crate::state::done(());
+                }
                 // Failing this allocation would strand the pulled data
                 // and error the recovery; this is reclaim-critical work,
                 // so it may draw from the emergency reserve, and it

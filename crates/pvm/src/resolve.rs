@@ -123,6 +123,21 @@ impl PvmState {
                             d.ra_window = granted;
                             d.ra_next = o + pages * ps;
                         }
+                        // A synchronous pull covering exactly one
+                        // large-aligned full run gets a contiguous
+                        // pre-zeroed frame run reserved up front, so the
+                        // delivered pages land physically contiguous and
+                        // the run can be promoted. Async pulls skip this:
+                        // completions interleave and the window may be
+                        // re-split by coalescing.
+                        if self.config.large_pages
+                            && self.config.buddy_runs
+                            && !self.config.async_upcalls
+                            && pages == self.geom.large_factor()
+                            && self.geom.is_large_aligned(o)
+                        {
+                            self.reserve_pull_run(x, o);
+                        }
                         for k in 0..pages {
                             self.set_slot(x, o + k * ps, Slot::Sync);
                         }

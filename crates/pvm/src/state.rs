@@ -183,6 +183,13 @@ pub(crate) struct PvmState {
     /// reaping off the distinction). Grows only when `oom_killer` is
     /// on, and one entry per kill — never a space concern.
     pub oom_killed: Vec<chorus_gmi::CtxId>,
+    /// Installed large mappings (promotion records). Empty unless
+    /// `config.large_pages` is on; every hook early-returns on empty.
+    pub large_maps: Vec<crate::large::LargeMap>,
+    /// Contiguous frames reserved for an in-flight large-aligned pull,
+    /// keyed by (cache, page offset) and consumed by `fillUp`. Empty
+    /// unless `config.large_pages` is on.
+    pub reserved_frames: FxHashMap<(CacheKey, u64), FrameNo>,
 }
 
 impl PvmState {
@@ -214,6 +221,8 @@ impl PvmState {
             trace,
             engine: crate::engine::EngineState::new(),
             oom_killed: Vec::new(),
+            large_maps: Vec::new(),
+            reserved_frames: FxHashMap::default(),
         }
     }
 
@@ -303,6 +312,10 @@ impl PvmState {
             }
         }
         if transitioned {
+            // Large mappings over a poisoned cache are stale by fiat;
+            // reserved pull frames for it will never be consumed.
+            self.demote_all_of_cache(k);
+            self.release_all_reservations_of(k);
             // Coalesced pulls still queued behind an in-flight request
             // must fail, not vanish: clear their synchronization stubs
             // so the waiting faults re-run and observe `CachePoisoned`
@@ -370,6 +383,10 @@ impl PvmState {
 
     /// Installs a slot, maintaining the cache's entry index.
     pub fn set_slot(&mut self, cache: CacheKey, off: u64, slot: Slot) {
+        // Any slot transition inside a promoted run invalidates the
+        // large mapping (this is the lowest-level hook, covering every
+        // path that moves or re-points a page).
+        self.demote_covering_slot(cache, off);
         self.model.charge(OpKind::GlobalMapOp);
         self.gmap.insert(cache, off, slot);
         if let Some(c) = self.caches.get_mut(cache) {
@@ -379,6 +396,7 @@ impl PvmState {
 
     /// Removes a slot, maintaining the cache's entry index.
     pub fn clear_slot(&mut self, cache: CacheKey, off: u64) -> Option<Slot> {
+        self.demote_covering_slot(cache, off);
         self.model.charge(OpKind::GlobalMapOp);
         let old = self.gmap.remove(cache, off);
         if old.is_some() {
@@ -474,6 +492,7 @@ impl PvmState {
     /// Removes the mapping at (ctx, vpn), if any, and unthreads it from
     /// its page descriptor.
     pub fn unmap_va(&mut self, ctx: CtxKey, vpn: Vpn) {
+        self.demote_covering_va(ctx, vpn);
         let Ok(desc) = self.ctx(ctx) else { return };
         let mmu_ctx = desc.mmu_ctx;
         if let Some(frame) = self.mmu.unmap(mmu_ctx, vpn) {
@@ -489,6 +508,7 @@ impl PvmState {
     pub fn unmap_all(&mut self, key: PageKey) {
         let mappings = core::mem::take(&mut self.page_mut(key).mappings);
         for m in mappings {
+            self.demote_covering_va(m.ctx, m.vpn);
             self.fast.remove(m.ctx, m.vpn);
             if let Ok(desc) = self.ctx(m.ctx) {
                 let mmu_ctx = desc.mmu_ctx;
@@ -504,6 +524,7 @@ impl PvmState {
         let (keep, drop): (Vec<Mapping>, Vec<Mapping>) =
             self.page(key).mappings.iter().partition(|m| m.via != via);
         for m in &drop {
+            self.demote_covering_va(m.ctx, m.vpn);
             self.fast.remove(m.ctx, m.vpn);
             if let Ok(desc) = self.ctx(m.ctx) {
                 let mmu_ctx = desc.mmu_ctx;
@@ -521,6 +542,7 @@ impl PvmState {
         let (keep, drop): (Vec<Mapping>, Vec<Mapping>) =
             self.page(key).mappings.iter().partition(|m| m.via == owner);
         for m in &drop {
+            self.demote_covering_va(m.ctx, m.vpn);
             self.fast.remove(m.ctx, m.vpn);
             if let Ok(desc) = self.ctx(m.ctx) {
                 let mmu_ctx = desc.mmu_ctx;
@@ -533,6 +555,15 @@ impl PvmState {
     /// Re-applies the protection of every current mapping of a page,
     /// given each mapping's region protection recomputed from scratch.
     pub fn reprotect_mappings(&mut self, key: PageKey) {
+        // A protection change anywhere in a promoted run breaks its
+        // uniform-protection invariant; demote by the page's slot so
+        // even pages with no base mapping of their own (covered only by
+        // the large entry) take effect immediately.
+        let (pc, po) = {
+            let p = self.page(key);
+            (p.cache, p.offset)
+        };
+        self.demote_covering_slot(pc, po);
         let mappings = self.page(key).mappings.clone();
         for m in mappings {
             let Some(region_prot) = self.region_prot_at(m.ctx, m.vpn) else {

@@ -180,6 +180,18 @@ counters! {
     /// Allocations that dipped into the emergency frame reserve (only
     /// pull-recovery and pageout work may draw from it).
     reserve_grants => ReserveGrants,
+    /// Fully resident aligned runs promoted to a single large MMU
+    /// mapping.
+    large_promotions => LargePromotions,
+    /// Large mappings demoted back to base pages (partial unmap,
+    /// reprotect, eviction, quarantine, or context teardown).
+    large_demotions => LargeDemotions,
+    /// Contiguous pre-zeroed frame runs reserved from the buddy tier for
+    /// a whole-large-page pull window.
+    large_run_reserves => LargeRunReserves,
+    /// Whole-large-page pull windows that fell back to per-frame
+    /// allocation because no contiguous run was free.
+    large_run_fallbacks => LargeRunFallbacks,
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();
@@ -286,7 +298,8 @@ mod tests {
     #[test]
     fn counter_labels_match_snapshot_fields() {
         assert_eq!(Counter::FastPathHits.label(), "fast_path_hits");
-        assert_eq!(Counter::ALL.len(), 38);
+        assert_eq!(Counter::ALL.len(), 42);
+        assert_eq!(Counter::LargePromotions.label(), "large_promotions");
         assert_eq!(Counter::WatchdogCancels.label(), "watchdog_cancels");
         assert_eq!(Counter::OomKills.label(), "oom_kills");
         assert_eq!(Counter::AsyncSubmits.label(), "async_submits");

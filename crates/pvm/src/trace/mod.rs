@@ -363,6 +363,24 @@ pub enum TraceEvent {
         /// Injected failure kind.
         kind: InjectedKind,
     },
+    /// A fully resident aligned run was promoted to one large mapping.
+    LargePromote {
+        /// Promoted context index.
+        ctx: u32,
+        /// Base virtual address of the large page.
+        va: u64,
+        /// Backing cache index.
+        cache: u32,
+        /// Cache byte offset of the run base.
+        offset: u64,
+    },
+    /// A large mapping was demoted back to base pages.
+    LargeDemote {
+        /// Demoted context index.
+        ctx: u32,
+        /// Base virtual address of the large page.
+        va: u64,
+    },
     /// A named nested phase opened (span API).
     SpanBegin {
         /// Static span name.

@@ -191,6 +191,26 @@ fn parts(e: &TraceEvent) -> (Ph, String, Vec<(&'static str, String)>) {
                 ("dirty", dirty.to_string()),
             ],
         ),
+        TraceEvent::LargePromote {
+            ctx,
+            va,
+            cache,
+            offset,
+        } => (
+            Ph::Instant,
+            "large.promote".into(),
+            vec![
+                ("ctx", ctx.to_string()),
+                ("va", format!("{va:#x}")),
+                ("cache", cache.to_string()),
+                ("offset", offset.to_string()),
+            ],
+        ),
+        TraceEvent::LargeDemote { ctx, va } => (
+            Ph::Instant,
+            "large.demote".into(),
+            vec![("ctx", ctx.to_string()), ("va", format!("{va:#x}"))],
+        ),
         TraceEvent::SpanBegin { name } => (Ph::Begin, name.into(), vec![]),
         TraceEvent::SpanEnd { name } => (Ph::End, name.into(), vec![]),
     }

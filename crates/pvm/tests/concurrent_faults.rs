@@ -268,3 +268,108 @@ fn fast_path_survives_eviction_races() {
     );
     pvm.check_invariants();
 }
+
+/// The promotion-vs-demotion race: worker threads densely rewrite
+/// large-aligned runs (driving promotions) under a pool too small for
+/// the combined working set (driving eviction-side demotions), while a
+/// chaos thread syncs the cache (cleaning-side demotions) and re-reads
+/// through the fast path. A stale large mapping would either satisfy a
+/// write after its page moved (lost update) or translate to a recycled
+/// frame (foreign bytes) — the byte oracle catches both, and the final
+/// invariant sweep cross-checks every surviving promotion record
+/// against the global map and the MMU.
+#[test]
+fn promotion_races_eviction_and_cleaning() {
+    const FACTOR: u64 = 4;
+    const RUNS_PER_THREAD: u64 = 2;
+    let (pvm, _mgr) = setup_with(24, |o| {
+        o.config.check_invariants = false;
+        o.config.buddy_runs = true;
+        o.config.large_pages = true;
+        o.config.promote_threshold_pages = FACTOR;
+    });
+    let cache = pvm.cache_create(None).unwrap();
+    let pages_per_thread = RUNS_PER_THREAD * FACTOR;
+    let total = THREADS as u64 * pages_per_thread;
+    let base = 0x1_0000u64;
+
+    let ctxs: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let ctx = pvm.context_create().unwrap();
+            pvm.region_create(ctx, VirtAddr(base), total * PS, Prot::RW, cache, 0)
+                .unwrap();
+            ctx
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let mut handles = Vec::new();
+    for (t, &ctx) in ctxs.iter().enumerate() {
+        let pvm = Arc::clone(&pvm);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let lo = base + t as u64 * pages_per_thread * PS;
+            for round in 0..ROUNDS {
+                let tag = (t as u8) << 5 | round;
+                // Dense sequential pass over whole aligned runs: each
+                // completed run is a promotion candidate.
+                for p in 0..pages_per_thread {
+                    write(&pvm, ctx, lo + p * PS, &pattern(tag, PS as usize));
+                }
+                for p in 0..pages_per_thread {
+                    assert_eq!(
+                        read(&pvm, ctx, lo + p * PS, PS as usize),
+                        pattern(tag, PS as usize),
+                        "thread {t} page {p} round {round}: stale large mapping leaked bytes"
+                    );
+                }
+            }
+        }));
+    }
+
+    // Chaos: cleaning passes demote promoted runs mid-write, flushes
+    // tear whole runs out, forcing re-pull + re-promotion.
+    let chaos = {
+        let pvm = Arc::clone(&pvm);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..u64::from(ROUNDS) * 6 {
+                let _ = pvm.cache_sync(cache, 0, total * PS);
+                if i % 4 == 0 {
+                    let _ = pvm.cache_flush(cache, (i % total) * PS, FACTOR * PS);
+                }
+            }
+        })
+    };
+
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    chaos.join().expect("chaos thread");
+    pvm.check_invariants();
+
+    let stats = pvm.stats();
+    assert!(
+        stats.large_promotions > 0,
+        "dense aligned rewrites never promoted a run"
+    );
+    assert!(
+        stats.large_demotions > 0,
+        "sustained sync/flush/eviction pressure never demoted a run"
+    );
+
+    // Final oracle: every partition holds its last-round pattern.
+    for (t, &ctx) in ctxs.iter().enumerate() {
+        let tag = (t as u8) << 5 | (ROUNDS - 1);
+        let lo = base + t as u64 * pages_per_thread * PS;
+        for p in 0..pages_per_thread {
+            assert_eq!(
+                read(&pvm, ctx, lo + p * PS, PS as usize),
+                pattern(tag, PS as usize),
+                "thread {t} page {p}: final bytes diverged"
+            );
+        }
+    }
+}

@@ -1,8 +1,9 @@
 //! The minimal memory manager proper.
 
 use chorus_gmi::{
-    Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, RegionId,
-    RegionStatus, Result, SegmentId, SegmentManager, VirtAddr,
+    Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, PullRequest,
+    PushRequest, RegionId, RegionStatus, Result, SegmentId, SegmentManager, SegmentManagerV2,
+    SyncShim, VirtAddr,
 };
 use chorus_hal::{
     Arena, CostModel, CostParams, FrameNo, Id, Mmu, MmuCtx, OpKind, PhysicalMemory, SoftMmu,
@@ -88,7 +89,7 @@ struct RtState {
 /// The minimal, fully-resident, eager-copy memory manager.
 pub struct MinimalMm {
     state: Mutex<RtState>,
-    seg_mgr: Arc<dyn SegmentManager>,
+    seg_mgr: Arc<dyn SegmentManagerV2>,
     model: Arc<CostModel>,
 }
 
@@ -120,8 +121,15 @@ fn region_key(id: RegionId) -> Id<RtRegion> {
 }
 
 impl MinimalMm {
-    /// Creates the manager.
+    /// Creates the manager over a v1 [`SegmentManager`], adapted through
+    /// the [`SyncShim`] (submissions complete synchronously).
     pub fn new(options: MinimalOptions, seg_mgr: Arc<dyn SegmentManager>) -> MinimalMm {
+        MinimalMm::new_v2(options, Arc::new(SyncShim::new(seg_mgr)))
+    }
+
+    /// Creates the manager over a typed v2 segment manager
+    /// ([`SegmentManagerV2`]), the native request interface.
+    pub fn new_v2(options: MinimalOptions, seg_mgr: Arc<dyn SegmentManagerV2>) -> MinimalMm {
         let model = Arc::new(CostModel::new(options.cost.clone()));
         let phys = PhysicalMemory::new(options.geometry, options.frames, model.clone());
         let mmu: Box<dyn Mmu> = Box::new(SoftMmu::new(options.geometry, model.clone()));
@@ -167,12 +175,16 @@ impl MinimalMm {
         if need_pull {
             let segment = segment.expect("fully backed without segment");
             let ps = self.state.lock().geom.page_size();
-            // Deliberately stays on the v1 synchronous upcall: the
-            // minimal manager doubles as coverage for the deprecated
-            // entry points behind the `SyncShim` adapter.
-            #[allow(deprecated)]
-            self.seg_mgr
-                .pull_in(self, pub_cache(cache), segment, page_off, ps, Access::Read)?;
+            self.seg_mgr.submit_pull(
+                self,
+                &PullRequest {
+                    cache: pub_cache(cache),
+                    segment,
+                    offset: page_off,
+                    size: ps,
+                    access: Access::Read,
+                },
+            )?;
             let mut s = self.state.lock();
             s.stats.pull_ins += 1;
             s.model_io(1);
@@ -753,9 +765,15 @@ impl Gmi for MinimalMm {
                     (Some(o), Some(seg)) => (seg, o, s.ps()),
                 }
             };
-            // v1 on purpose — see the pull-side comment.
-            #[allow(deprecated)]
-            self.seg_mgr.push_out(self, cache, segment, dirty_off, ps)?;
+            self.seg_mgr.submit_push(
+                self,
+                &PushRequest {
+                    cache,
+                    segment,
+                    offset: dirty_off,
+                    size: ps,
+                },
+            )?;
             let mut s = self.state.lock();
             s.stats.push_outs += 1;
             s.model_io(1);

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json artifacts field by field.
+
+The ablation benches emit one flat JSON object with scalar headline
+fields plus a "rows" array of per-configuration objects (see
+scripts/verify.sh, which tees each smoke's --json output to the repo
+root). This script diffs two such files — typically a committed
+reference against a fresh run — and prints the per-field deltas:
+
+    scripts/bench_diff.py BENCH_largepages.json /tmp/fresh.json
+
+Rows are matched positionally after checking that their identifying
+(non-numeric) fields agree; a shape mismatch is an error, not a
+silent skip. Exit status is 1 when any numeric field differs, so the
+script doubles as a regression tripwire in shell pipelines.
+
+Stdlib only — no third-party imports.
+"""
+
+import json
+import sys
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def fmt(v):
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+def diff_scalar(path, a, b, changes):
+    if is_number(a) and is_number(b):
+        if a == b:
+            return
+        delta = b - a
+        if a != 0:
+            rel = f" ({delta / a:+.1%})"
+        else:
+            rel = ""
+        changes.append(f"  {path}: {fmt(a)} -> {fmt(b)} [{delta:+g}{rel}]")
+    elif a != b:
+        changes.append(f"  {path}: {a!r} -> {b!r}")
+
+
+def row_identity(row):
+    """The non-numeric fields that name a configuration row."""
+    return {k: v for k, v in row.items() if not is_number(v)}
+
+
+def diff_obj(prefix, a, b, changes):
+    for key in a:
+        if key not in b:
+            changes.append(f"  {prefix}{key}: only in first file")
+    for key in b:
+        if key not in a:
+            changes.append(f"  {prefix}{key}: only in second file")
+    for key, va in a.items():
+        if key not in b:
+            continue
+        vb = b[key]
+        path = f"{prefix}{key}"
+        if isinstance(va, list) and isinstance(vb, list):
+            if len(va) != len(vb):
+                sys.exit(f"error: {path} length differs: {len(va)} vs {len(vb)}")
+            for i, (ra, rb) in enumerate(zip(va, vb)):
+                if isinstance(ra, dict) and isinstance(rb, dict):
+                    ida, idb = row_identity(ra), row_identity(rb)
+                    if ida != idb:
+                        sys.exit(
+                            f"error: {path}[{i}] identifies different "
+                            f"configurations: {ida} vs {idb}"
+                        )
+                    label = "/".join(fmt(v) for v in ida.values()) or str(i)
+                    diff_obj(f"{path}[{label}].", ra, rb, changes)
+                else:
+                    diff_scalar(f"{path}[{i}]", ra, rb, changes)
+        elif isinstance(va, dict) and isinstance(vb, dict):
+            diff_obj(f"{path}.", va, vb, changes)
+        else:
+            diff_scalar(path, va, vb, changes)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <reference.json> <candidate.json>")
+    with open(sys.argv[1]) as f:
+        a = json.load(f)
+    with open(sys.argv[2]) as f:
+        b = json.load(f)
+    if a.get("bench") != b.get("bench"):
+        sys.exit(
+            f"error: different benches: "
+            f"{a.get('bench')!r} vs {b.get('bench')!r}"
+        )
+    changes = []
+    diff_obj("", a, b, changes)
+    name = a.get("bench", "?")
+    if not changes:
+        print(f"{name}: identical")
+        return
+    print(f"{name}: {len(changes)} field(s) differ")
+    for line in changes:
+        print(line)
+    sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -9,10 +9,16 @@
 # smoke (the completion engine must beat the synchronous baseline),
 # the pressure smoke (the watchdog must bound hung-upcall stalls with
 # zero data loss and the OOM killer must reclaim exactly one victim),
-# the release-mode concurrency stress, and the tracing
+# the large-page smoke (buddy runs plus 2 MiB promotion must cut
+# faults >=5x on a dense scan and win simulated time), the
+# release-mode concurrency stress, and the tracing
 # bit-identity check (Table 5 regenerated with CHORUS_TRACE=1 must
 # match the committed reports/table5.txt byte for byte — the
 # determinism rule: no trace call may advance the cost-model clock).
+#
+# Every ablation smoke tees its --json output to a stable
+# BENCH_<name>.json at the repo root; the committed copies are the
+# reference artifacts and scripts/bench_diff.py compares two of them.
 #
 # Usage: scripts/verify.sh            (from the repo root or anywhere)
 
@@ -43,6 +49,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
 
 step "scale_faults --quick: fast path alive"
 cargo run --release -q -p chorus-bench --bin scale_faults -- --json --quick |
+  tee BENCH_scale_faults.json |
   python3 -c '
 import json, sys
 rows = [r for r in json.load(sys.stdin)["rows"]
@@ -54,6 +61,7 @@ print("ok: fast_path_hits > 0 on all resident-read rows")
 
 step "ablation_writeback --quick: clustering amortizes, daemon unblocks"
 cargo run --release -q -p chorus-bench --bin ablation_writeback -- --json --quick |
+  tee BENCH_writeback.json |
   python3 -c '
 import json, sys
 rows = json.load(sys.stdin)["rows"]
@@ -75,6 +83,7 @@ step "ablation_async_upcalls --quick: engine beats sync baseline"
 # time and demand-fault p99 over the synchronous baseline, and that
 # the completion scheduler is bit-identical across re-runs.
 cargo run --release -q -p chorus-bench --bin ablation_async_upcalls -- --json --quick |
+  tee BENCH_async_upcalls.json |
   python3 -c '
 import json, sys
 rows = json.load(sys.stdin)["rows"]
@@ -108,6 +117,27 @@ oom = out["oom"]
 assert oom["oom_kills"] == 1 and oom["victim_reported"] and oom["survivor_intact"], oom
 print("ok: hung-reply stall %.0f ms -> %.1f ms, %d throttle stalls, 1 OOM kill"
       % (bare["sim_ms"], dog["sim_ms"], bp["throttle_stalls"]))
+'
+
+step "ablation_largepages --quick: buddy runs + promotion cut faults"
+# The bench asserts internally that large pages cut faults >=5x on a
+# dense scan, win simulated time, leave the machinery untouched with
+# the knobs off, and are bit-identical across re-runs.
+cargo run --release -q -p chorus-bench --bin ablation_largepages -- --json --quick |
+  tee BENCH_largepages.json |
+  python3 -c '
+import json, sys
+out = json.load(sys.stdin)
+rows = out["rows"]
+off = next(r for r in rows if not r["large_pages"])
+on = next(r for r in rows if r["large_pages"])
+assert off["faults"] >= 5 * max(on["faults"], 1), (off, on)
+assert on["sim_ms"] < off["sim_ms"], (off, on)
+assert on["run_fallbacks"] == 0, on
+assert on["large_tlb_hits"] > 0, on
+print("ok: faults %d -> %d (%.0fx), sim %.1f -> %.1f ms"
+      % (off["faults"], on["faults"], out["fault_reduction"],
+         off["sim_ms"], on["sim_ms"]))
 '
 
 step "release-mode concurrent_faults stress"
