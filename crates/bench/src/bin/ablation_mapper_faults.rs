@@ -12,7 +12,7 @@ use chorus_bench::{json, PAGE};
 use chorus_gmi::{Gmi, Prot, RetryPolicy, VirtAddr};
 use chorus_hal::{CostParams, OpKind, PageGeometry};
 use chorus_nucleus::{FaultPlan, FaultyMapper, MemMapper, NucleusSegmentManager, PortName};
-use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use chorus_pvm::{Dim, DimCounter, Pvm, PvmConfig, PvmOptions};
 use std::sync::Arc;
 
 const PAGES: u64 = 32;
@@ -50,6 +50,11 @@ fn run(fault_per_mille: u32, policy: RetryPolicy, policy_name: &'static str) -> 
             config: PvmConfig::builder()
                 .retry(policy)
                 .check_invariants(false)
+                // Telemetry never charges the cost model, so the table
+                // below is identical with the knob on; each scenario
+                // double-checks the dimensional counters against the
+                // globals they shadow (see the asserts after the sweep).
+                .telemetry(true)
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
@@ -90,6 +95,33 @@ fn run(fault_per_mille: u32, policy: RetryPolicy, policy_name: &'static str) -> 
             assert_eq!(buf[0], ((p * PAGE) % 239) as u8, "bytes diverged");
         }
     }
+    // Dimensional-telemetry consistency, once per scenario: the gauges
+    // must agree with the HAL and the completion engine, and the
+    // per-entity counters must sum to the global cells they shadow.
+    let stats = pvm.stats();
+    let sample = pvm.sample_now();
+    let mem = pvm.mem_stats();
+    assert_eq!(
+        u64::from(sample.free_frames),
+        u64::from(PAGES as u32 / 2) - mem.in_use,
+        "free-frame gauge vs hal MemStats"
+    );
+    assert_eq!(
+        sample.inflight_upcalls,
+        stats.async_submits - stats.async_deliveries,
+        "in-flight gauge vs completion-table population"
+    );
+    let by_cache: u64 = pvm
+        .telemetry()
+        .table(Dim::Cache)
+        .iter()
+        .map(|(_, c)| c[DimCounter::Faults as usize])
+        .sum();
+    assert_eq!(
+        by_cache,
+        stats.faults - stats.fast_path_hits,
+        "per-cache fault counters vs global"
+    );
     Row {
         fault_per_mille,
         policy: policy_name,

@@ -5,9 +5,9 @@
 //! per-page I/O cost plus a fixed request overhead, so clustering
 //! amortizes the request count.
 //!
-//! Usage: `cargo run -p chorus-bench --bin ablation_readahead`
+//! Usage: `cargo run -p chorus-bench --bin ablation_readahead [--json]`
 
-use chorus_bench::PAGE;
+use chorus_bench::{json, PAGE};
 use chorus_gmi::testing::MemSegmentManager;
 use chorus_gmi::{Gmi, Prot, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
@@ -16,43 +16,80 @@ use std::sync::Arc;
 
 const PAGES: u64 = 64;
 
+struct Row {
+    cluster: u64,
+    pull_ins: u64,
+    sim_ms: f64,
+}
+
+fn run(cluster: u64) -> Row {
+    let mgr = Arc::new(MemSegmentManager::new());
+    let content: Vec<u8> = (0..PAGES * PAGE).map(|i| (i % 241) as u8).collect();
+    let seg = mgr.create_segment(&content);
+    let pvm = Pvm::new(
+        PvmOptions {
+            geometry: PageGeometry::sun3(),
+            frames: 2 * PAGES as u32,
+            cost: CostParams::sun3(),
+            config: PvmConfig::builder()
+                .pull_cluster_pages(cluster)
+                .readahead_max_pages(cluster.max(8))
+                .check_invariants(false)
+                .build()
+                .expect("valid config"),
+            ..PvmOptions::default()
+        },
+        mgr.clone(),
+    );
+    let cache = pvm.cache_create(Some(seg)).unwrap();
+    let ctx = pvm.context_create().unwrap();
+    pvm.region_create(ctx, VirtAddr(0), PAGES * PAGE, Prot::READ, cache, 0)
+        .unwrap();
+    let model = pvm.cost_model();
+    let t0 = model.now();
+    let mut buf = [0u8; 64];
+    for p in 0..PAGES {
+        pvm.vm_read(ctx, VirtAddr(p * PAGE), &mut buf).unwrap();
+    }
+    let elapsed = model.now().since(t0);
+    // Sanity: data correct regardless of clustering.
+    assert_eq!(
+        &buf[..],
+        &content[(PAGES - 1) as usize * PAGE as usize..][..64]
+    );
+    Row {
+        cluster,
+        pull_ins: pvm.stats().pull_ins,
+        sim_ms: elapsed.millis(),
+    }
+}
+
 fn main() {
+    let emit_json = std::env::args().any(|a| a == "--json");
+    let rows: Vec<Row> = [1u64, 2, 4, 8, 16].iter().map(|&c| run(c)).collect();
+    if emit_json {
+        let encoded = rows.iter().map(|r| {
+            json::Obj::new()
+                .int("cluster", r.cluster)
+                .int("pull_ins", r.pull_ins)
+                .num("sim_ms", r.sim_ms)
+                .build()
+        });
+        println!(
+            "{}",
+            json::Obj::bench("ablation_readahead")
+                .int("pages", PAGES)
+                .raw("rows", &json::array(encoded))
+                .build()
+        );
+        return;
+    }
     println!("Read-ahead ablation: sequential scan of a {PAGES}-page segment\n");
     println!("  cluster | pullIn upcalls | simulated scan time");
-    for cluster in [1u64, 2, 4, 8, 16] {
-        let mgr = Arc::new(MemSegmentManager::new());
-        let content: Vec<u8> = (0..PAGES * PAGE).map(|i| (i % 241) as u8).collect();
-        let seg = mgr.create_segment(&content);
-        let pvm = Pvm::new(
-            PvmOptions {
-                geometry: PageGeometry::sun3(),
-                frames: 2 * PAGES as u32,
-                cost: CostParams::sun3(),
-                config: PvmConfig::builder()
-                    .pull_cluster_pages(cluster)
-                    .check_invariants(false)
-                    .build()
-                    .expect("valid config"),
-                ..PvmOptions::default()
-            },
-            mgr.clone(),
-        );
-        let cache = pvm.cache_create(Some(seg)).unwrap();
-        let ctx = pvm.context_create().unwrap();
-        pvm.region_create(ctx, VirtAddr(0), PAGES * PAGE, Prot::READ, cache, 0)
-            .unwrap();
-        let model = pvm.cost_model();
-        let t0 = model.now();
-        let mut buf = [0u8; 64];
-        for p in 0..PAGES {
-            pvm.vm_read(ctx, VirtAddr(p * PAGE), &mut buf).unwrap();
-        }
-        let elapsed = model.now().since(t0);
-        println!("  {cluster:>7} | {:>14} | {elapsed}", pvm.stats().pull_ins);
-        // Sanity: data correct regardless of clustering.
-        assert_eq!(
-            &buf[..],
-            &content[(PAGES - 1) as usize * PAGE as usize..][..64]
+    for r in &rows {
+        println!(
+            "  {:>7} | {:>14} | {:.2} ms",
+            r.cluster, r.pull_ins, r.sim_ms
         );
     }
     println!(

@@ -151,6 +151,22 @@ pub struct PvmConfig {
     /// power of two of at least 2. 256 matches the 2 MiB class over the
     /// paper's 8 KiB pages.
     pub promote_threshold_pages: u64,
+    /// Dimensional telemetry (see [`crate::telemetry`]): per-cache,
+    /// per-context and per-mapper counter families bumped at the same
+    /// sites that feed the global [`crate::StatsRegistry`] cells, plus
+    /// the deterministic sim-time gauge sampler behind
+    /// [`PvmConfig::telemetry_sample_ns`]. Off by default: every
+    /// dimensional site is then one relaxed atomic load, no sample is
+    /// ever taken, and the evaluation tables are bit-identical. When
+    /// on, no telemetry path touches the simulated clock — it reads
+    /// `now()` but never advances it.
+    pub telemetry: bool,
+    /// Cadence of the deterministic gauge sampler, in *simulated*
+    /// nanoseconds (no wall clock is ever consulted): at most one
+    /// [`crate::TelemetrySample`] is recorded per driver entry, aligned
+    /// to multiples of this period on the simulated clock. Must be at
+    /// least 1 when [`PvmConfig::telemetry`] is on.
+    pub telemetry_sample_ns: u64,
 }
 
 impl Default for PvmConfig {
@@ -184,6 +200,8 @@ impl Default for PvmConfig {
             buddy_runs: false,
             large_pages: false,
             promote_threshold_pages: 256,
+            telemetry: false,
+            telemetry_sample_ns: 1_000_000,
         }
     }
 }
@@ -278,6 +296,10 @@ impl PvmConfigBuilder {
         large_pages: bool,
         /// See [`PvmConfig::promote_threshold_pages`].
         promote_threshold_pages: u64,
+        /// See [`PvmConfig::telemetry`].
+        telemetry: bool,
+        /// See [`PvmConfig::telemetry_sample_ns`].
+        telemetry_sample_ns: u64,
     }
 
     /// Validates the assembled configuration.
@@ -340,6 +362,11 @@ impl PvmConfigBuilder {
                 "promote_threshold_pages must be a power of two >= 2",
             ));
         }
+        if c.telemetry && c.telemetry_sample_ns < 1 {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "telemetry_sample_ns must be at least 1 when telemetry is on",
+            ));
+        }
         Ok(self.config)
     }
 }
@@ -385,6 +412,8 @@ mod tests {
             2 * 1024 * 1024,
             "the default granule is the 2 MiB class over 8 KiB pages"
         );
+        assert!(!c.telemetry, "dimensional telemetry is opt-in");
+        assert_eq!(c.telemetry_sample_ns, 1_000_000, "1 ms sim cadence");
     }
 
     #[test]
@@ -403,6 +432,8 @@ mod tests {
             .max_pending_pulls(16)
             .emergency_reserve_frames(2)
             .oom_killer(true)
+            .telemetry(true)
+            .telemetry_sample_ns(500_000)
             .build()
             .expect("valid config");
         assert_eq!(c.pull_cluster_pages, 4);
@@ -412,6 +443,8 @@ mod tests {
         assert_eq!(c.quarantine_after_timeouts, 3);
         assert_eq!(c.max_pending_pulls, 16);
         assert!(c.oom_killer);
+        assert!(c.telemetry);
+        assert_eq!(c.telemetry_sample_ns, 500_000);
     }
 
     #[test]
@@ -451,6 +484,15 @@ mod tests {
             .promote_threshold_pages(1)
             .build()
             .is_err());
+        assert!(PvmConfig::builder()
+            .telemetry(true)
+            .telemetry_sample_ns(0)
+            .build()
+            .is_err());
+        assert!(
+            PvmConfig::builder().telemetry_sample_ns(0).build().is_ok(),
+            "a zero cadence is only rejected once telemetry is on"
+        );
         let c = PvmConfig::builder()
             .buddy_runs(true)
             .large_pages(true)

@@ -33,6 +33,7 @@
 use crate::keys::{CacheKey, PageKey};
 use crate::state::PvmState;
 use crate::stats::Counter;
+use crate::telemetry::DimCounter;
 use crate::trace::{TraceEvent, UpcallKind, UpcallOutcome};
 use chorus_gmi::{CompletionQueue, GmiError, Result, SegmentId};
 use chorus_hal::{Access, FxHashMap, OpKind};
@@ -237,6 +238,36 @@ impl EngineState {
             .position(|p| self.inflight_for(p.segment) < self.cap_for(p.segment, cap))?;
         Some(self.pending_pulls.remove(idx))
     }
+
+    // ----- introspection (pvmtop) ------------------------------------------
+
+    /// Segments currently Suspected, ascending.
+    pub fn suspected_segments(&self) -> Vec<u64> {
+        self.suspected.iter().copied().collect()
+    }
+
+    /// Watchdog timeouts per segment since its last successful
+    /// delivery, ascending by segment id.
+    pub fn timeout_counts(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<_> = self
+            .timeouts_by_segment
+            .iter()
+            .map(|(&s, &n)| (s, n))
+            .collect();
+        v.sort_unstable_by_key(|&(s, _)| s);
+        v
+    }
+
+    /// In-flight request counts per segment, ascending by segment id.
+    pub fn inflight_counts(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<_> = self
+            .inflight_by_segment
+            .iter()
+            .map(|(&s, &n)| (s, n))
+            .collect();
+        v.sort_unstable_by_key(|&(s, _)| s);
+        v
+    }
 }
 
 impl PvmState {
@@ -264,6 +295,7 @@ impl PvmState {
         }
         self.stats.bump(Counter::AsyncDeliveries);
         self.stats.add(Counter::MapperRetries, rec.retries);
+        self.dim_mapper(rec.segment, DimCounter::Retries, rec.retries);
         let ps = self.ps();
         let pages = rec.size / ps;
         match rec.kind {
@@ -281,6 +313,7 @@ impl PvmState {
                 }
                 if rec.result.is_ok() {
                     self.stats.bump(Counter::PullIns);
+                    self.dim_io(rec.cache, rec.segment, DimCounter::PullIns, 1);
                     self.model.count_only(OpKind::IpcOp);
                     self.model.count_only_n(OpKind::SegmentIoPage, pages);
                 }
@@ -290,6 +323,12 @@ impl PvmState {
                     self.model.count_only(OpKind::IpcOp);
                     self.model.count_only_n(OpKind::SegmentIoPage, pages);
                     self.stats.bump(Counter::PushOutBatches);
+                    self.dim_io(
+                        rec.cache,
+                        rec.segment,
+                        DimCounter::PushOuts,
+                        rec.pages.len() as u64,
+                    );
                     for &p in &rec.pages {
                         self.finish_clean(p, true);
                     }
@@ -310,6 +349,7 @@ impl PvmState {
             Err(e) => {
                 if matches!(e, GmiError::MapperTimeout { .. }) {
                     self.stats.bump(Counter::MapperTimeouts);
+                    self.dim_mapper(rec.segment, DimCounter::Timeouts, 1);
                 }
                 if !e.is_transient() {
                     self.quarantine_cache(rec.cache);
@@ -342,6 +382,7 @@ impl PvmState {
         let segment = rec.segment;
         let cache = rec.cache;
         self.stats.bump(Counter::WatchdogCancels);
+        self.dim_mapper(segment, DimCounter::Cancels, 1);
         self.trace.event(|| TraceEvent::WatchdogCancel {
             kind: rec.kind,
             segment: segment.0,

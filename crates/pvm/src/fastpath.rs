@@ -28,6 +28,7 @@
 
 use crate::keys::CtxKey;
 use crate::stats::{Counter, StatsRegistry};
+use crate::telemetry::{Dim, DimCounter, Telemetry};
 use chorus_hal::{Access, FrameNo, FxHashMap, Prot, Vpn};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -60,10 +61,18 @@ pub(crate) struct TranslationCache {
     /// atomic cells every other PVM counter lives in, so the snapshot
     /// never has to fold divergent copies.
     stats: Arc<StatsRegistry>,
+    /// Shared dimensional registry: fast hits are the one per-context
+    /// event the slow path never sees, so the lock-free path must
+    /// attribute them itself (a no-op when telemetry is off).
+    telemetry: Arc<Telemetry>,
 }
 
 impl TranslationCache {
-    pub fn new(enabled: bool, stats: Arc<StatsRegistry>) -> TranslationCache {
+    pub fn new(
+        enabled: bool,
+        stats: Arc<StatsRegistry>,
+        telemetry: Arc<Telemetry>,
+    ) -> TranslationCache {
         TranslationCache {
             enabled: AtomicBool::new(enabled),
             shards: (0..SHARDS)
@@ -71,6 +80,7 @@ impl TranslationCache {
                 .collect(),
             generation: AtomicU64::new(0),
             stats,
+            telemetry,
         }
     }
 
@@ -103,6 +113,11 @@ impl TranslationCache {
             .is_some_and(|e| e.gen == gen && e.prot.allows(access, false));
         if hit {
             self.stats.bump(Counter::FastPathHits);
+            self.telemetry.bump(
+                Dim::Context,
+                u64::from(ctx.index()),
+                DimCounter::FastPathHits,
+            );
         } else {
             self.stats.bump(Counter::FastPathFallbacks);
         }
@@ -183,7 +198,11 @@ mod tests {
     }
 
     fn cache(enabled: bool) -> TranslationCache {
-        TranslationCache::new(enabled, Arc::new(StatsRegistry::new()))
+        TranslationCache::new(
+            enabled,
+            Arc::new(StatsRegistry::new()),
+            Arc::new(Telemetry::new(false)),
+        )
     }
 
     #[test]

@@ -21,12 +21,22 @@ impl PvmState {
     /// One locked attempt at resolving a fault; the driver in `pvm.rs`
     /// retries after performing any blocked action. Returns how the
     /// fault was resolved (recorded by the tracer at fault exit).
+    ///
+    /// `note_dims` is true only on the first attempt of a client-visible
+    /// fault: it attributes the fault to its context up front and to its
+    /// cache once the region resolves, reusing the lookup this path does
+    /// anyway (blocked retries and internal materialization calls pass
+    /// false so a fault is attributed exactly once).
     pub fn fault_attempt(
         &mut self,
         ctx: CtxKey,
         va: VirtAddr,
         access: Access,
+        note_dims: bool,
     ) -> Attempt<Resolution> {
+        if note_dims {
+            self.note_fault_ctx_dim(ctx);
+        }
         // A context torn down by the OOM killer answers faults with
         // `ContextKilled`, not `NoSuchContext`, so MIX can reap it.
         self.check_context_alive(ctx)?;
@@ -52,6 +62,9 @@ impl PvmState {
                 access,
             })?;
         let region: RegionDesc = self.region(reg_key)?.clone();
+        if note_dims {
+            self.note_fault_cache_dim(region.cache);
+        }
         if !region.prot.allows(access, false) {
             return Err(GmiError::ProtectionViolation {
                 ctx: crate::keys::pub_ctx(ctx),
@@ -290,12 +303,12 @@ impl PvmState {
             matches!(self.gmap.get(cache, off), Some(Slot::Present(_))) || c.owns(off)
         };
         if writable_region {
-            match self.fault_attempt(ctx, va, Access::Write)? {
+            match self.fault_attempt(ctx, va, Access::Write, false)? {
                 crate::state::Outcome::Done(_) => {}
                 crate::state::Outcome::Blocked(b) => return blocked(b),
             }
         } else if owns_it {
-            match self.fault_attempt(ctx, va, Access::Read)? {
+            match self.fault_attempt(ctx, va, Access::Read, false)? {
                 crate::state::Outcome::Done(_) => {}
                 crate::state::Outcome::Blocked(b) => return blocked(b),
             }

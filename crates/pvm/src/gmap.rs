@@ -27,6 +27,7 @@ type LocStubEntry = ((CacheKey, u64), Vec<(CacheKey, u64)>);
 use crate::stats::{Counter, StatsRegistry};
 use chorus_hal::{fx_hash_one, FxHashMap};
 use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One lock stripe: a slice of the slot table plus the location stubs
@@ -41,6 +42,10 @@ struct Shard {
 pub(crate) struct GlobalMap {
     shards: Box<[Mutex<Shard>]>,
     mask: u64,
+    /// Live slot count across all shards, maintained on insert/remove so
+    /// `len()` — polled by the telemetry gauge sampler — never has to
+    /// sweep the stripes.
+    slot_count: AtomicUsize,
     /// Shared counter registry; contended shard-lock acquisitions bump
     /// `Counter::ShardContention` (exposed as
     /// `PvmStats::shard_contention`).
@@ -55,6 +60,7 @@ impl GlobalMap {
         GlobalMap {
             shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
             mask: (n - 1) as u64,
+            slot_count: AtomicUsize::new(0),
             stats,
         }
     }
@@ -94,18 +100,35 @@ impl GlobalMap {
     /// Installs a slot, returning the previous one.
     pub fn insert(&self, cache: CacheKey, off: u64, slot: Slot) -> Option<Slot> {
         let key = (cache, off);
-        self.lock(self.shard_for(&key)).slots.insert(key, slot)
+        let prev = self.lock(self.shard_for(&key)).slots.insert(key, slot);
+        if prev.is_none() {
+            self.slot_count.fetch_add(1, Ordering::Relaxed);
+        }
+        prev
     }
 
     /// Removes the slot at (cache, offset), returning it.
     pub fn remove(&self, cache: CacheKey, off: u64) -> Option<Slot> {
         let key = (cache, off);
-        self.lock(self.shard_for(&key)).slots.remove(&key)
+        let prev = self.lock(self.shard_for(&key)).slots.remove(&key);
+        if prev.is_some() {
+            self.slot_count.fetch_sub(1, Ordering::Relaxed);
+        }
+        prev
     }
 
-    /// Total live slots across all shards (ascending shard order).
+    /// Total live slots across all shards (one relaxed load).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| self.lock(s).slots.len()).sum()
+        self.slot_count.load(Ordering::Relaxed)
+    }
+
+    /// Live slots per stripe, ascending shard order — the balance gauge
+    /// behind `pvmtop` (a skewed vector means one stripe convoys).
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| self.lock(s).slots.len())
+            .collect()
     }
 
     /// Copies out every (key, slot) pair, in ascending shard order, for

@@ -41,14 +41,18 @@ mod large;
 mod pageout;
 mod perpage;
 mod pvm;
+pub mod pvmtop;
 mod regions;
 mod resolve;
 mod state;
 mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use config::{PvmConfig, PvmConfigBuilder};
 pub use debug::{CacheDump, SlotDump, TreeDump};
 pub use pvm::{MmuChoice, Pvm, PvmOptions};
+pub use pvmtop::{CacheHeat, MapperHealth, MapperState, PhaseLatency, PvmTop};
 pub use stats::{Counter, PvmStats, StatsRegistry};
+pub use telemetry::{Dim, DimCounter, Telemetry, TelemetrySample};
 pub use trace::{TraceConfig, TraceSink, Tracer};

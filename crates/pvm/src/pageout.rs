@@ -307,6 +307,11 @@ impl PvmState {
     pub fn evict(&mut self, victim: PageKey) {
         debug_assert!(!self.page(victim).dirty, "evicting a dirty page");
         self.stats.bump(Counter::Evictions);
+        self.dim_cache(
+            self.page(victim).cache,
+            crate::telemetry::DimCounter::Evictions,
+            1,
+        );
         self.trace.event(|| TraceEvent::Eviction {
             cache: self.page(victim).cache.index(),
             offset: self.page(victim).offset,

@@ -14,8 +14,10 @@ use crate::config::PvmConfig;
 use crate::descriptors::Slot;
 use crate::engine::{CompletionRecord, PendingPull};
 use crate::keys::{cache_key, ctx_key, pub_cache, pub_ctx, pub_region, region_key};
+use crate::pvmtop::PvmTop;
 use crate::state::{Attempt, Blocked, Outcome, PushOrigin, PvmState};
 use crate::stats::{Counter, PvmStats, StatsRegistry};
+use crate::telemetry::{DimCounter, Telemetry, TelemetrySample};
 use crate::trace::{Phase, Resolution, TraceEvent, Tracer, UpcallKind, UpcallOutcome};
 use chorus_gmi::{
     Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, PullRequest,
@@ -82,6 +84,10 @@ pub struct Pvm {
     stats: Arc<StatsRegistry>,
     /// The event tracer (see [`crate::trace`]), shared with the state.
     trace: Arc<Tracer>,
+    /// The dimensional telemetry registry (see [`crate::telemetry`]),
+    /// shared with the state and the translation cache; table reads
+    /// never take the state lock.
+    telemetry: Arc<Telemetry>,
     /// Reentrancy guard for the watermark laundering pass: a laundering
     /// push that re-enters the driver (e.g. a mapper calling back into
     /// the GMI) must not start a second pass.
@@ -124,6 +130,7 @@ impl Pvm {
         let fast = state.fast.clone();
         let stats = state.stats.clone();
         let trace = state.trace.clone();
+        let telemetry = state.telemetry.clone();
         Pvm {
             state: Mutex::new(state),
             stub_cv: Condvar::new(),
@@ -133,6 +140,7 @@ impl Pvm {
             fast,
             stats,
             trace,
+            telemetry,
             laundering: AtomicBool::new(false),
             pumping: AtomicBool::new(false),
         }
@@ -160,11 +168,42 @@ impl Pvm {
         self.trace.clone()
     }
 
-    /// Resets the PVM event counters and the tracer's rings and
-    /// histograms (the cost model has its own reset).
+    /// The dimensional telemetry registry (inert unless
+    /// `PvmConfig::telemetry` enables it). Table reads never take the
+    /// state lock.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        self.telemetry.clone()
+    }
+
+    /// Copies out the recorded sim-time gauge series, oldest first
+    /// (empty unless `PvmConfig::telemetry` is on).
+    pub fn telemetry_series(&self) -> Vec<TelemetrySample> {
+        self.state.lock().series.samples()
+    }
+
+    /// Takes a gauge sample of the live state right now (not appended
+    /// to the series; works with telemetry off).
+    pub fn sample_now(&self) -> TelemetrySample {
+        self.state.lock().live_sample()
+    }
+
+    /// The `pvmtop` introspection snapshot: top caches by fault/dirty
+    /// heat, per-mapper health, per-phase latency percentiles, and the
+    /// live gauges — one consistent picture under one lock acquisition.
+    pub fn top(&self) -> PvmTop {
+        crate::pvmtop::snapshot(&self.state.lock())
+    }
+
+    /// Resets the PVM event counters, the tracer's rings and
+    /// histograms, and the telemetry tables and gauge series (the cost
+    /// model has its own reset).
     pub fn reset_stats(&self) {
         self.stats.reset();
         self.trace.reset();
+        self.telemetry.reset();
+        let mut guard = self.state.lock();
+        guard.series.clear();
+        guard.next_sample_ns = 0;
     }
 
     /// Number of live cache descriptors (including zombies and working
@@ -230,6 +269,9 @@ impl Pvm {
             guard = self.drain_pending(guard);
         }
         guard = self.maybe_launder(guard);
+        // The deterministic gauge sampler rides every driver entry:
+        // reads the simulated clock, never advances it.
+        guard.maybe_sample();
         loop {
             match attempt(&mut guard)? {
                 Outcome::Done(v) => {
@@ -701,6 +743,7 @@ impl Pvm {
                 self.trace.phase_end(Phase::PullIn, t0);
                 let mut guard = self.state.lock();
                 guard.stats.add(Counter::MapperRetries, retries);
+                guard.dim_mapper(segment, DimCounter::Retries, retries);
                 let ps = guard.ps();
                 // Clear any stub of the pulled range the mapper left
                 // unfilled — on failure this is also the waiter cleanup:
@@ -719,6 +762,7 @@ impl Pvm {
                 match res {
                     Ok(()) => {
                         guard.stats.bump(Counter::PullIns);
+                        guard.dim_io(cache, segment, DimCounter::PullIns, 1);
                         // One mapper round trip plus per-page transfer.
                         guard.charge(chorus_hal::OpKind::IpcOp);
                         guard.charge_n(chorus_hal::OpKind::SegmentIoPage, size / ps);
@@ -741,6 +785,7 @@ impl Pvm {
                     Err(e) => {
                         if matches!(e, GmiError::MapperTimeout { .. }) {
                             guard.stats.bump(Counter::MapperTimeouts);
+                            guard.dim_mapper(segment, DimCounter::Timeouts, 1);
                         }
                         if !e.is_transient() {
                             guard.quarantine_cache(cache);
@@ -830,6 +875,7 @@ impl Pvm {
                 self.trace.phase_end(Phase::PushOut, t0);
                 let mut guard = self.state.lock();
                 guard.stats.add(Counter::MapperRetries, retries);
+                guard.dim_mapper(segment, DimCounter::Retries, retries);
                 if res.is_ok() {
                     // One mapper round trip for the whole run, plus the
                     // per-page transfer — the request-count amortization
@@ -837,6 +883,7 @@ impl Pvm {
                     guard.charge(chorus_hal::OpKind::IpcOp);
                     guard.charge_n(chorus_hal::OpKind::SegmentIoPage, size / ps);
                     guard.stats.bump(Counter::PushOutBatches);
+                    guard.dim_io(cache, segment, DimCounter::PushOuts, pages.len() as u64);
                     for &p in &pages {
                         guard.finish_clean(p, true);
                     }
@@ -847,6 +894,7 @@ impl Pvm {
                 let first_err = res.unwrap_err();
                 if matches!(first_err, GmiError::MapperTimeout { .. }) {
                     guard.stats.bump(Counter::MapperTimeouts);
+                    guard.dim_mapper(segment, DimCounter::Timeouts, 1);
                 }
                 if pages.len() == 1 {
                     // On failure the page keeps its dirty bit (`success:
@@ -905,6 +953,7 @@ impl Pvm {
                 }
                 let mut guard = self.state.lock();
                 guard.stats.add(Counter::MapperRetries, retries_total);
+                guard.dim_mapper(segment, DimCounter::Retries, retries_total);
                 let mut err: Option<GmiError> = None;
                 let mut quarantine = false;
                 for (i, (&p, r)) in pages.iter().zip(outcomes).enumerate() {
@@ -913,6 +962,7 @@ impl Pvm {
                         Some(Ok(())) => {
                             guard.charge(chorus_hal::OpKind::IpcOp);
                             guard.charge_n(chorus_hal::OpKind::SegmentIoPage, 1);
+                            guard.dim_io(cache, segment, DimCounter::PushOuts, 1);
                             guard.finish_clean(p, true);
                             guard.grow_seg_len(cache, offset + (i as u64 + 1) * ps);
                         }
@@ -920,6 +970,7 @@ impl Pvm {
                             guard.finish_clean(p, false);
                             if matches!(e, GmiError::MapperTimeout { .. }) {
                                 guard.stats.bump(Counter::MapperTimeouts);
+                                guard.dim_mapper(segment, DimCounter::Timeouts, 1);
                             }
                             if !e.is_transient() {
                                 quarantine = true;
@@ -985,6 +1036,7 @@ impl Pvm {
                 // Each retry is its own upcall on the wire.
                 guard.stats.add(Counter::WriteAccessUpcalls, 1 + retries);
                 guard.stats.add(Counter::MapperRetries, retries);
+                guard.dim_mapper(segment, DimCounter::Retries, retries);
                 match res {
                     Ok(()) => {
                         if guard.pages.contains(page) {
@@ -997,6 +1049,7 @@ impl Pvm {
                         // not a mapper death: no quarantine.
                         if matches!(e, GmiError::MapperTimeout { .. }) {
                             guard.stats.bump(Counter::MapperTimeouts);
+                            guard.dim_mapper(segment, DimCounter::Timeouts, 1);
                         }
                         Err(e)
                     }
@@ -1436,12 +1489,13 @@ impl Gmi for Pvm {
         }
         let mut first = true;
         let res = self.run(|s| {
-            if first {
+            let head = first;
+            if head {
                 first = false;
                 s.stats.bump(Counter::Faults);
                 s.charge(chorus_hal::OpKind::FaultEntry);
             }
-            s.fault_attempt(key, va, access)
+            s.fault_attempt(key, va, access, head)
         });
         let resolution = *res.as_ref().unwrap_or(&Resolution::Failed);
         self.trace.fault_exit(fstart, key.index(), va.0, resolution);

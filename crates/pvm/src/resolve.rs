@@ -181,6 +181,7 @@ impl PvmState {
         };
         if ra_next != 0 && off == ra_next {
             self.stats.bump(Counter::ReadaheadHits);
+            self.dim_cache(cache, crate::telemetry::DimCounter::ReadaheadHits, 1);
             let grown = prev.saturating_mul(2).min(cap);
             if grown > prev {
                 self.stats.bump(Counter::ReadaheadRamps);

@@ -15,6 +15,7 @@ use crate::fastpath::TranslationCache;
 use crate::gmap::GlobalMap;
 use crate::keys::{CacheKey, CtxKey, PageKey, RegKey};
 use crate::stats::{Counter, StatsRegistry};
+use crate::telemetry::{Dim, DimCounter, SeriesRing, Telemetry, TelemetrySample, SERIES_CAP};
 use crate::trace::{TraceEvent, Tracer};
 use chorus_gmi::{GmiError, Result, SegmentId};
 use chorus_hal::{
@@ -190,6 +191,18 @@ pub(crate) struct PvmState {
     /// keyed by (cache, page offset) and consumed by `fillUp`. Empty
     /// unless `config.large_pages` is on.
     pub reserved_frames: FxHashMap<(CacheKey, u64), FrameNo>,
+    /// The dimensional telemetry registry (per-cache / per-context /
+    /// per-mapper counters), shared with the translation cache and
+    /// `Pvm`. Inert (one relaxed load per site) unless
+    /// `config.telemetry` is on.
+    pub telemetry: Arc<Telemetry>,
+    /// Ring of deterministic sim-time gauge samples recorded by
+    /// [`PvmState::maybe_sample`]. Empty unless `config.telemetry` is
+    /// on.
+    pub series: SeriesRing,
+    /// Next simulated instant (multiple of `config.telemetry_sample_ns`)
+    /// at which the gauge sampler fires.
+    pub next_sample_ns: u64,
 }
 
 impl PvmState {
@@ -202,6 +215,7 @@ impl PvmState {
     ) -> PvmState {
         let stats = Arc::new(StatsRegistry::new());
         let trace = Arc::new(Tracer::new(config.trace, model.clone(), stats.clone()));
+        let telemetry = Arc::new(Telemetry::new(config.telemetry));
         PvmState {
             geom,
             phys,
@@ -212,7 +226,11 @@ impl PvmState {
             caches: Arena::new(),
             pages: Arena::new(),
             gmap: GlobalMap::new(config.global_map_shards, stats.clone()),
-            fast: Arc::new(TranslationCache::new(config.fast_path, stats.clone())),
+            fast: Arc::new(TranslationCache::new(
+                config.fast_path,
+                stats.clone(),
+                telemetry.clone(),
+            )),
             frame_owner: FxHashMap::default(),
             resident: ClockRing::new(),
             current: None,
@@ -223,6 +241,9 @@ impl PvmState {
             oom_killed: Vec::new(),
             large_maps: Vec::new(),
             reserved_frames: FxHashMap::default(),
+            telemetry,
+            series: SeriesRing::new(SERIES_CAP),
+            next_sample_ns: 0,
         }
     }
 
@@ -617,6 +638,95 @@ impl PvmState {
             va,
             access: Access::Read,
         })
+    }
+
+    // ----- dimensional telemetry --------------------------------------------
+
+    /// Attributes one handled slow-path fault to its context. Called by
+    /// `fault_attempt` on the first attempt only; the cache half rides
+    /// [`Self::note_fault_cache_dim`] once the region resolves, so
+    /// attribution reuses the fault path's own region lookup and never
+    /// touches the cost model (faults into unmapped addresses are
+    /// charged to the context only; the cache-dimension sum therefore
+    /// equals the global slow-path fault count whenever every fault
+    /// resolved).
+    #[inline]
+    pub fn note_fault_ctx_dim(&self, ctx: CtxKey) {
+        if self.telemetry.enabled() {
+            self.telemetry
+                .bump(Dim::Context, u64::from(ctx.index()), DimCounter::Faults);
+        }
+    }
+
+    /// The cache half of first-attempt fault attribution.
+    #[inline]
+    pub fn note_fault_cache_dim(&self, cache: CacheKey) {
+        if self.telemetry.enabled() {
+            self.telemetry
+                .bump(Dim::Cache, u64::from(cache.index()), DimCounter::Faults);
+        }
+    }
+
+    /// Bumps one counter in the cache dimension.
+    #[inline]
+    pub fn dim_cache(&self, cache: CacheKey, c: DimCounter, n: u64) {
+        self.telemetry
+            .add(Dim::Cache, u64::from(cache.index()), c, n);
+    }
+
+    /// Bumps one counter in the mapper (segment) dimension.
+    #[inline]
+    pub fn dim_mapper(&self, segment: SegmentId, c: DimCounter, n: u64) {
+        self.telemetry.add(Dim::Mapper, segment.0, c, n);
+    }
+
+    /// Bumps one counter in both the cache and mapper dimensions — the
+    /// shape of every upcall event (a cache's traffic through its
+    /// segment's mapper).
+    #[inline]
+    pub fn dim_io(&self, cache: CacheKey, segment: SegmentId, c: DimCounter, n: u64) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        self.dim_cache(cache, c, n);
+        self.dim_mapper(segment, c, n);
+    }
+
+    /// A gauge sample of the live state, stamped with the current
+    /// simulated time. Pure observation: nothing here charges the cost
+    /// model (`free_frames`/`free_blocks_per_order`/`len` are plain
+    /// reads, and the gmap is consulted via its uncharged `len`).
+    pub fn live_sample(&self) -> TelemetrySample {
+        let free = self.phys.free_frames();
+        TelemetrySample {
+            sim_ns: self.model.now().nanos(),
+            free_frames: free,
+            free_blocks_per_order: self.phys.free_blocks_per_order(),
+            inflight_upcalls: self.engine.inflight(),
+            pending_pulls: self.engine.pending_pulls.len() as u64,
+            clock_ring_pages: self.resident.len() as u64,
+            gmap_slots: self.gmap.len() as u64,
+            reserve_free: free.min(self.config.emergency_reserve_frames),
+        }
+    }
+
+    /// The deterministic sim-time sampler: records at most one gauge
+    /// sample per driver entry, once the simulated clock has crossed the
+    /// next multiple of `config.telemetry_sample_ns`. Reads the clock,
+    /// never advances it — with telemetry off this is a single branch.
+    pub fn maybe_sample(&mut self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let now = self.model.now().nanos();
+        if now < self.next_sample_ns {
+            return;
+        }
+        let cadence = self.config.telemetry_sample_ns.max(1);
+        self.next_sample_ns = now - now % cadence + cadence;
+        let sample = self.live_sample();
+        self.series.push(sample);
+        self.stats.bump(Counter::TelemetrySamples);
     }
 
     // ----- charging ----------------------------------------------------------

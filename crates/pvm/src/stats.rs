@@ -192,6 +192,9 @@ counters! {
     /// Whole-large-page pull windows that fell back to per-frame
     /// allocation because no contiguous run was free.
     large_run_fallbacks => LargeRunFallbacks,
+    /// Deterministic sim-time gauge samples recorded by the telemetry
+    /// sampler (dimensional telemetry knob on; see [`crate::telemetry`]).
+    telemetry_samples => TelemetrySamples,
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();
@@ -298,7 +301,8 @@ mod tests {
     #[test]
     fn counter_labels_match_snapshot_fields() {
         assert_eq!(Counter::FastPathHits.label(), "fast_path_hits");
-        assert_eq!(Counter::ALL.len(), 42);
+        assert_eq!(Counter::ALL.len(), 43);
+        assert_eq!(Counter::TelemetrySamples.label(), "telemetry_samples");
         assert_eq!(Counter::LargePromotions.label(), "large_promotions");
         assert_eq!(Counter::WatchdogCancels.label(), "watchdog_cancels");
         assert_eq!(Counter::OomKills.label(), "oom_kills");

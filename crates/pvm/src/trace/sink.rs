@@ -10,6 +10,7 @@
 
 use super::histogram::{HistogramSnapshot, Phase};
 use super::{TraceEvent, TraceRecord, Tracer};
+use crate::telemetry::{Dim, DimCounter, Telemetry, TelemetrySample};
 use chorus_hal::Access;
 
 /// A drained capture of a [`Tracer`], ready for export.
@@ -17,6 +18,10 @@ pub struct TraceSink {
     records: Vec<TraceRecord>,
     hists: Vec<(Phase, HistogramSnapshot)>,
     dropped: u64,
+    /// Gauge samples attached via [`TraceSink::with_telemetry`]:
+    /// exported as chrome-trace counter tracks and in
+    /// [`TraceSink::telemetry_json`].
+    series: Vec<TelemetrySample>,
 }
 
 /// The Trace Event Format phase of one event.
@@ -226,7 +231,22 @@ impl TraceSink {
                 .map(|&p| (p, tracer.histogram(p)))
                 .collect(),
             dropped: tracer.dropped(),
+            series: Vec::new(),
         }
+    }
+
+    /// Attaches the telemetry sampler's gauge series (see
+    /// [`crate::Pvm::telemetry_series`]) so exports include counter
+    /// tracks alongside the event timeline.
+    pub fn with_telemetry(mut self, series: Vec<TelemetrySample>) -> TraceSink {
+        self.series = series;
+        self
+    }
+
+    /// The attached gauge series (empty unless
+    /// [`TraceSink::with_telemetry`] was used).
+    pub fn series(&self) -> &[TelemetrySample] {
+        &self.series
     }
 
     /// The captured records, in sequence order.
@@ -274,10 +294,119 @@ impl TraceSink {
             ev.push_str(&format!(",\"args\":{{{}}}}}", body.join(",")));
             events.push(ev);
         }
+        // Counter tracks (`ph:"C"`): one multi-series event per gauge
+        // group per sample, so Perfetto renders stacked area charts of
+        // the live state next to the event timeline.
+        for s in &self.series {
+            let ts = s.sim_ns as f64 / 1000.0;
+            let mut counter = |name: &str, args: String| {
+                events.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"pvm\",\"ph\":\"C\",\"ts\":{ts:.3},\"pid\":1,\"args\":{{{args}}}}}"
+                ));
+            };
+            counter(
+                "mem.free",
+                format!(
+                    "\"free_frames\":{},\"reserve_free\":{}",
+                    s.free_frames, s.reserve_free
+                ),
+            );
+            counter(
+                "engine.queues",
+                format!(
+                    "\"inflight\":{},\"pending_pulls\":{}",
+                    s.inflight_upcalls, s.pending_pulls
+                ),
+            );
+            counter(
+                "residency",
+                format!(
+                    "\"clock_ring\":{},\"gmap_slots\":{}",
+                    s.clock_ring_pages, s.gmap_slots
+                ),
+            );
+            let orders: Vec<String> = s
+                .free_blocks_per_order
+                .iter()
+                .enumerate()
+                .map(|(i, n)| format!("\"order{i}\":{n}"))
+                .collect();
+            counter("buddy.free", orders.join(","));
+        }
         format!(
             "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"clock\":\"simulated\",\"dropped\":{}}}}}\n",
             events.join(",\n"),
             self.dropped
+        )
+    }
+
+    /// Exports the `telemetry.json` artifact: the gauge series, the
+    /// dimensional counter tables, and the per-phase latency summary.
+    /// Hand-built JSON (the repo carries no serde), same as the chrome
+    /// export.
+    pub fn telemetry_json(&self, telemetry: &Telemetry) -> String {
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"sim_ns\":{},\"free_frames\":{},\"free_blocks_per_order\":[{}],\
+                     \"inflight_upcalls\":{},\"pending_pulls\":{},\"clock_ring_pages\":{},\
+                     \"gmap_slots\":{},\"reserve_free\":{}}}",
+                    s.sim_ns,
+                    s.free_frames,
+                    s.free_blocks_per_order
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    s.inflight_upcalls,
+                    s.pending_pulls,
+                    s.clock_ring_pages,
+                    s.gmap_slots,
+                    s.reserve_free
+                )
+            })
+            .collect();
+        let dims: Vec<String> = Dim::ALL
+            .iter()
+            .map(|&d| {
+                let rows: Vec<String> = telemetry
+                    .table(d)
+                    .iter()
+                    .map(|(id, counts)| {
+                        let cells: Vec<String> = DimCounter::ALL
+                            .iter()
+                            .map(|&c| format!("\"{}\":{}", c.label(), counts[c as usize]))
+                            .collect();
+                        format!("{{\"id\":{id},{}}}", cells.join(","))
+                    })
+                    .collect();
+                format!("\"{}\":[{}]", d.label(), rows.join(","))
+            })
+            .collect();
+        let phases: Vec<String> = self
+            .hists
+            .iter()
+            .map(|(p, s)| {
+                format!(
+                    "{{\"phase\":\"{}\",\"samples\":{},\"p50_ns\":{},\"p99_ns\":{},\
+                     \"p999_ns\":{},\"mean_ns\":{:.1},\"max_ns\":{}}}",
+                    p.label(),
+                    s.count(),
+                    s.percentile(0.50),
+                    s.percentile(0.99),
+                    s.percentile(0.999),
+                    s.mean(),
+                    s.max
+                )
+            })
+            .collect();
+        format!(
+            "{{\"series\":[{}],\"dims\":{{{}}},\"phases\":[{}]}}\n",
+            series.join(",\n"),
+            dims.join(","),
+            phases.join(",\n")
         )
     }
 
@@ -415,5 +544,60 @@ mod tests {
         let json = sink.chrome_trace_json();
         assert!(json.contains("\"traceEvents\":[]"));
         assert!(sink.flame_summary().contains("records=0"));
+    }
+
+    fn sample(sim_ns: u64, free: u32) -> TelemetrySample {
+        TelemetrySample {
+            sim_ns,
+            free_frames: free,
+            free_blocks_per_order: vec![3, 1, 0],
+            inflight_upcalls: 2,
+            pending_pulls: 1,
+            clock_ring_pages: 5,
+            gmap_slots: 6,
+            reserve_free: free.min(4),
+        }
+    }
+
+    #[test]
+    fn counter_tracks_ride_in_the_chrome_export() {
+        let sink = capture_with_activity().with_telemetry(vec![sample(0, 10), sample(1_000, 8)]);
+        let json = sink.chrome_trace_json();
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 8, "4 tracks x 2");
+        assert!(json.contains("\"name\":\"mem.free\""));
+        assert!(json.contains("\"name\":\"buddy.free\""));
+        assert!(json.contains("\"order2\":0"));
+        // Still structurally sound with the counter events in place.
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "unbalanced JSON");
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count()
+        );
+    }
+
+    #[test]
+    fn telemetry_json_carries_series_dims_and_phases() {
+        let telemetry = Telemetry::new(true);
+        telemetry.bump(Dim::Cache, 3, DimCounter::Faults);
+        telemetry.add(Dim::Mapper, 7, DimCounter::PushOuts, 2);
+        let sink = capture_with_activity().with_telemetry(vec![sample(500, 9)]);
+        let json = sink.telemetry_json(&telemetry);
+        assert!(json.contains("\"series\":[{\"sim_ns\":500"));
+        assert!(json.contains("\"cache\":[{\"id\":3,\"faults\":1"));
+        assert!(json.contains("\"mapper\":[{\"id\":7,"));
+        assert!(json.contains("\"push_outs\":2"));
+        assert!(json.contains("\"phase\":\"fault.total\""));
+        assert!(json.contains("\"context\":[]"));
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "unbalanced JSON");
     }
 }

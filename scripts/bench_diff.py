@@ -86,10 +86,15 @@ def diff_obj(prefix, a, b, changes):
 def main():
     if len(sys.argv) != 3:
         sys.exit(f"usage: {sys.argv[0]} <reference.json> <candidate.json>")
-    with open(sys.argv[1]) as f:
-        a = json.load(f)
-    with open(sys.argv[2]) as f:
-        b = json.load(f)
+    try:
+        with open(sys.argv[1]) as f:
+            a = json.load(f)
+        with open(sys.argv[2]) as f:
+            b = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        # A truncated reference (e.g. a bench that died mid-tee on a
+        # previous run) should read as a warning, not a traceback.
+        sys.exit(f"warning: unreadable bench json, skipping diff: {e}")
     if a.get("bench") != b.get("bench"):
         sys.exit(
             f"error: different benches: "

@@ -10,7 +10,12 @@
 # the pressure smoke (the watchdog must bound hung-upcall stalls with
 # zero data loss and the OOM killer must reclaim exactly one victim),
 # the large-page smoke (buddy runs plus 2 MiB promotion must cut
-# faults >=5x on a dense scan and win simulated time), the
+# faults >=5x on a dense scan and win simulated time), the read-ahead
+# smoke (clustering must amortize pullIn upcalls), the mapper-fault
+# smoke (retries must heal transient faults with zero client errors),
+# the telemetry smoke (the knob must be free when off — bit-identical
+# sim clocks — and cost <=5% wall when on, with pvmtop attributing a
+# seeded hot-cache/sick-mapper scenario), the pvmtop render smoke, the
 # release-mode concurrency stress, and the tracing
 # bit-identity check (Table 5 regenerated with CHORUS_TRACE=1 must
 # match the committed reports/table5.txt byte for byte — the
@@ -18,7 +23,8 @@
 #
 # Every ablation smoke tees its --json output to a stable
 # BENCH_<name>.json at the repo root; the committed copies are the
-# reference artifacts and scripts/bench_diff.py compares two of them.
+# reference artifacts, and the final warn-only step runs
+# scripts/bench_diff.py fresh-vs-committed to surface drift.
 #
 # Usage: scripts/verify.sh            (from the repo root or anywhere)
 
@@ -26,6 +32,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 step() { printf '\n==> %s\n' "$*"; }
+
+# The smokes below tee fresh --json output over the committed
+# BENCH_<name>.json references, so snapshot the committed copies first;
+# the drift report at the end compares fresh against snapshot.
+tmp=$(mktemp)
+refdir=$(mktemp -d)
+trap 'rm -f "$tmp"; rm -rf "$refdir"' EXIT
+cp BENCH_*.json "$refdir"/ 2>/dev/null || true
 
 step "cargo build --release"
 cargo build --release
@@ -140,15 +154,82 @@ print("ok: faults %d -> %d (%.0fx), sim %.1f -> %.1f ms"
          off["sim_ms"], on["sim_ms"]))
 '
 
+step "ablation_readahead: clustering amortizes pullIn upcalls"
+cargo run --release -q -p chorus-bench --bin ablation_readahead -- --json |
+  tee BENCH_readahead.json |
+  python3 -c '
+import json, sys
+rows = json.load(sys.stdin)["rows"]
+base = next(r for r in rows if r["cluster"] == 1)
+clustered = next(r for r in rows if r["cluster"] == 8)
+assert clustered["pull_ins"] * 8 == base["pull_ins"], (base, clustered)
+assert clustered["sim_ms"] < base["sim_ms"], (base, clustered)
+print("ok: pullIn upcalls %d -> %d, sim %.1f -> %.1f ms"
+      % (base["pull_ins"], clustered["pull_ins"],
+         base["sim_ms"], clustered["sim_ms"]))
+'
+
+step "ablation_mapper_faults: retries heal transient faults"
+cargo run --release -q -p chorus-bench --bin ablation_mapper_faults -- --json |
+  tee BENCH_mapper_faults.json |
+  python3 -c '
+import json, sys
+rows = json.load(sys.stdin)["rows"]
+hot = [r for r in rows if r["fault_per_mille"] == 200]
+no_retry = next(r for r in hot if r["policy"] == "no_retry")
+retry = next(r for r in hot if r["policy"] == "default")
+assert retry["client_errors"] == 0 and retry["mapper_retries"] > 0, retry
+assert no_retry["client_errors"] > 0, no_retry
+print("ok: client errors %d -> 0 with retries (%d kernel retries)"
+      % (no_retry["client_errors"], retry["mapper_retries"]))
+'
+
+step "ablation_telemetry --quick: knob free when off, <=5% wall when on"
+# The bench asserts internally that the simulated clocks are
+# bit-identical with the knob off and on, that the wall overhead stays
+# within 5%, and that pvmtop ranks the seeded hot cache first and flags
+# the dead mapper Quarantined.
+cargo run --release -q -p chorus-bench --bin ablation_telemetry -- --json --quick |
+  tee BENCH_telemetry.json |
+  python3 -c '
+import json, sys
+out = json.load(sys.stdin)
+assert out["sim_identical"], out
+assert out["overhead_ok"], out
+assert out["hot_cache_first"] and out["sick_quarantined"], out
+print("ok: wall overhead %+.2f%%, hot cache first, sick mapper quarantined"
+      % ((out["overhead_ratio"] - 1) * 100))
+'
+
+step "pvmtop: snapshot renders and self-checks"
+cargo run --release -q -p chorus-bench --bin pvmtop -- --json |
+  python3 -c '
+import json, sys
+out = json.load(sys.stdin)
+assert out["hot_cache_first"] and out["sick_quarantined"], out
+assert out["top_caches"][0]["faults"] >= out["top_caches"][-1]["faults"], out
+print("ok: %d caches, %d mappers, hottest first" % (out["caches"], out["mappers"]))
+'
+
 step "release-mode concurrent_faults stress"
 cargo test --release -q -p chorus-pvm --test concurrent_faults
 
 step "tracing bit-identity: table5 with CHORUS_TRACE=1 vs committed report"
-tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
 CHORUS_TRACE=1 cargo run --release -q -p chorus-bench --bin table5 > "$tmp"
 diff -u reports/table5.txt "$tmp" ||
   { echo "FAIL: table5 output with tracing on differs from reports/table5.txt"; exit 1; }
 echo "ok"
+
+step "bench drift vs committed references (warn-only)"
+# Wall-clock fields move with the machine; this report surfaces the
+# deltas without failing the run. A missing reference just means the
+# bench is new this cycle.
+for f in BENCH_*.json; do
+  if [ -f "$refdir/$f" ]; then
+    python3 scripts/bench_diff.py "$refdir/$f" "$f" || true
+  else
+    echo "  $f: no committed reference (new bench)"
+  fi
+done
 
 printf '\nverify: all checks passed\n'
