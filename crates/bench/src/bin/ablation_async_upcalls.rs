@@ -22,7 +22,7 @@
 //!
 //! Usage: `cargo run --release -p chorus-bench --bin ablation_async_upcalls [--json] [--quick]`
 
-use chorus_bench::{json, PAGE};
+use chorus_bench::{assert_deterministic, bench_args, json, PAGE};
 use chorus_gmi::testing::MemSegmentManager;
 use chorus_gmi::{Gmi, Prot, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
@@ -133,47 +133,29 @@ fn run_config(shape: &Shape, engine: bool, max_inflight: u64) -> Row {
     }
 }
 
-/// Same seedless deterministic workload twice with the engine on: the
-/// simulated clock and every counter must agree bit for bit, including
-/// the completion-delivery counters.
-fn determinism_self_check(shape: &Shape) {
-    let a = run_config(shape, true, 4);
-    let b = run_config(shape, true, 4);
-    assert!(
-        a.sim_ms == b.sim_ms
-            && a.async_submits == b.async_submits
-            && a.async_deliveries == b.async_deliveries
-            && a.async_out_of_order == b.async_out_of_order
-            && a.evict_stalls == b.evict_stalls
-            && a.faults == b.faults,
-        "completion engine is not deterministic: \
-         ({} ms, {} submits, {} deliveries, {} ooo, {} stalls, {} faults) vs \
-         ({} ms, {} submits, {} deliveries, {} ooo, {} stalls, {} faults)",
-        a.sim_ms,
-        a.async_submits,
-        a.async_deliveries,
-        a.async_out_of_order,
-        a.evict_stalls,
-        a.faults,
-        b.sim_ms,
-        b.async_submits,
-        b.async_deliveries,
-        b.async_out_of_order,
-        b.evict_stalls,
-        b.faults,
-    );
-}
-
 fn main() {
-    let emit_json = std::env::args().any(|a| a == "--json");
-    let quick = std::env::args().any(|a| a == "--quick");
-    let shape = if quick { QUICK } else { FULL };
+    let args = bench_args();
+    let (emit_json, quick) = (args.json, args.quick);
+    let shape = args.shape(&FULL, &QUICK);
 
-    determinism_self_check(&shape);
+    // Same seedless deterministic workload twice with the engine on:
+    // the simulated clock and every counter must agree bit for bit,
+    // including the completion-delivery counters.
+    assert_deterministic("completion engine", || {
+        let r = run_config(shape, true, 4);
+        (
+            r.sim_ms.to_bits(),
+            r.async_submits,
+            r.async_deliveries,
+            r.async_out_of_order,
+            r.evict_stalls,
+            r.faults,
+        )
+    });
 
-    let mut rows = vec![run_config(&shape, false, 1)];
+    let mut rows = vec![run_config(shape, false, 1)];
     for &inflight in &INFLIGHT {
-        rows.push(run_config(&shape, true, inflight));
+        rows.push(run_config(shape, true, inflight));
     }
 
     let sync = &rows[0];

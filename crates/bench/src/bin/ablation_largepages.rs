@@ -22,7 +22,7 @@
 //!
 //! Usage: `cargo run --release -p chorus-bench --bin ablation_largepages [--json] [--quick]`
 
-use chorus_bench::{json, PAGE};
+use chorus_bench::{assert_deterministic, bench_args, json, PAGE};
 use chorus_gmi::testing::MemSegmentManager;
 use chorus_gmi::{Gmi, Prot, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
@@ -122,42 +122,26 @@ fn run_config(shape: &Shape, large_pages: bool) -> Row {
     }
 }
 
-/// Same seedless deterministic workload twice: the simulated clock and
-/// every counter must agree bit for bit.
-fn determinism_self_check(shape: &Shape) {
-    let a = run_config(shape, true);
-    let b = run_config(shape, true);
-    assert!(
-        a.sim_ms == b.sim_ms
-            && a.faults == b.faults
-            && a.promotions == b.promotions
-            && a.run_reserves == b.run_reserves
-            && a.large_tlb_hits == b.large_tlb_hits,
-        "large-page pipeline is not deterministic: \
-         ({} ms, {} faults, {} promotions, {} reserves, {} tlb hits) vs \
-         ({} ms, {} faults, {} promotions, {} reserves, {} tlb hits)",
-        a.sim_ms,
-        a.faults,
-        a.promotions,
-        a.run_reserves,
-        a.large_tlb_hits,
-        b.sim_ms,
-        b.faults,
-        b.promotions,
-        b.run_reserves,
-        b.large_tlb_hits,
-    );
-}
-
 fn main() {
-    let emit_json = std::env::args().any(|a| a == "--json");
-    let quick = std::env::args().any(|a| a == "--quick");
-    let shape = if quick { QUICK } else { FULL };
+    let args = bench_args();
+    let (emit_json, quick) = (args.json, args.quick);
+    let shape = args.shape(&FULL, &QUICK);
 
-    determinism_self_check(&shape);
+    // Same seedless deterministic workload twice: the simulated clock
+    // and every counter must agree bit for bit.
+    assert_deterministic("large-page pipeline", || {
+        let r = run_config(shape, true);
+        (
+            r.sim_ms.to_bits(),
+            r.faults,
+            r.promotions,
+            r.run_reserves,
+            r.large_tlb_hits,
+        )
+    });
 
-    let off = run_config(&shape, false);
-    let on = run_config(&shape, true);
+    let off = run_config(shape, false);
+    let on = run_config(shape, true);
 
     // The headline claims, asserted so regressions fail loudly.
     assert!(

@@ -30,7 +30,7 @@
 //!
 //! Usage: `cargo run --release -p chorus-bench --bin ablation_pressure [--json] [--quick]`
 
-use chorus_bench::{json, PAGE};
+use chorus_bench::{assert_deterministic, bench_args, json, PAGE};
 use chorus_gmi::{Gmi, GmiError, Prot, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_nucleus::{FaultPlan, FaultyMapper, MemMapper, NucleusSegmentManager, PortName};
@@ -276,36 +276,26 @@ fn oom_scenario() -> OomOutcome {
 }
 
 fn main() {
-    let emit_json = std::env::args().any(|a| a == "--json");
-    let quick = std::env::args().any(|a| a == "--quick");
-    let shape = if quick { QUICK } else { FULL };
+    let args = bench_args();
+    let (emit_json, quick) = (args.json, args.quick);
+    let shape = args.shape(&FULL, &QUICK);
 
     // Determinism self-check: the watchdog path must be bit-identical.
-    let a = run_config(&shape, "selfcheck", true, true, false);
-    let b = run_config(&shape, "selfcheck", true, true, false);
-    assert!(
-        a.sim_ms == b.sim_ms
-            && a.client_errors == b.client_errors
-            && a.watchdog_cancels == b.watchdog_cancels
-            && a.faults == b.faults,
-        "pressure layer is not deterministic: \
-         ({} ms, {} errors, {} cancels, {} faults) vs \
-         ({} ms, {} errors, {} cancels, {} faults)",
-        a.sim_ms,
-        a.client_errors,
-        a.watchdog_cancels,
-        a.faults,
-        b.sim_ms,
-        b.client_errors,
-        b.watchdog_cancels,
-        b.faults,
-    );
+    assert_deterministic("pressure layer", || {
+        let r = run_config(shape, "selfcheck", true, true, false);
+        (
+            r.sim_ms.to_bits(),
+            r.client_errors,
+            r.watchdog_cancels,
+            r.faults,
+        )
+    });
 
     let rows = vec![
-        run_config(&shape, "healthy baseline", false, false, false),
-        run_config(&shape, "hang, bare engine", true, false, false),
-        run_config(&shape, "hang + watchdog", true, true, false),
-        run_config(&shape, "hang + watchdog + backpressure", true, true, true),
+        run_config(shape, "healthy baseline", false, false, false),
+        run_config(shape, "hang, bare engine", true, false, false),
+        run_config(shape, "hang + watchdog", true, true, false),
+        run_config(shape, "hang + watchdog + backpressure", true, true, true),
     ];
     let baseline = &rows[0];
     let bare = &rows[1];

@@ -20,7 +20,7 @@
 //!
 //! Usage: `cargo run --release -p chorus-bench --bin ablation_writeback [--json] [--quick]`
 
-use chorus_bench::{json, PAGE};
+use chorus_bench::{assert_deterministic, bench_args, json, PAGE};
 use chorus_gmi::testing::MemSegmentManager;
 use chorus_gmi::{Gmi, Prot, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
@@ -119,44 +119,28 @@ fn run_config(shape: &Shape, cluster: u64, daemon: bool) -> Row {
     }
 }
 
-/// Same seedless deterministic workload twice: the simulated clock and
-/// every counter must agree bit for bit (tracing is on in both runs).
-fn determinism_self_check(shape: &Shape) {
-    let a = run_config(shape, 4, true);
-    let b = run_config(shape, 4, true);
-    assert!(
-        a.sim_ms == b.sim_ms
-            && a.pushout_upcalls == b.pushout_upcalls
-            && a.pages_cleaned == b.pages_cleaned
-            && a.evict_stalls == b.evict_stalls
-            && a.faults == b.faults,
-        "writeback pipeline is not deterministic: \
-         ({} ms, {} upcalls, {} cleaned, {} stalls, {} faults) vs \
-         ({} ms, {} upcalls, {} cleaned, {} stalls, {} faults)",
-        a.sim_ms,
-        a.pushout_upcalls,
-        a.pages_cleaned,
-        a.evict_stalls,
-        a.faults,
-        b.sim_ms,
-        b.pushout_upcalls,
-        b.pages_cleaned,
-        b.evict_stalls,
-        b.faults,
-    );
-}
-
 fn main() {
-    let emit_json = std::env::args().any(|a| a == "--json");
-    let quick = std::env::args().any(|a| a == "--quick");
-    let shape = if quick { QUICK } else { FULL };
+    let args = bench_args();
+    let (emit_json, quick) = (args.json, args.quick);
+    let shape = args.shape(&FULL, &QUICK);
 
-    determinism_self_check(&shape);
+    // The simulated clock and every counter must agree bit for bit
+    // across reruns (tracing is on in both).
+    assert_deterministic("writeback pipeline", || {
+        let r = run_config(shape, 4, true);
+        (
+            r.sim_ms.to_bits(),
+            r.pushout_upcalls,
+            r.pages_cleaned,
+            r.evict_stalls,
+            r.faults,
+        )
+    });
 
     let mut rows = Vec::new();
     for &daemon in &[false, true] {
         for &cluster in &CLUSTERS {
-            rows.push(run_config(&shape, cluster, daemon));
+            rows.push(run_config(shape, cluster, daemon));
         }
     }
 

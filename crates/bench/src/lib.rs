@@ -272,6 +272,72 @@ pub mod json {
     }
 }
 
+/// The common CLI every bench binary shares: `--json` switches to the
+/// machine-readable envelope, `--quick` selects the reduced CI shape,
+/// and bin-specific flags are inspected with [`BenchArgs::flag`] /
+/// [`BenchArgs::value`].
+pub struct BenchArgs {
+    /// Emit the JSON envelope instead of human-readable text.
+    pub json: bool,
+    /// Run the reduced shape (CI smoke).
+    pub quick: bool,
+    args: Vec<String>,
+}
+
+/// Parses the process arguments into a [`BenchArgs`].
+pub fn bench_args() -> BenchArgs {
+    BenchArgs::parse(std::env::args().skip(1))
+}
+
+impl BenchArgs {
+    /// Parses an explicit argument list (tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> BenchArgs {
+        let args: Vec<String> = args.into_iter().collect();
+        BenchArgs {
+            json: args.iter().any(|a| a == "--json"),
+            quick: args.iter().any(|a| a == "--quick"),
+            args,
+        }
+    }
+
+    /// Whether a bare flag (e.g. `--verbose`) is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The operand following a valued flag (`--threads 4`), if any.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        let at = self.args.iter().position(|a| a == name)?;
+        self.args.get(at + 1).map(String::as_str)
+    }
+
+    /// Selects between a full and a quick shape.
+    pub fn shape<'a, T>(&self, full: &'a T, quick: &'a T) -> &'a T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Runs the same seedless deterministic scenario twice and asserts the
+/// extracted fingerprints (simulated clock, counters — anything
+/// `PartialEq`) agree bit for bit. The shared self-check the ablation
+/// binaries run before measuring: a benchmark whose workload is not
+/// reproducible is reporting noise.
+pub fn assert_deterministic<K: PartialEq + std::fmt::Debug>(
+    what: &str,
+    mut run: impl FnMut() -> K,
+) {
+    let a = run();
+    let b = run();
+    assert!(
+        a == b,
+        "{what} is not deterministic:\n  first:  {a:?}\n  second: {b:?}"
+    );
+}
+
 /// Runs one measured closure, returning simulated ms + wall-clock µs.
 pub fn measure<G: Gmi>(world: &World<G>, mut f: impl FnMut()) -> Cell {
     // Warm once (allocator paths), then measure the average of ITERS.
@@ -448,6 +514,37 @@ pub fn filled_cache<G: Gmi>(world: &World<G>, pages: u64, tag: u8) -> CacheId {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_args_parse_flags_and_values() {
+        let a = BenchArgs::parse(
+            ["--json", "--threads", "4", "--verbose"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(a.json);
+        assert!(!a.quick);
+        assert!(a.flag("--verbose"));
+        assert_eq!(a.value("--threads"), Some("4"));
+        assert_eq!(a.value("--missing"), None);
+        let full = 10u64;
+        let quick = 2u64;
+        assert_eq!(*a.shape(&full, &quick), 10);
+        assert_eq!(
+            *BenchArgs::parse(["--quick".to_string()]).shape(&full, &quick),
+            2
+        );
+    }
+
+    #[test]
+    fn assert_deterministic_accepts_stable_runs() {
+        let mut n = 0u64;
+        assert_deterministic("counter", || {
+            n += 1;
+            42u64
+        });
+        assert_eq!(n, 2, "the self-check runs the scenario twice");
+    }
 
     #[test]
     fn table6_pvm_matches_paper_within_tolerance() {

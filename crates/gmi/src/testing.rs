@@ -58,13 +58,23 @@ pub enum Upcall {
     },
 }
 
+/// Segments hold their bytes behind individual locks so concurrent
+/// upcalls against *different* segments copy data in parallel: the
+/// manager-wide lock covers only the id table, the upcall log and the
+/// fault-injection flags, never a byte copy.
 #[derive(Default)]
 struct Inner {
-    segments: HashMap<SegmentId, Vec<u8>>,
+    segments: HashMap<SegmentId, Arc<Mutex<Vec<u8>>>>,
     next_id: u64,
     log: Vec<Upcall>,
     fail_next_pull: bool,
     deny_write_access: bool,
+}
+
+impl Inner {
+    fn segment(&mut self, id: SegmentId) -> Arc<Mutex<Vec<u8>>> {
+        self.segments.entry(id).or_default().clone()
+    }
 }
 
 /// An in-memory, sparse, logging segment manager.
@@ -85,7 +95,9 @@ impl MemSegmentManager {
         let mut inner = self.inner.lock();
         inner.next_id += 1;
         let id = SegmentId(inner.next_id);
-        inner.segments.insert(id, data.to_vec());
+        inner
+            .segments
+            .insert(id, Arc::new(Mutex::new(data.to_vec())));
         id
     }
 
@@ -95,12 +107,15 @@ impl MemSegmentManager {
     ///
     /// Panics if the segment does not exist.
     pub fn segment_data(&self, segment: SegmentId) -> Vec<u8> {
-        self.inner
+        let data = self
+            .inner
             .lock()
             .segments
             .get(&segment)
             .expect("unknown segment")
-            .clone()
+            .clone();
+        let out = data.lock().clone();
+        out
     }
 
     /// Returns and clears the upcall log.
@@ -138,8 +153,8 @@ impl MemSegmentManager {
     }
 
     fn read_sparse(&self, segment: SegmentId, offset: u64, size: u64) -> Result<Vec<u8>> {
-        let mut inner = self.inner.lock();
-        let data = inner.segments.entry(segment).or_default();
+        let cell = self.inner.lock().segment(segment);
+        let data = cell.lock();
         let mut out = vec![0u8; size as usize];
         let len = data.len() as u64;
         if offset < len {
@@ -150,8 +165,8 @@ impl MemSegmentManager {
     }
 
     fn write_sparse(&self, segment: SegmentId, offset: u64, bytes: &[u8]) {
-        let mut inner = self.inner.lock();
-        let data = inner.segments.entry(segment).or_default();
+        let cell = self.inner.lock().segment(segment);
+        let mut data = cell.lock();
         let end = offset as usize + bytes.len();
         if data.len() < end {
             data.resize(end, 0);
@@ -233,7 +248,7 @@ impl SegmentManager for MemSegmentManager {
         let mut inner = self.inner.lock();
         inner.next_id += 1;
         let id = SegmentId(inner.next_id);
-        inner.segments.insert(id, Vec::new());
+        inner.segments.insert(id, Arc::default());
         inner.log.push(Upcall::SegmentCreate { cache, segment: id });
         id
     }

@@ -167,6 +167,27 @@ pub struct PvmConfig {
     /// to multiples of this period on the simulated clock. Must be at
     /// least 1 when [`PvmConfig::telemetry`] is on.
     pub telemetry_sample_ns: u64,
+    /// Parallel hard-fault engine: decompose the PVM into independently
+    /// lockable domains (per-cache fault stripes over the global-map
+    /// hash, a physical-tier lock around the buddy allocator, one
+    /// translation lock around the MMU) so hard faults to *disjoint*
+    /// caches pull, fill and map concurrently — the faulting thread
+    /// holds only its cache's stripe across the pull, and `fillUp`
+    /// copies the delivered bytes into landing frames outside every
+    /// domain lock. Off by default: all work then funnels through the
+    /// classic single state mutex and the evaluation tables are
+    /// bit-identical. The striped driver engages only when
+    /// [`PvmConfig::async_upcalls`] is off (the completion engine has
+    /// its own source of concurrency); the knob is inert, not invalid,
+    /// with the engine on.
+    ///
+    /// Setting the `CHORUS_PARALLEL_FAULTS` environment variable to
+    /// anything but `0` or the empty string flips the *default* to on,
+    /// so whole existing test suites can be swept knob-on
+    /// (`CHORUS_PARALLEL_FAULTS=1 cargo test`) without editing every
+    /// config literal. Explicit assignments and builder calls still
+    /// win over the environment.
+    pub parallel_faults: bool,
 }
 
 impl Default for PvmConfig {
@@ -202,8 +223,17 @@ impl Default for PvmConfig {
             promote_threshold_pages: 256,
             telemetry: false,
             telemetry_sample_ns: 1_000_000,
+            parallel_faults: parallel_faults_env(),
         }
     }
+}
+
+/// Environment override for the [`PvmConfig::parallel_faults`] default:
+/// `CHORUS_PARALLEL_FAULTS` set to anything but `0`/empty turns the
+/// knob on for every default-constructed config, enabling knob-on
+/// sweeps of unmodified test suites.
+fn parallel_faults_env() -> bool {
+    std::env::var_os("CHORUS_PARALLEL_FAULTS").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 impl PvmConfig {
@@ -300,6 +330,8 @@ impl PvmConfigBuilder {
         telemetry: bool,
         /// See [`PvmConfig::telemetry_sample_ns`].
         telemetry_sample_ns: u64,
+        /// See [`PvmConfig::parallel_faults`].
+        parallel_faults: bool,
     }
 
     /// Validates the assembled configuration.
@@ -414,6 +446,9 @@ mod tests {
         );
         assert!(!c.telemetry, "dimensional telemetry is opt-in");
         assert_eq!(c.telemetry_sample_ns, 1_000_000, "1 ms sim cadence");
+        if std::env::var_os("CHORUS_PARALLEL_FAULTS").is_none() {
+            assert!(!c.parallel_faults, "parallel hard faults are opt-in");
+        }
     }
 
     #[test]
@@ -434,6 +469,7 @@ mod tests {
             .oom_killer(true)
             .telemetry(true)
             .telemetry_sample_ns(500_000)
+            .parallel_faults(true)
             .build()
             .expect("valid config");
         assert_eq!(c.pull_cluster_pages, 4);
@@ -445,6 +481,10 @@ mod tests {
         assert!(c.oom_killer);
         assert!(c.telemetry);
         assert_eq!(c.telemetry_sample_ns, 500_000);
+        assert!(
+            c.parallel_faults,
+            "parallel_faults composes with the async engine (inert, not invalid)"
+        );
     }
 
     #[test]

@@ -115,7 +115,7 @@ impl PvmState {
             let Some(cd) = self.contexts.get(ctx) else {
                 panic!("fast-path entry for dead context {ctx:?}");
             };
-            let Some((frame, prot)) = self.mmu.query(cd.mmu_ctx, vpn) else {
+            let Some((frame, prot)) = self.mmu.lock().query(cd.mmu_ctx, vpn) else {
                 panic!("fast-path entry ({ctx:?},{vpn:?}) without MMU mapping");
             };
             assert_eq!(e.frame, frame, "fast-path frame mismatch at {vpn:?}");
@@ -216,7 +216,7 @@ impl PvmState {
             }
             for m in &p.mappings {
                 let ctx = self.contexts.get(m.ctx).expect("mapping into dead context");
-                let entry = self.mmu.query(ctx.mmu_ctx, m.vpn);
+                let entry = self.mmu.lock().query(ctx.mmu_ctx, m.vpn);
                 assert_eq!(
                     entry.map(|(f, _)| f),
                     Some(p.frame),
@@ -264,9 +264,9 @@ impl PvmState {
 
     fn check_frames(&self) {
         assert_eq!(
-            self.phys.stats().in_use as usize,
-            self.pages.len() + self.reserved_frames.len(),
-            "allocated frames != live pages + reserved pull frames"
+            self.phys.lock().stats().in_use as usize,
+            self.pages.len() + self.reserved_frames.len() + self.landing.len(),
+            "allocated frames != live pages + reserved pull frames + landing frames"
         );
         assert_eq!(
             self.frame_owner.len(),
@@ -275,20 +275,32 @@ impl PvmState {
         );
         for (&f, &p) in &self.frame_owner {
             assert!(
-                self.phys.is_allocated(chorus_hal::FrameNo(f)),
+                self.phys.lock().is_allocated(chorus_hal::FrameNo(f)),
                 "frame_owner lists unallocated frame {f}"
             );
             assert!(self.pages.contains(p), "frame_owner lists dead page");
         }
         for (&(cache, off), &f) in &self.reserved_frames {
             assert!(
-                self.phys.is_allocated(f),
+                self.phys.lock().is_allocated(f),
                 "reserved frame {} for ({cache:?},{off:#x}) not allocated",
                 f.0
             );
             assert!(
                 !self.frame_owner.contains_key(&f.0),
                 "reserved frame {} already owned by a page",
+                f.0
+            );
+        }
+        for (&(cache, off), &f) in &self.landing {
+            assert!(
+                self.phys.lock().is_allocated(f),
+                "landing frame {} for ({cache:?},{off:#x}) not allocated",
+                f.0
+            );
+            assert!(
+                !self.frame_owner.contains_key(&f.0),
+                "landing frame {} already owned by a page",
                 f.0
             );
         }
@@ -305,7 +317,7 @@ impl PvmState {
                 .get(rec.ctx)
                 .unwrap_or_else(|| panic!("large map for dead context {:?}", rec.ctx));
             assert!(
-                self.mmu.has_large_mapping(ctx.mmu_ctx, rec.lvpn),
+                self.mmu.lock().has_large_mapping(ctx.mmu_ctx, rec.lvpn),
                 "promotion record without MMU large mapping at lvpn {}",
                 rec.lvpn.0
             );

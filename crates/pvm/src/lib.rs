@@ -31,6 +31,7 @@ mod config;
 mod copy;
 mod debug;
 mod descriptors;
+mod domains;
 mod engine;
 mod fastpath;
 mod fault;
@@ -38,6 +39,8 @@ mod gmap;
 mod history;
 mod keys;
 mod large;
+#[cfg(test)]
+mod modelcheck;
 mod pageout;
 mod perpage;
 mod pvm;
@@ -52,7 +55,7 @@ pub mod trace;
 pub use config::{PvmConfig, PvmConfigBuilder};
 pub use debug::{CacheDump, SlotDump, TreeDump};
 pub use pvm::{MmuChoice, Pvm, PvmOptions};
-pub use pvmtop::{CacheHeat, MapperHealth, MapperState, PhaseLatency, PvmTop};
+pub use pvmtop::{CacheHeat, DomainHeat, MapperHealth, MapperState, PhaseLatency, PvmTop};
 pub use stats::{Counter, PvmStats, StatsRegistry};
 pub use telemetry::{Dim, DimCounter, Telemetry, TelemetrySample};
 pub use trace::{TraceConfig, TraceSink, Tracer};

@@ -1,0 +1,555 @@
+//! Bounded-interleaving model checking of the cross-domain protocols
+//! (DESIGN.md §7), in lieu of a vendored `loom`.
+//!
+//! The two protocols whose correctness depends on *ordering between
+//! lock domains* — not on any single mutex — are modeled as small
+//! state machines and checked exhaustively over every interleaving of
+//! their atomic steps:
+//!
+//! 1. **Fast-path generation validation vs invalidation** — the
+//!    lock-free soft-fault path reads a `(frame, generation)` entry
+//!    from the sharded fast table and uses the frame, while an
+//!    invalidation (flush, eviction, protection change) removes the
+//!    entry, bumps the generation and frees the frame. Safety: the
+//!    reader must never touch a frame after it was freed. The real
+//!    code gets this from the shard lock (validate-and-use is one
+//!    critical section; invalidators unhook under the shard's write
+//!    lock *before* the frame dies), and the two buggy variants below
+//!    confirm the checker actually sees the race when either half of
+//!    that discipline is dropped.
+//!
+//! 2. **Stub wait/wake across two lock domains** — a faulting thread
+//!    that holds its cache's *fault stripe* finds a `Sync` stub under
+//!    the *state lock*, releases the state lock and sleeps on the stub
+//!    condvar; the filler needs only the state lock (never the
+//!    waiter's stripe) to publish the page and wake. Safety: no lost
+//!    wakeup and no deadlock, even though the waiter keeps its stripe
+//!    for the whole wait. The buggy variant splits the condvar's
+//!    atomic release-and-register to show the checker catches the
+//!    classic lost-wakeup deadlock.
+//!
+//! The checker itself is a plain DFS over `(shared, locals, pcs)`
+//! configurations with memoization and a hard state cap — deliberately
+//! tiny, deterministic, and dependency-free. A step that returns
+//! [`Outcome::Block`] is discarded (the explorer steps a *clone* of
+//! the configuration), so blocked probes are side-effect-free by
+//! construction. Reaching no runnable thread with work outstanding is
+//! reported as a deadlock; a `violation` predicate over the shared
+//! state reports safety failures, each with the full schedule that
+//! produced it.
+
+#![allow(clippy::type_complexity)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Result of one atomic step of a modeled thread.
+enum Outcome {
+    /// Advance to the next program counter.
+    Next,
+    /// Jump to an explicit program counter (loops, retries).
+    Goto(usize),
+    /// Cannot run in this configuration (lock held, no wake pending).
+    /// The explorer discards the attempted step.
+    Block,
+    /// Thread finished.
+    Done,
+}
+
+/// One modeled thread: a name for traces and a pure step function
+/// `(shared, local, pc) -> Outcome`.
+struct ThreadModel<S, L> {
+    name: &'static str,
+    local: L,
+    step: fn(&mut S, &mut L, usize) -> Outcome,
+}
+
+/// What an exhaustive run explored (for non-vacuity asserts).
+#[derive(Debug)]
+struct Report {
+    states: usize,
+}
+
+/// Hard cap on explored configurations: these models have dozens of
+/// reachable states, so hitting the cap means a model regression, not
+/// a big model.
+const MAX_STATES: usize = 100_000;
+
+/// Exhaustively explores every interleaving from the initial
+/// configuration. Returns a violation or deadlock as `Err` with the
+/// schedule that reached it.
+fn explore<S, L>(
+    shared: S,
+    threads: Vec<ThreadModel<S, L>>,
+    violation: fn(&S) -> Option<&'static str>,
+) -> Result<Report, String>
+where
+    S: Clone + Eq + Hash,
+    L: Clone + Eq + Hash,
+{
+    let steps: Vec<(&'static str, fn(&mut S, &mut L, usize) -> Outcome)> =
+        threads.iter().map(|t| (t.name, t.step)).collect();
+    let init: (S, Vec<(L, usize, bool)>) = (
+        shared,
+        threads.into_iter().map(|t| (t.local, 0, false)).collect(),
+    );
+    let mut visited = HashSet::new();
+    let mut report = Report { states: 0 };
+    let mut trace = Vec::new();
+    dfs(
+        init,
+        &steps,
+        violation,
+        &mut visited,
+        &mut trace,
+        &mut report,
+    )?;
+    Ok(report)
+}
+
+fn dfs<S, L>(
+    cfg: (S, Vec<(L, usize, bool)>),
+    steps: &[(&'static str, fn(&mut S, &mut L, usize) -> Outcome)],
+    violation: fn(&S) -> Option<&'static str>,
+    visited: &mut HashSet<(S, Vec<(L, usize, bool)>)>,
+    trace: &mut Vec<String>,
+    report: &mut Report,
+) -> Result<(), String>
+where
+    S: Clone + Eq + Hash,
+    L: Clone + Eq + Hash,
+{
+    if !visited.insert(cfg.clone()) {
+        return Ok(());
+    }
+    report.states += 1;
+    assert!(
+        report.states <= MAX_STATES,
+        "model exceeded {MAX_STATES} states — the model, not the bound, is wrong"
+    );
+    if let Some(what) = violation(&cfg.0) {
+        return Err(format!(
+            "violation: {what}\n  schedule: {}",
+            trace.join(" -> ")
+        ));
+    }
+    let mut ran_any = false;
+    let mut all_done = true;
+    for i in 0..cfg.1.len() {
+        if cfg.1[i].2 {
+            continue;
+        }
+        all_done = false;
+        let (name, step) = steps[i];
+        let mut next = cfg.clone();
+        let pc = next.1[i].1;
+        match step(&mut next.0, &mut next.1[i].0, pc) {
+            Outcome::Block => continue,
+            Outcome::Next => next.1[i].1 = pc + 1,
+            Outcome::Goto(p) => next.1[i].1 = p,
+            Outcome::Done => next.1[i].2 = true,
+        }
+        ran_any = true;
+        trace.push(format!("{name}@{pc}"));
+        let res = dfs(next, steps, violation, visited, trace, report);
+        trace.pop();
+        res?;
+    }
+    if !ran_any && !all_done {
+        let stuck: Vec<_> = cfg
+            .1
+            .iter()
+            .zip(steps)
+            .filter(|(t, _)| !t.2)
+            .map(|(t, (name, _))| format!("{name}@{}", t.1))
+            .collect();
+        return Err(format!(
+            "deadlock: {} blocked\n  schedule: {}",
+            stuck.join(", "),
+            trace.join(" -> ")
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------
+// Model 1: fast-path generation validation vs invalidation.
+// ---------------------------------------------------------------
+
+/// Shared state of the fast-path race: one page, one fast-table shard.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct FastShared {
+    /// The shard lock guarding the fast-table entry (the reader's read
+    /// lock is modeled as exclusive — conservative, since the race of
+    /// interest is reader-vs-invalidator, not reader-vs-reader).
+    shard_locked: bool,
+    /// The fast-table entry: the generation it was installed at.
+    entry: Option<u32>,
+    /// The page's current generation (state-lock truth).
+    cur_gen: u32,
+    /// Whether the frame still belongs to this page.
+    frame_live: bool,
+    /// Set by the reader if it ever touches a dead frame.
+    used_after_free: bool,
+}
+
+impl FastShared {
+    fn init() -> Self {
+        FastShared {
+            shard_locked: false,
+            entry: Some(0),
+            cur_gen: 0,
+            frame_live: true,
+            used_after_free: false,
+        }
+    }
+}
+
+fn fast_violation(s: &FastShared) -> Option<&'static str> {
+    s.used_after_free
+        .then_some("fast path used a frame after it was freed")
+}
+
+/// The implemented reader: validate *and* use under one shard-lock
+/// critical section.
+fn reader_locked(s: &mut FastShared, _l: &mut (), pc: usize) -> Outcome {
+    match pc {
+        0 => {
+            if s.shard_locked {
+                return Outcome::Block;
+            }
+            s.shard_locked = true;
+            Outcome::Next
+        }
+        1 => match s.entry {
+            Some(g) if g == s.cur_gen => Outcome::Next,
+            _ => {
+                // Miss or stale: release and take the slow path.
+                s.shard_locked = false;
+                Outcome::Done
+            }
+        },
+        2 => {
+            if !s.frame_live {
+                s.used_after_free = true;
+            }
+            s.shard_locked = false;
+            Outcome::Done
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Buggy reader: validates under the lock but uses the frame after
+/// releasing it — the window the shard lock exists to close.
+fn reader_unlocked_use(s: &mut FastShared, _l: &mut (), pc: usize) -> Outcome {
+    match pc {
+        0 => {
+            if s.shard_locked {
+                return Outcome::Block;
+            }
+            s.shard_locked = true;
+            Outcome::Next
+        }
+        1 => match s.entry {
+            Some(g) if g == s.cur_gen => {
+                s.shard_locked = false;
+                Outcome::Next
+            }
+            _ => {
+                s.shard_locked = false;
+                Outcome::Done
+            }
+        },
+        2 => {
+            if !s.frame_live {
+                s.used_after_free = true;
+            }
+            Outcome::Done
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// The implemented invalidator: unhook the entry and bump the
+/// generation under the shard lock, and only then free the frame.
+fn invalidator_ordered(s: &mut FastShared, _l: &mut (), pc: usize) -> Outcome {
+    match pc {
+        0 => {
+            if s.shard_locked {
+                return Outcome::Block;
+            }
+            s.shard_locked = true;
+            Outcome::Next
+        }
+        1 => {
+            s.entry = None;
+            s.cur_gen += 1;
+            s.shard_locked = false;
+            Outcome::Next
+        }
+        2 => {
+            s.frame_live = false;
+            Outcome::Done
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Buggy invalidator: frees the frame first, unhooks second — the
+/// cross-domain ordering DESIGN.md §7 forbids.
+fn invalidator_free_first(s: &mut FastShared, _l: &mut (), pc: usize) -> Outcome {
+    match pc {
+        0 => {
+            s.frame_live = false;
+            Outcome::Next
+        }
+        1 => {
+            if s.shard_locked {
+                return Outcome::Block;
+            }
+            s.shard_locked = true;
+            Outcome::Next
+        }
+        2 => {
+            s.entry = None;
+            s.cur_gen += 1;
+            s.shard_locked = false;
+            Outcome::Done
+        }
+        _ => unreachable!(),
+    }
+}
+
+// ---------------------------------------------------------------
+// Model 2: stub wait/wake across the stripe and state domains.
+// ---------------------------------------------------------------
+
+/// Shared state of the stub handoff: one `Sync` stub on cache 0, the
+/// state lock, and the waiter's fault stripe (held for the whole
+/// episode — the point of the model is that the filler never needs
+/// it).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct StubShared {
+    state_locked: bool,
+    /// The waiter's cache stripe. Acquired before the model starts and
+    /// asserted to stay held: the filler must complete regardless.
+    stripe_held: bool,
+    /// false = `Sync` stub in the slot, true = page published.
+    slot_present: bool,
+    /// Condvar waiters registered on the stub.
+    waiters: u8,
+    /// Pending wake permits.
+    wakes: u8,
+}
+
+impl StubShared {
+    fn init() -> Self {
+        StubShared {
+            state_locked: false,
+            stripe_held: true,
+            slot_present: false,
+            waiters: 0,
+            wakes: 0,
+        }
+    }
+}
+
+fn stub_violation(s: &StubShared) -> Option<&'static str> {
+    (!s.stripe_held).then_some("waiter dropped its stripe mid-fault")
+}
+
+/// The implemented waiter: check the slot under the state lock;
+/// `Sync` means register-and-release *atomically* (condvar wait
+/// semantics), then sleep until a wake permit arrives and recheck.
+fn waiter_atomic(s: &mut StubShared, _l: &mut (), pc: usize) -> Outcome {
+    match pc {
+        0 => {
+            if s.state_locked {
+                return Outcome::Block;
+            }
+            s.state_locked = true;
+            Outcome::Next
+        }
+        1 => {
+            if s.slot_present {
+                s.state_locked = false;
+                return Outcome::Done;
+            }
+            // Condvar wait: registering the waiter and releasing the
+            // mutex are one atomic action.
+            s.waiters += 1;
+            s.state_locked = false;
+            Outcome::Next
+        }
+        2 => {
+            if s.wakes == 0 {
+                return Outcome::Block;
+            }
+            s.wakes -= 1;
+            s.waiters -= 1;
+            Outcome::Goto(0)
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Buggy waiter: releases the state lock, *then* registers — the
+/// filler can slip into the gap and its wake is lost.
+fn waiter_split(s: &mut StubShared, _l: &mut (), pc: usize) -> Outcome {
+    match pc {
+        0 => {
+            if s.state_locked {
+                return Outcome::Block;
+            }
+            s.state_locked = true;
+            Outcome::Next
+        }
+        1 => {
+            if s.slot_present {
+                s.state_locked = false;
+                return Outcome::Done;
+            }
+            s.state_locked = false;
+            Outcome::Next
+        }
+        2 => {
+            s.waiters += 1;
+            Outcome::Next
+        }
+        3 => {
+            if s.wakes == 0 {
+                return Outcome::Block;
+            }
+            s.wakes -= 1;
+            s.waiters -= 1;
+            Outcome::Goto(0)
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// The filler: publish the page and notify under the state lock alone.
+/// It never looks at `stripe_held` — completing while the waiter keeps
+/// its stripe *is* the cross-domain property.
+fn filler(s: &mut StubShared, _l: &mut (), pc: usize) -> Outcome {
+    match pc {
+        0 => {
+            if s.state_locked {
+                return Outcome::Block;
+            }
+            s.state_locked = true;
+            Outcome::Next
+        }
+        1 => {
+            s.slot_present = true;
+            s.wakes += s.waiters;
+            s.state_locked = false;
+            Outcome::Done
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_threads(
+        reader: fn(&mut FastShared, &mut (), usize) -> Outcome,
+        invalidator: fn(&mut FastShared, &mut (), usize) -> Outcome,
+    ) -> Vec<ThreadModel<FastShared, ()>> {
+        vec![
+            ThreadModel {
+                name: "reader",
+                local: (),
+                step: reader,
+            },
+            ThreadModel {
+                name: "invalidator",
+                local: (),
+                step: invalidator,
+            },
+        ]
+    }
+
+    #[test]
+    fn fastpath_generation_protocol_is_safe() {
+        let report = explore(
+            FastShared::init(),
+            fast_threads(reader_locked, invalidator_ordered),
+            fast_violation,
+        )
+        .expect("the implemented protocol must survive every interleaving");
+        assert!(
+            report.states > 10,
+            "model vacuously small: {}",
+            report.states
+        );
+    }
+
+    #[test]
+    fn fastpath_use_outside_shard_lock_is_caught() {
+        let err = explore(
+            FastShared::init(),
+            fast_threads(reader_unlocked_use, invalidator_ordered),
+            fast_violation,
+        )
+        .expect_err("validate-then-use outside the shard lock must race");
+        assert!(err.contains("after it was freed"), "{err}");
+    }
+
+    #[test]
+    fn fastpath_freeing_before_unhooking_is_caught() {
+        let err = explore(
+            FastShared::init(),
+            fast_threads(reader_locked, invalidator_free_first),
+            fast_violation,
+        )
+        .expect_err("freeing the frame before unhooking the entry must race");
+        assert!(err.contains("after it was freed"), "{err}");
+    }
+
+    fn stub_threads(
+        waiter: fn(&mut StubShared, &mut (), usize) -> Outcome,
+    ) -> Vec<ThreadModel<StubShared, ()>> {
+        vec![
+            ThreadModel {
+                name: "waiter",
+                local: (),
+                step: waiter,
+            },
+            ThreadModel {
+                name: "filler",
+                local: (),
+                step: filler,
+            },
+        ]
+    }
+
+    #[test]
+    fn stub_wait_wake_never_loses_a_wakeup() {
+        let report = explore(
+            StubShared::init(),
+            stub_threads(waiter_atomic),
+            stub_violation,
+        )
+        .expect("atomic register-and-release must terminate in every interleaving");
+        assert!(
+            report.states > 5,
+            "model vacuously small: {}",
+            report.states
+        );
+    }
+
+    #[test]
+    fn stub_wait_with_split_release_deadlocks() {
+        let err = explore(
+            StubShared::init(),
+            stub_threads(waiter_split),
+            stub_violation,
+        )
+        .expect_err("a lost wakeup must surface as a deadlock");
+        assert!(err.contains("deadlock"), "{err}");
+    }
+}

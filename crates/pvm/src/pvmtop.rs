@@ -41,6 +41,11 @@ pub struct CacheHeat {
     pub evictions: u64,
     /// Sequential-stream readahead window hits.
     pub readahead_hits: u64,
+    /// Fault-stripe acquisitions for this cache (`parallel_faults`).
+    pub lock_acqs: u64,
+    /// Fault-stripe acquisitions that had to block — the cache's
+    /// "lock heat".
+    pub lock_contended: u64,
     /// Resident pages right now.
     pub resident_pages: u64,
     /// Dirty resident pages right now.
@@ -126,6 +131,18 @@ impl PhaseLatency {
     }
 }
 
+/// One lock domain's global acquisition/contention totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainHeat {
+    /// Stable domain label (`state`, `phys`, `trans`, `stripe`,
+    /// `gmap`).
+    pub domain: &'static str,
+    /// Total acquisitions.
+    pub acqs: u64,
+    /// Acquisitions that missed the uncontended try-lock.
+    pub contended: u64,
+}
+
 /// The full `pvmtop` snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PvmTop {
@@ -143,6 +160,9 @@ pub struct PvmTop {
     /// Live slots per global-map stripe, ascending shard order (a
     /// skewed vector means one stripe convoys).
     pub gmap_shards: Vec<usize>,
+    /// Per-domain lock heat (state, phys, trans, fault stripes, gmap
+    /// shards), in a fixed order.
+    pub lock_domains: Vec<DomainHeat>,
 }
 
 impl PvmTop {
@@ -187,6 +207,8 @@ pub(crate) fn snapshot(state: &PvmState) -> PvmTop {
                 push_outs: dim(Dim::Cache, id, DimCounter::PushOuts),
                 evictions: dim(Dim::Cache, id, DimCounter::Evictions),
                 readahead_hits: dim(Dim::Cache, id, DimCounter::ReadaheadHits),
+                lock_acqs: dim(Dim::Cache, id, DimCounter::LockAcqs),
+                lock_contended: dim(Dim::Cache, id, DimCounter::LockContended),
                 resident_pages: res,
                 dirty_pages: dirty,
                 poisoned: desc.poisoned,
@@ -250,6 +272,26 @@ pub(crate) fn snapshot(state: &PvmState) -> PvmTop {
         .map(|&p| PhaseLatency::from_snapshot(p, &state.trace.histogram(p)))
         .collect();
 
+    let heat = |domain, acqs, contended| DomainHeat {
+        domain,
+        acqs: state.stats.get(acqs),
+        contended: state.stats.get(contended),
+    };
+    use crate::stats::Counter as C;
+    let lock_domains = vec![
+        heat("state", C::StateLockAcqs, C::StateLockContended),
+        heat("phys", C::PhysLockAcqs, C::PhysLockContended),
+        heat("trans", C::TransLockAcqs, C::TransLockContended),
+        heat("stripe", C::CacheStripeAcqs, C::CacheStripeContended),
+        // The gmap stripes count contention only (no acq counter —
+        // per-entry acquisitions are far too hot to meter twice).
+        DomainHeat {
+            domain: "gmap",
+            acqs: 0,
+            contended: state.stats.get(C::ShardContention),
+        },
+    ];
+
     PvmTop {
         sim_ns: state.model.now().nanos(),
         caches,
@@ -257,6 +299,7 @@ pub(crate) fn snapshot(state: &PvmState) -> PvmTop {
         phases,
         sample: state.live_sample(),
         gmap_shards: state.gmap.shard_occupancy(),
+        lock_domains,
     }
 }
 
@@ -282,20 +325,28 @@ pub fn render(top: &PvmTop, n: usize) -> String {
             top.gmap_shards.len(),
         ));
     }
+    if !top.lock_domains.is_empty() {
+        out.push_str("        lock heat (contended/acqs):");
+        for d in &top.lock_domains {
+            out.push_str(&format!(" {} {}/{}", d.domain, d.contended, d.acqs));
+        }
+        out.push('\n');
+    }
 
     out.push_str(&format!(
-        "\n  {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {}\n",
-        "CACHE", "FAULTS", "PULLS", "PUSHES", "EVICT", "RAHIT", "RES", "DIRTY", "FLAGS"
+        "\n  {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}  {}\n",
+        "CACHE", "FAULTS", "PULLS", "PUSHES", "EVICT", "RAHIT", "LOCKHEAT", "RES", "DIRTY", "FLAGS"
     ));
     for c in top.caches.iter().take(n.max(1)) {
         out.push_str(&format!(
-            "  {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {}\n",
+            "  {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}  {}\n",
             c.index,
             c.faults,
             c.pull_ins,
             c.push_outs,
             c.evictions,
             c.readahead_hits,
+            format!("{}/{}", c.lock_contended, c.lock_acqs),
             c.resident_pages,
             c.dirty_pages,
             if c.poisoned { "POISONED" } else { "-" },
@@ -353,6 +404,8 @@ mod tests {
             push_outs: 0,
             evictions: 0,
             readahead_hits: 0,
+            lock_acqs: 0,
+            lock_contended: 0,
             resident_pages: dirty,
             dirty_pages: dirty,
             poisoned: false,
@@ -384,10 +437,24 @@ mod tests {
                 reserve_free: 4,
             },
             gmap_shards: vec![0, 0],
+            lock_domains: vec![
+                DomainHeat {
+                    domain: "state",
+                    acqs: 12,
+                    contended: 3,
+                },
+                DomainHeat {
+                    domain: "stripe",
+                    acqs: 4,
+                    contended: 1,
+                },
+            ],
         };
         let text = render(&top, 2);
         assert!(text.contains("pvmtop  sim=42 ns"));
         assert!(text.contains("... 1 more caches"));
+        assert!(text.contains("lock heat (contended/acqs): state 3/12 stripe 1/4"));
+        assert!(text.contains("LOCKHEAT"));
         // Render keeps the caller's hottest-first order: cache 0 (9
         // faults) appears before cache 1 (5 faults), cache 2 is cut.
         let row0 = text.find("      0        9").expect("cache 0 row");

@@ -9,7 +9,7 @@ use chorus_hal::{OpKind, Prot, VirtAddr, Vpn};
 impl PvmState {
     /// `contextCreate()`.
     pub fn context_create_locked(&mut self) -> CtxKey {
-        let mmu_ctx = self.mmu.ctx_create();
+        let mmu_ctx = self.mmu.lock().ctx_create();
         self.charge(OpKind::ObjectCreate);
         self.contexts.insert(ContextDesc {
             mmu_ctx,
@@ -31,7 +31,7 @@ impl PvmState {
         // the promotion records (and counters) need dropping here.
         self.drop_large_maps_of_ctx(ctx);
         let desc = self.contexts.remove(ctx).expect("context vanished");
-        self.mmu.ctx_destroy(desc.mmu_ctx);
+        self.mmu.lock().ctx_destroy(desc.mmu_ctx);
         // `ctx_destroy` drops every remaining MMU mapping of the context
         // wholesale; invalidate the whole translation cache rather than
         // enumerating them (a context dies rarely; a stale entry would be
@@ -47,7 +47,7 @@ impl PvmState {
     /// `context.switch()`.
     pub fn context_switch_locked(&mut self, ctx: CtxKey) -> Result<()> {
         let mmu_ctx = self.ctx(ctx)?.mmu_ctx;
-        self.mmu.switch(mmu_ctx);
+        self.mmu.lock().switch(mmu_ctx);
         self.current = Some(ctx);
         Ok(())
     }

@@ -11,6 +11,7 @@
 use crate::clock::ClockRing;
 use crate::config::PvmConfig;
 use crate::descriptors::{CacheDesc, ContextDesc, CowSource, Mapping, PageDesc, RegionDesc, Slot};
+use crate::domains::DomainLock;
 use crate::fastpath::TranslationCache;
 use crate::gmap::GlobalMap;
 use crate::keys::{CacheKey, CtxKey, PageKey, RegKey};
@@ -146,8 +147,13 @@ pub(crate) enum StubsTo {
 /// The PVM state proper (everything behind the lock).
 pub(crate) struct PvmState {
     pub geom: PageGeometry,
-    pub phys: PhysicalMemory,
-    pub mmu: Box<dyn Mmu>,
+    /// The physical-tier lock domain: buddy allocator + frame metadata.
+    /// Guards must stay single-statement (parking_lot is non-reentrant);
+    /// lock order is state → phys, never the reverse.
+    pub phys: DomainLock<PhysicalMemory>,
+    /// The translation lock domain: MMU contexts + page tables. Same
+    /// single-statement guard discipline; lock order state → trans.
+    pub mmu: DomainLock<Box<dyn Mmu>>,
     pub model: Arc<CostModel>,
     pub contexts: Arena<ContextDesc>,
     pub regions: Arena<RegionDesc>,
@@ -191,6 +197,14 @@ pub(crate) struct PvmState {
     /// keyed by (cache, page offset) and consumed by `fillUp`. Empty
     /// unless `config.large_pages` is on.
     pub reserved_frames: FxHashMap<(CacheKey, u64), FrameNo>,
+    /// Landing frames of the parallel `fillUp` protocol: allocated (or
+    /// claimed from `reserved_frames`) under one state-lock section,
+    /// filled from the mapper's bytes *outside every domain lock*, and
+    /// threaded into a page descriptor under a second section. An entry
+    /// here is the filling thread's exclusive property — no other path
+    /// reads, maps or releases a landing frame. Empty unless
+    /// `config.parallel_faults` engaged the parallel driver.
+    pub landing: FxHashMap<(CacheKey, u64), FrameNo>,
     /// The dimensional telemetry registry (per-cache / per-context /
     /// per-mapper counters), shared with the translation cache and
     /// `Pvm`. Inert (one relaxed load per site) unless
@@ -218,8 +232,18 @@ impl PvmState {
         let telemetry = Arc::new(Telemetry::new(config.telemetry));
         PvmState {
             geom,
-            phys,
-            mmu,
+            phys: DomainLock::new(
+                phys,
+                stats.clone(),
+                Counter::PhysLockAcqs,
+                Counter::PhysLockContended,
+            ),
+            mmu: DomainLock::new(
+                mmu,
+                stats.clone(),
+                Counter::TransLockAcqs,
+                Counter::TransLockContended,
+            ),
             model,
             contexts: Arena::new(),
             regions: Arena::new(),
@@ -241,6 +265,7 @@ impl PvmState {
             oom_killed: Vec::new(),
             large_maps: Vec::new(),
             reserved_frames: FxHashMap::default(),
+            landing: FxHashMap::default(),
             telemetry,
             series: SeriesRing::new(SERIES_CAP),
             next_sample_ns: 0,
@@ -487,7 +512,7 @@ impl PvmState {
         self.frame_owner.remove(&desc.frame.0);
         self.resident.remove(key);
         if release_frame {
-            self.phys.release(desc.frame);
+            self.phys.lock().release(desc.frame);
         }
         desc.frame
     }
@@ -500,7 +525,7 @@ impl PvmState {
         self.unmap_va(ctx, vpn);
         let mmu_ctx = self.ctx(ctx).expect("mapping into dead context").mmu_ctx;
         let frame = self.page(key).frame;
-        self.mmu.map(mmu_ctx, vpn, frame, prot);
+        self.mmu.lock().map(mmu_ctx, vpn, frame, prot);
         let page = self.page_mut(key);
         page.mappings.push(Mapping { ctx, vpn, via });
         page.ref_bit = true;
@@ -516,7 +541,8 @@ impl PvmState {
         self.demote_covering_va(ctx, vpn);
         let Ok(desc) = self.ctx(ctx) else { return };
         let mmu_ctx = desc.mmu_ctx;
-        if let Some(frame) = self.mmu.unmap(mmu_ctx, vpn) {
+        let unmapped = self.mmu.lock().unmap(mmu_ctx, vpn);
+        if let Some(frame) = unmapped {
             self.fast.remove(ctx, vpn);
             if let Some(&owner) = self.frame_owner.get(&frame.0) {
                 let page = self.page_mut(owner);
@@ -533,7 +559,7 @@ impl PvmState {
             self.fast.remove(m.ctx, m.vpn);
             if let Ok(desc) = self.ctx(m.ctx) {
                 let mmu_ctx = desc.mmu_ctx;
-                self.mmu.unmap(mmu_ctx, m.vpn);
+                self.mmu.lock().unmap(mmu_ctx, m.vpn);
             }
         }
     }
@@ -549,7 +575,7 @@ impl PvmState {
             self.fast.remove(m.ctx, m.vpn);
             if let Ok(desc) = self.ctx(m.ctx) {
                 let mmu_ctx = desc.mmu_ctx;
-                self.mmu.unmap(mmu_ctx, m.vpn);
+                self.mmu.lock().unmap(mmu_ctx, m.vpn);
             }
         }
         self.page_mut(key).mappings = keep;
@@ -567,7 +593,7 @@ impl PvmState {
             self.fast.remove(m.ctx, m.vpn);
             if let Ok(desc) = self.ctx(m.ctx) {
                 let mmu_ctx = desc.mmu_ctx;
-                self.mmu.unmap(mmu_ctx, m.vpn);
+                self.mmu.lock().unmap(mmu_ctx, m.vpn);
             }
         }
         self.page_mut(key).mappings = keep;
@@ -599,7 +625,7 @@ impl PvmState {
                 region_prot.remove(Prot::WRITE)
             };
             let mmu_ctx = self.ctx(m.ctx).expect("mapping into dead context").mmu_ctx;
-            self.mmu.protect(mmu_ctx, m.vpn, eff);
+            self.mmu.lock().protect(mmu_ctx, m.vpn, eff);
             // Refresh the fast-path entry to the narrowed protection so
             // a revoked right cannot be satisfied lock-free.
             let frame = self.page(key).frame;
@@ -697,11 +723,11 @@ impl PvmState {
     /// model (`free_frames`/`free_blocks_per_order`/`len` are plain
     /// reads, and the gmap is consulted via its uncharged `len`).
     pub fn live_sample(&self) -> TelemetrySample {
-        let free = self.phys.free_frames();
+        let free = self.phys.lock().free_frames();
         TelemetrySample {
             sim_ns: self.model.now().nanos(),
             free_frames: free,
-            free_blocks_per_order: self.phys.free_blocks_per_order(),
+            free_blocks_per_order: self.phys.lock().free_blocks_per_order(),
             inflight_upcalls: self.engine.inflight(),
             pending_pulls: self.engine.pending_pulls.len() as u64,
             clock_ring_pages: self.resident.len() as u64,

@@ -195,6 +195,29 @@ counters! {
     /// Deterministic sim-time gauge samples recorded by the telemetry
     /// sampler (dimensional telemetry knob on; see [`crate::telemetry`]).
     telemetry_samples => TelemetrySamples,
+    /// Acquisitions of the state lock domain (cache/region/history
+    /// bookkeeping — the classic big mutex, now one domain of several).
+    state_lock_acqs => StateLockAcqs,
+    /// State-domain acquisitions that were contended (the uncontended
+    /// try-lock missed and the caller blocked).
+    state_lock_contended => StateLockContended,
+    /// Acquisitions of the physical-tier lock domain (buddy allocator
+    /// and frame-plane metadata).
+    phys_lock_acqs => PhysLockAcqs,
+    /// Physical-tier acquisitions that were contended.
+    phys_lock_contended => PhysLockContended,
+    /// Acquisitions of the translation lock domain (MMU contexts and
+    /// hardware page tables).
+    trans_lock_acqs => TransLockAcqs,
+    /// Translation-domain acquisitions that were contended.
+    trans_lock_contended => TransLockContended,
+    /// Per-cache fault-stripe acquisitions by the parallel hard-fault
+    /// driver (`parallel_faults` knob on; disjoint caches hash to
+    /// different stripes).
+    cache_stripe_acqs => CacheStripeAcqs,
+    /// Fault-stripe acquisitions that were contended (two faults raced
+    /// on the same cache's stripe).
+    cache_stripe_contended => CacheStripeContended,
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();
@@ -301,8 +324,11 @@ mod tests {
     #[test]
     fn counter_labels_match_snapshot_fields() {
         assert_eq!(Counter::FastPathHits.label(), "fast_path_hits");
-        assert_eq!(Counter::ALL.len(), 43);
+        assert_eq!(Counter::ALL.len(), 51);
         assert_eq!(Counter::TelemetrySamples.label(), "telemetry_samples");
+        assert_eq!(Counter::StateLockAcqs.label(), "state_lock_acqs");
+        assert_eq!(Counter::PhysLockContended.label(), "phys_lock_contended");
+        assert_eq!(Counter::CacheStripeAcqs.label(), "cache_stripe_acqs");
         assert_eq!(Counter::LargePromotions.label(), "large_promotions");
         assert_eq!(Counter::WatchdogCancels.label(), "watchdog_cancels");
         assert_eq!(Counter::OomKills.label(), "oom_kills");

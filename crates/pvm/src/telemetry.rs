@@ -106,6 +106,12 @@ dim_counters! {
     Evictions => "evictions",
     /// Faults landing on a readahead-prefetched page (per cache).
     ReadaheadHits => "readahead_hits",
+    /// Fault-stripe acquisitions attributed to the entity (per cache:
+    /// every striped hard-fault entry under `parallel_faults`).
+    LockAcqs => "lock_acqs",
+    /// Fault-stripe acquisitions that missed the uncontended try-lock
+    /// and had to block (per cache) — the "lock heat" of the entity.
+    LockContended => "lock_contended",
 }
 
 /// Number of counters in one dimensional row.
@@ -393,6 +399,9 @@ mod tests {
         assert_eq!(Dim::Mapper.label(), "mapper");
         assert_eq!(DimCounter::Faults.label(), "faults");
         assert_eq!(DimCounter::ReadaheadHits.label(), "readahead_hits");
+        assert_eq!(N_DIM_COUNTERS, 11);
+        assert_eq!(DimCounter::LockAcqs.label(), "lock_acqs");
+        assert_eq!(DimCounter::LockContended.label(), "lock_contended");
     }
 
     #[test]

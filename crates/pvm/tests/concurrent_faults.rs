@@ -7,7 +7,7 @@
 
 mod common;
 
-use chorus_gmi::{Access, Gmi, Prot, VirtAddr};
+use chorus_gmi::{Access, Gmi, GmiError, Prot, VirtAddr};
 use common::*;
 use std::sync::{Arc, Barrier};
 
@@ -367,6 +367,340 @@ fn promotion_races_eviction_and_cleaning() {
         for p in 0..pages_per_thread {
             assert_eq!(
                 read(&pvm, ctx, lo + p * PS, PS as usize),
+                pattern(tag, PS as usize),
+                "thread {t} page {p}: final bytes diverged"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// `parallel_faults` knob-on: the striped driver under cross-domain races.
+// Each test builds its PVM with the knob on, so hard faults on disjoint
+// caches take per-cache fault stripes and the parallel landing protocol
+// fills frames off the state lock. The byte oracles are unchanged from
+// the knob-off tests above: the decomposition must be invisible except
+// in the lock counters.
+// ---------------------------------------------------------------------
+
+/// Concurrent hard faults on disjoint caches through the striped
+/// driver: every thread owns its own file-backed cache and pulls a cold
+/// working set while the others do the same. The stripes must engage
+/// (one acquisition per striped hard fault), the pulls must land, and
+/// every byte must come from the faulting thread's own segment.
+#[test]
+fn parallel_hard_faults_on_disjoint_caches() {
+    const PAGES: u64 = 16;
+    let (pvm, mgr) = setup_with(PAGES as u32 * THREADS as u32 + 8, |o| {
+        o.config.check_invariants = false;
+        o.config.parallel_faults = true;
+    });
+    let base = 0x4_0000u64;
+    let mut ctxs = Vec::new();
+    for t in 0..THREADS {
+        let seg = mgr.create_segment(&pattern(0x40 | t as u8, (PAGES * PS) as usize));
+        let cache = pvm.cache_create(Some(seg)).unwrap();
+        let ctx = pvm.context_create().unwrap();
+        pvm.region_create(ctx, VirtAddr(base), PAGES * PS, Prot::READ, cache, 0)
+            .unwrap();
+        ctxs.push(ctx);
+    }
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = ctxs
+        .iter()
+        .enumerate()
+        .map(|(t, &ctx)| {
+            let pvm = Arc::clone(&pvm);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let want = pattern(0x40 | t as u8, (PAGES * PS) as usize);
+                for p in 0..PAGES {
+                    assert_eq!(
+                        read(&pvm, ctx, base + p * PS, PS as usize),
+                        want[(p * PS) as usize..((p + 1) * PS) as usize],
+                        "thread {t} page {p}: foreign bytes through the striped driver"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("faulting thread");
+    }
+
+    let stats = pvm.stats();
+    assert!(
+        stats.cache_stripe_acqs >= THREADS as u64 * PAGES,
+        "striped driver never engaged: {} stripe acquisitions",
+        stats.cache_stripe_acqs
+    );
+    assert!(stats.pull_ins > 0, "cold reads must pull from the mappers");
+    pvm.check_invariants();
+}
+
+/// Striped hard faults vs eviction: two caches' working sets overcommit
+/// a tiny pool, so every round's re-faults race page replacement
+/// stealing frames from the *other* cache (stripe held on one cache,
+/// victim pages on another — the cross-domain case the lock order must
+/// survive). A chaos thread flushes pages out from under both.
+#[test]
+fn parallel_faults_race_eviction_across_caches() {
+    const WORKERS: usize = 2;
+    const PAGES: u64 = 8;
+    const SPINS: u8 = 20;
+    let (pvm, mgr) = setup_with(12, |o| {
+        o.config.check_invariants = false;
+        o.config.parallel_faults = true;
+    });
+    let base = 0x1_0000u64;
+    // Segment-backed caches: eviction pushes dirty pages to the mapper
+    // and the re-fault pulls them back, so `pull_ins` witnesses the
+    // evict/re-pull cycle (anonymous caches never pull).
+    let setups: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let seg = mgr.create_segment(&vec![0u8; (PAGES * PS) as usize]);
+            let cache = pvm.cache_create(Some(seg)).unwrap();
+            let ctx = pvm.context_create().unwrap();
+            pvm.region_create(ctx, VirtAddr(base), PAGES * PS, Prot::RW, cache, 0)
+                .unwrap();
+            (ctx, cache)
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(WORKERS + 1));
+    let mut handles = Vec::new();
+    for (t, &(ctx, _)) in setups.iter().enumerate() {
+        let pvm = Arc::clone(&pvm);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for round in 0..SPINS {
+                let tag = (t as u8) << 5 | round;
+                for p in 0..PAGES {
+                    write(&pvm, ctx, base + p * PS, &pattern(tag, PS as usize));
+                }
+                for p in 0..PAGES {
+                    assert_eq!(
+                        read(&pvm, ctx, base + p * PS, PS as usize),
+                        pattern(tag, PS as usize),
+                        "thread {t} page {p} round {round}: eviction lost a write"
+                    );
+                }
+            }
+        }));
+    }
+    let chaos = {
+        let pvm = Arc::clone(&pvm);
+        let barrier = Arc::clone(&barrier);
+        let caches: Vec<_> = setups.iter().map(|&(_, c)| c).collect();
+        std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..u64::from(SPINS) * 6 {
+                let cache = caches[(i % caches.len() as u64) as usize];
+                let _ = pvm.cache_flush(cache, (i % PAGES) * PS, PS);
+                if i % 5 == 0 {
+                    let _ = pvm.cache_sync(cache, 0, PAGES * PS);
+                }
+            }
+        })
+    };
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    chaos.join().expect("chaos thread");
+
+    let stats = pvm.stats();
+    assert!(stats.cache_stripe_acqs > 0, "striped driver never engaged");
+    assert!(
+        stats.pull_ins > 0,
+        "an overcommitted pool must evict and re-pull"
+    );
+    pvm.check_invariants();
+
+    // Final oracle: each cache holds its thread's last-round pattern.
+    for (t, &(ctx, _)) in setups.iter().enumerate() {
+        let tag = (t as u8) << 5 | (SPINS - 1);
+        for p in 0..PAGES {
+            assert_eq!(
+                read(&pvm, ctx, base + p * PS, PS as usize),
+                pattern(tag, PS as usize),
+                "thread {t} page {p}: final bytes diverged"
+            );
+        }
+    }
+}
+
+/// Striped hard faults vs the OOM killer: two locked contexts pin the
+/// whole pool, then two threads hard-fault concurrently on disjoint
+/// file-backed caches. Reclaim cannot progress, so the killer must
+/// reclaim the largest locked footprint mid-fault — while both faulting
+/// threads hold their cache stripes — and both faults must then
+/// complete with correct bytes.
+#[test]
+fn parallel_faults_race_oom_kill() {
+    let (pvm, mgr) = setup_with(8, |o| {
+        o.config.check_invariants = false;
+        o.config.parallel_faults = true;
+        o.config.oom_killer = true;
+    });
+
+    // Victim: six locked dirty pages. Survivor: two locked pages whose
+    // bytes must come through the kill untouched.
+    let victim = pvm.context_create().unwrap();
+    let vcache = pvm.cache_create(None).unwrap();
+    let vr = pvm
+        .region_create(victim, VirtAddr(0x10_0000), 6 * PS, Prot::RW, vcache, 0)
+        .unwrap();
+    write(&pvm, victim, 0x10_0000, &pattern(0xA1, 6 * PS as usize));
+    pvm.region_lock_in_memory(vr).unwrap();
+
+    let survivor = pvm.context_create().unwrap();
+    let scache = pvm.cache_create(None).unwrap();
+    let sr = pvm
+        .region_create(survivor, VirtAddr(0x20_0000), 2 * PS, Prot::RW, scache, 0)
+        .unwrap();
+    let keep = pattern(0xB2, 2 * PS as usize);
+    write(&pvm, survivor, 0x20_0000, &keep);
+    pvm.region_lock_in_memory(sr).unwrap();
+    assert_eq!(pvm.free_frames(), 0, "setup must exhaust the pool");
+
+    // Two concurrent hard faults on disjoint caches, each needing a
+    // frame only a kill can free.
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = (0..2u8)
+        .map(|t| {
+            let seg = mgr.create_segment(&pattern(0xC0 | t, PS as usize));
+            let cache = pvm.cache_create(Some(seg)).unwrap();
+            let ctx = pvm.context_create().unwrap();
+            pvm.region_create(ctx, VirtAddr(0x30_0000), PS, Prot::READ, cache, 0)
+                .unwrap();
+            let pvm = Arc::clone(&pvm);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                assert_eq!(
+                    read(&pvm, ctx, 0x30_0000, PS as usize),
+                    pattern(0xC0 | t, PS as usize),
+                    "the fault that triggered the kill must complete correctly"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("faulting thread");
+    }
+
+    let stats = pvm.stats();
+    assert!(stats.oom_kills >= 1, "{stats:?}");
+    assert!(stats.cache_stripe_acqs > 0, "striped driver never engaged");
+    let err = pvm
+        .vm_read(victim, VirtAddr(0x10_0000), &mut [0u8; 1])
+        .unwrap_err();
+    assert!(
+        matches!(err, GmiError::ContextKilled(id) if id == victim),
+        "{err}"
+    );
+    let mut back = vec![0u8; keep.len()];
+    pvm.vm_read(survivor, VirtAddr(0x20_0000), &mut back)
+        .unwrap();
+    assert_eq!(back, keep, "survivor's locked pages corrupted by the kill");
+    pvm.check_invariants();
+}
+
+/// Striped hard faults vs large-page promotion and demotion: two
+/// threads on disjoint caches densely rewrite aligned runs (driving
+/// promotions through the buddy allocator's reserved-run path of the
+/// parallel fill) under a pool too small for both working sets
+/// (eviction-side demotions), while a chaos thread syncs and flushes
+/// (cleaning-side demotions). A stale large mapping surviving a
+/// demotion would leak foreign bytes across caches.
+#[test]
+fn parallel_faults_race_promotion_and_demotion() {
+    const WORKERS: usize = 2;
+    const FACTOR: u64 = 4;
+    const RUNS_PER_WORKER: u64 = 2;
+    const SPINS: u8 = 20;
+    let pages = RUNS_PER_WORKER * FACTOR;
+    let (pvm, _mgr) = setup_with(12, |o| {
+        o.config.check_invariants = false;
+        o.config.parallel_faults = true;
+        o.config.buddy_runs = true;
+        o.config.large_pages = true;
+        o.config.promote_threshold_pages = FACTOR;
+    });
+    let base = 0x1_0000u64;
+    let setups: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let cache = pvm.cache_create(None).unwrap();
+            let ctx = pvm.context_create().unwrap();
+            pvm.region_create(ctx, VirtAddr(base), pages * PS, Prot::RW, cache, 0)
+                .unwrap();
+            (ctx, cache)
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(WORKERS + 1));
+    let mut handles = Vec::new();
+    for (t, &(ctx, _)) in setups.iter().enumerate() {
+        let pvm = Arc::clone(&pvm);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for round in 0..SPINS {
+                let tag = (t as u8) << 5 | round;
+                for p in 0..pages {
+                    write(&pvm, ctx, base + p * PS, &pattern(tag, PS as usize));
+                }
+                for p in 0..pages {
+                    assert_eq!(
+                        read(&pvm, ctx, base + p * PS, PS as usize),
+                        pattern(tag, PS as usize),
+                        "thread {t} page {p} round {round}: stale large mapping leaked bytes"
+                    );
+                }
+            }
+        }));
+    }
+    let chaos = {
+        let pvm = Arc::clone(&pvm);
+        let barrier = Arc::clone(&barrier);
+        let caches: Vec<_> = setups.iter().map(|&(_, c)| c).collect();
+        std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..u64::from(SPINS) * 4 {
+                let cache = caches[(i % caches.len() as u64) as usize];
+                let _ = pvm.cache_sync(cache, 0, pages * PS);
+                if i % 4 == 0 {
+                    let _ = pvm.cache_flush(cache, (i % pages) * PS, FACTOR * PS);
+                }
+            }
+        })
+    };
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    chaos.join().expect("chaos thread");
+
+    let stats = pvm.stats();
+    assert!(stats.cache_stripe_acqs > 0, "striped driver never engaged");
+    assert!(
+        stats.large_promotions > 0,
+        "dense aligned rewrites never promoted a run"
+    );
+    assert!(
+        stats.large_demotions > 0,
+        "sync/flush/eviction pressure never demoted a run"
+    );
+    pvm.check_invariants();
+
+    // Final oracle: each cache holds its thread's last-round pattern.
+    for (t, &(ctx, _)) in setups.iter().enumerate() {
+        let tag = (t as u8) << 5 | (SPINS - 1);
+        for p in 0..pages {
+            assert_eq!(
+                read(&pvm, ctx, base + p * PS, PS as usize),
                 pattern(tag, PS as usize),
                 "thread {t} page {p}: final bytes diverged"
             );

@@ -193,9 +193,12 @@ fn concurrent_faulters_block_on_sync_stub_and_pull_once() {
         pulls, 1,
         "the sync stub must coalesce concurrent faults into one pull"
     );
+    // Under `parallel_faults` the losers serialize on the cache's fault
+    // stripe instead of the sync stub; either witness proves they waited.
+    let stats = pvm.stats();
     assert!(
-        pvm.stats().stub_waits > 0,
-        "someone must have waited on the stub"
+        stats.stub_waits > 0 || stats.cache_stripe_contended > 0,
+        "someone must have waited on the stub or the fault stripe"
     );
 }
 
