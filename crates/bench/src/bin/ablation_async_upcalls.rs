@@ -24,7 +24,7 @@
 
 use chorus_bench::{assert_deterministic, bench_args, json, PAGE};
 use chorus_gmi::testing::MemSegmentManager;
-use chorus_gmi::{Gmi, Prot, VirtAddr};
+use chorus_gmi::{Gmi, Prot, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_pvm::trace::Phase;
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions, TraceConfig};
@@ -80,24 +80,29 @@ fn run_config(shape: &Shape, engine: bool, max_inflight: u64) -> Row {
             frames: FRAMES,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .check_invariants(false)
-                .pull_cluster_pages(PULL_CLUSTER)
-                .readahead_max_pages(PULL_CLUSTER.max(8))
-                .push_cluster_pages(PUSH_CLUSTER)
-                .writeback_daemon(true)
-                .writeback_low_frames(LOW)
-                .writeback_high_frames(HIGH)
-                .async_upcalls(engine)
-                .max_inflight_upcalls(max_inflight)
-                .trace(TraceConfig {
-                    enabled: true,
-                    ..TraceConfig::default()
+                .paging(|p| {
+                    p.check_invariants(false)
+                        .pull_cluster_pages(PULL_CLUSTER)
+                        .readahead_max_pages(PULL_CLUSTER.max(8))
+                        .push_cluster_pages(PUSH_CLUSTER)
+                })
+                .r#async(|a| a.async_upcalls(engine).max_inflight_upcalls(max_inflight))
+                .pressure(|pr| {
+                    pr.writeback_daemon(true)
+                        .writeback_low_frames(LOW)
+                        .writeback_high_frames(HIGH)
+                })
+                .telemetry(|t| {
+                    t.trace(TraceConfig {
+                        enabled: true,
+                        ..TraceConfig::default()
+                    })
                 })
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        mgr.clone(),
+        SyncShim::wrap(mgr.clone()),
     );
     let cache = pvm.cache_create(Some(seg)).unwrap();
     let ctx = pvm.context_create().unwrap();

@@ -18,6 +18,7 @@
 use chorus_bench::PAGE;
 use chorus_gmi::testing::MemSegmentManager;
 use chorus_gmi::Gmi;
+use chorus_gmi::SyncShim;
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_shadow::{ShadowOptions, ShadowVm};
 use std::sync::Arc;
@@ -63,7 +64,7 @@ fn main() {
             cost: CostParams::sun3(),
             collapse_chains: true,
         },
-        mgr,
+        SyncShim::wrap(mgr),
     );
     let model = vm.cost_model();
     let (ms, _) = run(&vm, &model);
@@ -82,7 +83,7 @@ fn main() {
             cost: CostParams::sun3(),
             collapse_chains: false,
         },
-        mgr,
+        SyncShim::wrap(mgr),
     );
     let model = vm.cost_model();
     let (ms, _) = run(&vm, &model);

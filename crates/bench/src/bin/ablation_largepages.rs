@@ -24,7 +24,7 @@
 
 use chorus_bench::{assert_deterministic, bench_args, json, PAGE};
 use chorus_gmi::testing::MemSegmentManager;
-use chorus_gmi::{Gmi, Prot, VirtAddr};
+use chorus_gmi::{Gmi, Prot, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions, TraceConfig};
 use std::sync::Arc;
@@ -75,20 +75,24 @@ fn run_config(shape: &Shape, large_pages: bool) -> Row {
             frames,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .check_invariants(false)
                 // Identical mapper I/O in both rows: one pull request
                 // per large-page-sized window.
-                .pull_cluster_pages(FACTOR)
-                .readahead_max_pages(FACTOR)
-                .buddy_runs(large_pages)
-                .large_pages(large_pages)
-                .promote_threshold_pages(FACTOR)
-                .trace(TraceConfig::from_env())
+                .paging(|p| {
+                    p.check_invariants(false)
+                        .pull_cluster_pages(FACTOR)
+                        .readahead_max_pages(FACTOR)
+                })
+                .large_pages(|l| {
+                    l.buddy_runs(large_pages)
+                        .large_pages(large_pages)
+                        .promote_threshold_pages(FACTOR)
+                })
+                .telemetry(|t| t.trace(TraceConfig::from_env()))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        mgr.clone(),
+        SyncShim::wrap(mgr.clone()),
     );
     let cache = pvm.cache_create(Some(seg)).unwrap();
     let ctx = pvm.context_create().unwrap();

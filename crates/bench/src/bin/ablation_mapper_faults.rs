@@ -9,7 +9,7 @@
 //! Usage: `cargo run -p chorus-bench --bin ablation_mapper_faults [--json]`
 
 use chorus_bench::{json, PAGE};
-use chorus_gmi::{Gmi, Prot, RetryPolicy, VirtAddr};
+use chorus_gmi::{Gmi, Prot, RetryPolicy, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, OpKind, PageGeometry};
 use chorus_nucleus::{FaultPlan, FaultyMapper, MemMapper, NucleusSegmentManager, PortName};
 use chorus_pvm::{Dim, DimCounter, Pvm, PvmConfig, PvmOptions};
@@ -48,18 +48,18 @@ fn run(fault_per_mille: u32, policy: RetryPolicy, policy_name: &'static str) -> 
             frames: (PAGES / 2) as u32,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .retry(policy)
-                .check_invariants(false)
+                .r#async(|a| a.retry(policy))
+                .paging(|p| p.check_invariants(false))
                 // Telemetry never charges the cost model, so the table
                 // below is identical with the knob on; each scenario
                 // double-checks the dimensional counters against the
                 // globals they shadow (see the asserts after the sweep).
-                .telemetry(true)
+                .telemetry(|t| t.telemetry(true))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     );
     faulty.attach_clock(pvm.cost_model());
 

@@ -10,6 +10,7 @@
 
 use chorus_bench::{run_table6, World, REGION_SIZES, TOUCH_PAGES};
 use chorus_gmi::testing::MemSegmentManager;
+use chorus_gmi::SyncShim;
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_pvm::{MmuChoice, Pvm, PvmConfig, PvmOptions};
 use std::sync::Arc;
@@ -23,11 +24,11 @@ fn world(mmu: MmuChoice) -> World<Pvm> {
             cost: CostParams::sun3(),
             mmu,
             config: PvmConfig::builder()
-                .check_invariants(false)
+                .paging(|p| p.check_invariants(false))
                 .build()
                 .expect("valid config"),
         },
-        mgr.clone(),
+        SyncShim::wrap(mgr.clone()),
     ));
     let model = pvm.cost_model();
     World {

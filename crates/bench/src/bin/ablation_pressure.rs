@@ -31,7 +31,7 @@
 //! Usage: `cargo run --release -p chorus-bench --bin ablation_pressure [--json] [--quick]`
 
 use chorus_bench::{assert_deterministic, bench_args, json, PAGE};
-use chorus_gmi::{Gmi, GmiError, Prot, VirtAddr};
+use chorus_gmi::{Gmi, GmiError, Prot, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_nucleus::{FaultPlan, FaultyMapper, MemMapper, NucleusSegmentManager, PortName};
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
@@ -95,20 +95,24 @@ fn run_config(
             frames: FRAMES,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .check_invariants(false)
-                .pull_cluster_pages(PULL_CLUSTER)
-                .readahead_max_pages(PULL_CLUSTER)
-                .async_upcalls(true)
-                .max_inflight_upcalls(if backpressure { 1 } else { 2 })
-                .upcall_watchdog(watchdog)
-                .suspect_after_timeouts(2)
-                .quarantine_after_timeouts(1 << 20)
-                .max_pending_pulls(if backpressure { 1 } else { 0 })
+                .paging(|p| {
+                    p.check_invariants(false)
+                        .pull_cluster_pages(PULL_CLUSTER)
+                        .readahead_max_pages(PULL_CLUSTER)
+                })
+                .r#async(|a| {
+                    a.async_upcalls(true)
+                        .max_inflight_upcalls(if backpressure { 1 } else { 2 })
+                        .upcall_watchdog(watchdog)
+                        .suspect_after_timeouts(2)
+                        .quarantine_after_timeouts(1 << 20)
+                })
+                .pressure(|pr| pr.max_pending_pulls(if backpressure { 1 } else { 0 }))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     );
     faulty.attach_clock(pvm.cost_model());
 
@@ -226,13 +230,13 @@ fn oom_scenario() -> OomOutcome {
             frames: 8,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .check_invariants(true)
-                .oom_killer(true)
+                .paging(|p| p.check_invariants(true))
+                .pressure(|pr| pr.oom_killer(true))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     );
     let victim = pvm.context_create().unwrap();
     let cache_v = pvm.cache_create(None).unwrap();

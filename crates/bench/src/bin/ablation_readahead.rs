@@ -9,7 +9,7 @@
 
 use chorus_bench::{json, PAGE};
 use chorus_gmi::testing::MemSegmentManager;
-use chorus_gmi::{Gmi, Prot, VirtAddr};
+use chorus_gmi::{Gmi, Prot, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
 use std::sync::Arc;
@@ -32,14 +32,16 @@ fn run(cluster: u64) -> Row {
             frames: 2 * PAGES as u32,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .pull_cluster_pages(cluster)
-                .readahead_max_pages(cluster.max(8))
-                .check_invariants(false)
+                .paging(|p| {
+                    p.pull_cluster_pages(cluster)
+                        .readahead_max_pages(cluster.max(8))
+                        .check_invariants(false)
+                })
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        mgr.clone(),
+        SyncShim::wrap(mgr.clone()),
     );
     let cache = pvm.cache_create(Some(seg)).unwrap();
     let ctx = pvm.context_create().unwrap();

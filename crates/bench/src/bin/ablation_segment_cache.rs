@@ -10,6 +10,7 @@
 //!
 //! Usage: `cargo run -p chorus-bench --bin ablation_segment_cache`
 
+use chorus_gmi::SyncShim;
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_mix::{ProcessManager, ProgramStore};
 use chorus_nucleus::{MemMapper, Nucleus, NucleusSegmentManager, PortName, SwapMapper};
@@ -31,12 +32,12 @@ fn run(caching: bool) -> (f64, u64, chorus_nucleus::SegmentCachingStats) {
             frames: 2048,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .check_invariants(false)
+                .paging(|p| p.check_invariants(false))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let model = pvm.cost_model();
     let nucleus = Arc::new(Nucleus::new(pvm, seg_mgr, 8));

@@ -22,7 +22,7 @@
 //! Usage: `cargo run --release -p chorus-bench --bin ablation_telemetry [--json] [--quick] [--out DIR]`
 
 use chorus_bench::{json, PAGE};
-use chorus_gmi::{Gmi, Prot, SegmentId, VirtAddr};
+use chorus_gmi::{Gmi, Prot, SegmentId, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_nucleus::{FaultPlan, FaultyMapper, MemMapper, NucleusSegmentManager, PortName};
 use chorus_pvm::{pvmtop, MapperState, Pvm, PvmConfig, PvmOptions, TraceConfig, TraceSink};
@@ -66,14 +66,13 @@ fn build(telemetry: bool, frames: u32) -> (Arc<Pvm>, Arc<MemMapper>, Arc<Nucleus
             frames,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .check_invariants(false)
-                .telemetry(telemetry)
-                .telemetry_sample_ns(SAMPLE_NS)
+                .paging(|p| p.check_invariants(false))
+                .telemetry(|t| t.telemetry(telemetry).telemetry_sample_ns(SAMPLE_NS))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     );
     (Arc::new(pvm), files, seg_mgr)
 }
@@ -187,18 +186,20 @@ fn scenario() -> Scenario {
             frames: 24,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .check_invariants(true)
-                .telemetry(true)
-                .telemetry_sample_ns(1_000_000)
-                .trace(TraceConfig {
-                    enabled: true,
-                    ..TraceConfig::default()
+                .paging(|p| p.check_invariants(true))
+                .telemetry(|t| {
+                    t.telemetry(true)
+                        .telemetry_sample_ns(1_000_000)
+                        .trace(TraceConfig {
+                            enabled: true,
+                            ..TraceConfig::default()
+                        })
                 })
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     );
     sick.attach_clock(pvm.cost_model());
 

@@ -22,7 +22,7 @@
 
 use chorus_bench::{assert_deterministic, bench_args, json, PAGE};
 use chorus_gmi::testing::MemSegmentManager;
-use chorus_gmi::{Gmi, Prot, VirtAddr};
+use chorus_gmi::{Gmi, Prot, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_pvm::trace::Phase;
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions, TraceConfig};
@@ -76,20 +76,23 @@ fn run_config(shape: &Shape, cluster: u64, daemon: bool) -> Row {
             frames: FRAMES,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .check_invariants(false)
-                .push_cluster_pages(cluster)
-                .writeback_daemon(daemon)
-                .writeback_low_frames(if daemon { LOW } else { 0 })
-                .writeback_high_frames(if daemon { HIGH } else { 0 })
-                .trace(TraceConfig {
-                    enabled: true,
-                    ..TraceConfig::default()
+                .paging(|p| p.check_invariants(false).push_cluster_pages(cluster))
+                .pressure(|pr| {
+                    pr.writeback_daemon(daemon)
+                        .writeback_low_frames(if daemon { LOW } else { 0 })
+                        .writeback_high_frames(if daemon { HIGH } else { 0 })
+                })
+                .telemetry(|t| {
+                    t.trace(TraceConfig {
+                        enabled: true,
+                        ..TraceConfig::default()
+                    })
                 })
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        mgr.clone(),
+        SyncShim::wrap(mgr.clone()),
     );
     let cache = pvm.cache_create(Some(seg)).unwrap();
     let ctx = pvm.context_create().unwrap();

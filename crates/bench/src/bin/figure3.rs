@@ -5,7 +5,7 @@
 //! Usage: `cargo run -p chorus-bench --bin figure3`
 
 use chorus_gmi::testing::MemSegmentManager;
-use chorus_gmi::{CopyMode, Gmi};
+use chorus_gmi::{CopyMode, Gmi, SyncShim};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions, TraceConfig};
 use std::sync::Arc;
@@ -19,13 +19,13 @@ fn pvm() -> Arc<Pvm> {
             frames: 256,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(true)
-                .trace(TraceConfig::from_env())
+                .paging(|p| p.check_invariants(true))
+                .telemetry(|t| t.trace(TraceConfig::from_env()))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        Arc::new(MemSegmentManager::new()),
+        SyncShim::wrap(Arc::new(MemSegmentManager::new())),
     ))
 }
 

@@ -13,7 +13,7 @@
 //! Usage: `cargo run --release -p chorus-bench --bin pvmtop [--json] [--out DIR]`
 
 use chorus_bench::{json, PAGE};
-use chorus_gmi::{Gmi, Prot, VirtAddr};
+use chorus_gmi::{Gmi, Prot, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_nucleus::{FaultPlan, FaultyMapper, MemMapper, NucleusSegmentManager, PortName};
 use chorus_pvm::{pvmtop, MapperState, Pvm, PvmConfig, PvmOptions, TraceConfig};
@@ -53,18 +53,20 @@ fn main() {
             frames: 6,
             cost: CostParams::sun3(),
             config: PvmConfig::builder()
-                .check_invariants(true)
-                .telemetry(true)
-                .telemetry_sample_ns(1_000_000)
-                .trace(TraceConfig {
-                    enabled: true,
-                    ..TraceConfig::default()
+                .paging(|p| p.check_invariants(true))
+                .telemetry(|t| {
+                    t.telemetry(true)
+                        .telemetry_sample_ns(1_000_000)
+                        .trace(TraceConfig {
+                            enabled: true,
+                            ..TraceConfig::default()
+                        })
                 })
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     );
     sick.attach_clock(pvm.cost_model());
     let ctx = pvm.context_create().unwrap();

@@ -42,7 +42,7 @@
 
 use chorus_bench::{bench_args, json, PAGE};
 use chorus_gmi::testing::MemSegmentManager;
-use chorus_gmi::{Access, Gmi, Prot, VirtAddr};
+use chorus_gmi::{Access, Gmi, Prot, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
 use std::sync::{Arc, Barrier};
@@ -89,13 +89,12 @@ fn make_pvm(fast_path: bool, frames: u32) -> (Arc<Pvm>, Arc<MemSegmentManager>) 
             frames,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(false)
-                .fast_path(fast_path)
+                .paging(|p| p.check_invariants(false).fast_path(fast_path))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        mgr.clone(),
+        SyncShim::wrap(mgr.clone()),
     ));
     (pvm, mgr)
 }
@@ -271,15 +270,17 @@ fn hard_fault_rep(parallel: bool, threads: usize) -> (f64, chorus_pvm::PvmStats)
             frames: (HARD_PAGES as u32) * (threads as u32) + 64,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(false)
-                .parallel_faults(parallel)
-                .pull_cluster_pages(HARD_CLUSTER)
-                .readahead_max_pages(HARD_CLUSTER)
+                .paging(|p| {
+                    p.check_invariants(false)
+                        .parallel_faults(parallel)
+                        .pull_cluster_pages(HARD_CLUSTER)
+                        .readahead_max_pages(HARD_CLUSTER)
+                })
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        mgr.clone(),
+        SyncShim::wrap(mgr.clone()),
     ));
     let base = VirtAddr(0x100_0000);
     let ctxs: Vec<_> = (0..threads)

@@ -12,7 +12,7 @@
 //! structure — the substance of the paper's Chorus-vs-Mach comparison.
 
 use chorus_gmi::testing::MemSegmentManager;
-use chorus_gmi::{CacheId, Gmi, Prot, VirtAddr};
+use chorus_gmi::{CacheId, Gmi, Prot, SyncShim, VirtAddr};
 use chorus_hal::{CostModel, CostParams, PageGeometry};
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions, TraceConfig};
 use chorus_shadow::{ShadowOptions, ShadowVm};
@@ -53,20 +53,27 @@ pub fn pvm_world(frames: u32) -> World<Pvm> {
 /// Builds the PVM world with an explicit trace configuration (the
 /// overheads bench measures tracing-on vs tracing-off directly).
 pub fn pvm_world_traced(frames: u32, trace: TraceConfig) -> World<Pvm> {
+    let config = PvmConfig::builder()
+        .paging(|p| p.check_invariants(false))
+        .telemetry(|t| t.trace(trace))
+        .build()
+        .expect("valid config");
+    pvm_world_config(frames, config)
+}
+
+/// Builds the PVM world with a fully caller-assembled config (the
+/// policy ablation races replacement policies through this).
+pub fn pvm_world_config(frames: u32, config: PvmConfig) -> World<Pvm> {
     let mgr = Arc::new(MemSegmentManager::new());
     let pvm = Arc::new(Pvm::new(
         PvmOptions {
             geometry: PageGeometry::sun3(),
             frames,
             cost: CostParams::sun3(),
-            config: PvmConfig::builder()
-                .check_invariants(false)
-                .trace(trace)
-                .build()
-                .expect("valid config"),
+            config,
             ..PvmOptions::default()
         },
-        mgr.clone(),
+        SyncShim::wrap(mgr.clone()),
     ));
     let model = pvm.cost_model();
     World {
@@ -87,7 +94,7 @@ pub fn shadow_world(frames: u32) -> World<ShadowVm> {
             cost: CostParams::sun3(),
             collapse_chains: true,
         },
-        mgr.clone(),
+        SyncShim::wrap(mgr.clone()),
     ));
     let model = vm.cost_model();
     World {

@@ -265,6 +265,16 @@ pub trait SegmentManagerV2: Send + Sync {
     /// The current length of a segment in bytes, if known (used to clamp
     /// clustered pulls at segment end; `None` disables the clamp).
     fn segment_len(&self, segment: SegmentId) -> Option<u64>;
+
+    /// `victimAdvice(candidates)`: an external replacement policy asks
+    /// the segment manager to approve or veto an eviction candidate
+    /// batch, one `(cache, offset)` page per entry. Returns one flag
+    /// per candidate (`true` = evictable); a short reply vetoes the
+    /// missing tail. The default approves everything, so managers that
+    /// never customize replacement need no code.
+    fn advise_victims(&self, candidates: &[(CacheId, u64)]) -> Vec<bool> {
+        vec![true; candidates.len()]
+    }
 }
 
 /// The blanket sync-shim adapter: wraps *any* v1 [`SegmentManager`]
@@ -289,6 +299,17 @@ impl<T: ?Sized> SyncShim<T> {
     /// The wrapped v1 manager.
     pub fn inner(&self) -> &Arc<T> {
         &self.inner
+    }
+}
+
+#[allow(deprecated)]
+impl<T: SegmentManager + ?Sized + 'static> SyncShim<T> {
+    /// Wraps a v1 manager straight into the `Arc<dyn SegmentManagerV2>`
+    /// the v2-only front ends take — the one-step idiom now that every
+    /// memory manager constructor speaks v2:
+    /// `Pvm::new(options, SyncShim::wrap(mgr))`.
+    pub fn wrap(inner: Arc<T>) -> Arc<dyn SegmentManagerV2> {
+        Arc::new(SyncShim { inner })
     }
 }
 

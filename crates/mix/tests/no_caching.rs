@@ -1,5 +1,6 @@
 //! Regression: `spawn` with segment caching disabled must not reclaim
 //! a cache that outstanding per-page location stubs still reference.
+use chorus_gmi::SyncShim;
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_mix::{ProcessManager, ProgramStore};
 use chorus_nucleus::{MemMapper, Nucleus, NucleusSegmentManager, PortName, SwapMapper};
@@ -20,12 +21,12 @@ fn fork_with_segment_caching_disabled() {
             frames: 512,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(true)
+                .paging(|p| p.check_invariants(true))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let nucleus = Arc::new(Nucleus::new(pvm, seg_mgr, 4));
     nucleus.set_segment_caching(false, 0);

@@ -4,7 +4,7 @@
 //! first observed access, its parent can `wait` for it, and every other
 //! process keeps its memory intact.
 
-use chorus_gmi::{GmiError, VirtAddr};
+use chorus_gmi::{GmiError, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_mix::{ProcState, ProcessManager, ProgramStore};
 use chorus_nucleus::{MemMapper, Nucleus, NucleusSegmentManager, PortName, SwapMapper};
@@ -29,14 +29,13 @@ fn mix_oom(frames: u32) -> ProcessManager<Pvm> {
             frames,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(true)
-                .enable_pageout(false)
-                .oom_killer(true)
+                .paging(|p| p.check_invariants(true).enable_pageout(false))
+                .pressure(|pr| pr.oom_killer(true))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let nucleus = Arc::new(Nucleus::new(pvm, seg_mgr, 4));
     let store = Arc::new(ProgramStore::new(files, PS));

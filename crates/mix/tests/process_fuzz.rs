@@ -3,6 +3,7 @@
 //! bytes. Catches COW leaks between relatives, exec teardown bugs, and
 //! zombie bookkeeping errors.
 
+use chorus_gmi::SyncShim;
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_mix::{Pid, ProcessManager, ProgramStore};
 use chorus_nucleus::{MemMapper, Nucleus, NucleusSegmentManager, PortName, SwapMapper};
@@ -62,12 +63,12 @@ fn build() -> ProcessManager<Pvm> {
             frames: 256,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(true)
+                .paging(|p| p.check_invariants(true))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let nucleus = Arc::new(Nucleus::new(pvm, seg_mgr, 4));
     let store = Arc::new(ProgramStore::new(files, PS));

@@ -1,7 +1,7 @@
 //! Unix process semantics over the Nucleus and PVM (§5.1.5): fork COW,
 //! text sharing, exec with segment caching, pipelines, shell loops.
 
-use chorus_gmi::VirtAddr;
+use chorus_gmi::{SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_mix::{ProcState, ProcessManager, ProgramStore};
 use chorus_nucleus::{MemMapper, Nucleus, NucleusSegmentManager, PortName, SwapMapper};
@@ -28,12 +28,12 @@ fn mix(frames: u32) -> Mix {
             frames,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(true)
+                .paging(|p| p.check_invariants(true))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let nucleus = Arc::new(Nucleus::new(pvm, seg_mgr, 4));
     let store = Arc::new(ProgramStore::new(files, PS));

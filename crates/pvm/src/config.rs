@@ -1,5 +1,17 @@
 //! PVM tunables.
+//!
+//! [`PvmConfig`] stays a flat, public struct (literal mutation keeps
+//! working), but the validating [`PvmConfig::builder`] now exposes the
+//! knobs through *grouped sections* — [`paging`](PvmConfigBuilder::paging),
+//! [`async`](PvmConfigBuilder::r#async), [`pressure`](PvmConfigBuilder::pressure),
+//! [`large_pages`](PvmConfigBuilder::large_pages),
+//! [`telemetry`](PvmConfigBuilder::telemetry) and
+//! [`policy`](PvmConfigBuilder::policy) — so related knobs are set
+//! together and cross-field invariants read next to the fields they
+//! constrain. The old flat setters survive one release as thin
+//! deprecated forwards.
 
+use crate::policy::{PolicyConfig, ReadaheadKind, ReplacementKind};
 use crate::trace::TraceConfig;
 use chorus_gmi::RetryPolicy;
 
@@ -188,6 +200,13 @@ pub struct PvmConfig {
     /// config literal. Explicit assignments and builder calls still
     /// win over the environment.
     pub parallel_faults: bool,
+    /// Replacement and readahead policy selection: which
+    /// `ReplacementPolicy` runs victim selection — globally and per
+    /// segment override — and which `ReadaheadPolicy` sizes the
+    /// adaptive pull window. The defaults (`Clock` + `DoublingWindow`)
+    /// reproduce the classic clock sweep and window doubling
+    /// bit-identically.
+    pub policy: PolicyConfig,
 }
 
 impl Default for PvmConfig {
@@ -224,6 +243,7 @@ impl Default for PvmConfig {
             telemetry: false,
             telemetry_sample_ns: 1_000_000,
             parallel_faults: parallel_faults_env(),
+            policy: PolicyConfig::default(),
         }
     }
 }
@@ -248,17 +268,51 @@ impl PvmConfig {
 
 /// Builder for [`PvmConfig`] enforcing cross-field invariants that a
 /// plain struct literal cannot: watermark ordering, non-zero cluster
-/// and shard sizes, readahead ceiling at least the base cluster, and a
-/// positive in-flight budget.
+/// and shard sizes, readahead ceiling at least the base cluster, a
+/// positive in-flight budget, and well-formed policy overrides.
+///
+/// Knobs are set through grouped sections, each a closure over a
+/// section proxy:
+///
+/// ```
+/// # use chorus_pvm::PvmConfig;
+/// let config = PvmConfig::builder()
+///     .paging(|p| p.pull_cluster_pages(4).readahead_max_pages(16))
+///     .pressure(|p| p.writeback_daemon(true).writeback_high_frames(8))
+///     .policy(|p| p.replacement(chorus_pvm::ReplacementKind::Lru))
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.pull_cluster_pages, 4);
+/// ```
 #[derive(Clone, Debug)]
 pub struct PvmConfigBuilder {
     config: PvmConfig,
 }
 
+/// Generates `#[must_use]` setters over a wrapped [`PvmConfig`]; used
+/// by every builder section proxy.
 macro_rules! setters {
     ($($(#[$meta:meta])* $name:ident: $ty:ty),* $(,)?) => {
         $(
             $(#[$meta])*
+            #[must_use]
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.cfg.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+/// Generates the deprecated flat forwards on [`PvmConfigBuilder`]
+/// itself: same names and behaviour as the pre-section setters, kept
+/// for one release.
+macro_rules! flat_forwards {
+    ($($name:ident: $ty:ty => $section:literal),* $(,)?) => {
+        $(
+            #[doc = concat!("See [`PvmConfig::", stringify!($name), "`]. ",
+                "Grouped section: `", $section, "`.")]
+            #[deprecated(note = "set this through its grouped builder section instead")]
             #[must_use]
             pub fn $name(mut self, value: $ty) -> Self {
                 self.config.$name = value;
@@ -268,7 +322,14 @@ macro_rules! setters {
     };
 }
 
-impl PvmConfigBuilder {
+/// The `paging` section: core replacement/readahead mechanics, map
+/// sharding and the fault fast paths.
+#[derive(Debug)]
+pub struct PagingSection {
+    cfg: PvmConfig,
+}
+
+impl PagingSection {
     setters! {
         /// See [`PvmConfig::per_page_max_pages`].
         per_page_max_pages: u64,
@@ -280,30 +341,30 @@ impl PvmConfigBuilder {
         collapse_zombies: bool,
         /// See [`PvmConfig::pull_cluster_pages`].
         pull_cluster_pages: u64,
-        /// See [`PvmConfig::retry`].
-        retry: RetryPolicy,
-        /// See [`PvmConfig::quarantine_on_permanent_failure`].
-        quarantine_on_permanent_failure: bool,
-        /// See [`PvmConfig::emergency_pageout`].
-        emergency_pageout: bool,
-        /// See [`PvmConfig::fast_path`].
-        fast_path: bool,
-        /// See [`PvmConfig::global_map_shards`].
-        global_map_shards: usize,
-        /// See [`PvmConfig::trace`].
-        trace: TraceConfig,
         /// See [`PvmConfig::push_cluster_pages`].
         push_cluster_pages: u64,
-        /// See [`PvmConfig::writeback_daemon`].
-        writeback_daemon: bool,
-        /// See [`PvmConfig::writeback_low_frames`].
-        writeback_low_frames: u32,
-        /// See [`PvmConfig::writeback_high_frames`].
-        writeback_high_frames: u32,
         /// See [`PvmConfig::readahead_adaptive`].
         readahead_adaptive: bool,
         /// See [`PvmConfig::readahead_max_pages`].
         readahead_max_pages: u64,
+        /// See [`PvmConfig::fast_path`].
+        fast_path: bool,
+        /// See [`PvmConfig::global_map_shards`].
+        global_map_shards: usize,
+        /// See [`PvmConfig::parallel_faults`].
+        parallel_faults: bool,
+    }
+}
+
+/// The `async` section: the completion engine, mapper retry/health
+/// escalation and the deadline watchdog.
+#[derive(Debug)]
+pub struct AsyncSection {
+    cfg: PvmConfig,
+}
+
+impl AsyncSection {
+    setters! {
         /// See [`PvmConfig::async_upcalls`].
         async_upcalls: bool,
         /// See [`PvmConfig::max_inflight_upcalls`].
@@ -314,25 +375,195 @@ impl PvmConfigBuilder {
         suspect_after_timeouts: u32,
         /// See [`PvmConfig::quarantine_after_timeouts`].
         quarantine_after_timeouts: u32,
+        /// See [`PvmConfig::retry`].
+        retry: RetryPolicy,
+        /// See [`PvmConfig::quarantine_on_permanent_failure`].
+        quarantine_on_permanent_failure: bool,
+    }
+}
+
+/// The `pressure` section: the memory-pressure survival layer —
+/// laundering watermarks, backpressure, reserves and the OOM killer.
+#[derive(Debug)]
+pub struct PressureSection {
+    cfg: PvmConfig,
+}
+
+impl PressureSection {
+    setters! {
+        /// See [`PvmConfig::writeback_daemon`].
+        writeback_daemon: bool,
+        /// See [`PvmConfig::writeback_low_frames`].
+        writeback_low_frames: u32,
+        /// See [`PvmConfig::writeback_high_frames`].
+        writeback_high_frames: u32,
         /// See [`PvmConfig::max_pending_pulls`].
         max_pending_pulls: u64,
         /// See [`PvmConfig::emergency_reserve_frames`].
         emergency_reserve_frames: u32,
+        /// See [`PvmConfig::emergency_pageout`].
+        emergency_pageout: bool,
         /// See [`PvmConfig::oom_killer`].
         oom_killer: bool,
+    }
+}
+
+/// The `large_pages` section: the buddy contiguous-run tier and
+/// large-page promotion over it.
+#[derive(Debug)]
+pub struct LargePagesSection {
+    cfg: PvmConfig,
+}
+
+impl LargePagesSection {
+    setters! {
         /// See [`PvmConfig::buddy_runs`].
         buddy_runs: bool,
         /// See [`PvmConfig::large_pages`].
         large_pages: bool,
         /// See [`PvmConfig::promote_threshold_pages`].
         promote_threshold_pages: u64,
+    }
+}
+
+/// The `telemetry` section: dimensional counter families, the gauge
+/// sampler and event tracing.
+#[derive(Debug)]
+pub struct TelemetrySection {
+    cfg: PvmConfig,
+}
+
+impl TelemetrySection {
+    setters! {
         /// See [`PvmConfig::telemetry`].
         telemetry: bool,
         /// See [`PvmConfig::telemetry_sample_ns`].
         telemetry_sample_ns: u64,
-        /// See [`PvmConfig::parallel_faults`].
-        parallel_faults: bool,
+        /// See [`PvmConfig::trace`].
+        trace: TraceConfig,
     }
+}
+
+/// The `policy` section: replacement/readahead policy selection (see
+/// [`crate::policy`]), per-segment overrides and the external-policy
+/// batch size.
+#[derive(Debug)]
+pub struct PolicySection {
+    cfg: PvmConfig,
+}
+
+impl PolicySection {
+    /// Default replacement policy for every segment manager without an
+    /// override. See [`PolicyConfig::replacement`].
+    #[must_use]
+    pub fn replacement(mut self, kind: ReplacementKind) -> Self {
+        self.cfg.policy.replacement = kind;
+        self
+    }
+
+    /// Readahead window policy. See [`PolicyConfig::readahead`].
+    #[must_use]
+    pub fn readahead(mut self, kind: ReadaheadKind) -> Self {
+        self.cfg.policy.readahead = kind;
+        self
+    }
+
+    /// Routes pages of the segment manager that registered `segment`
+    /// to their own instance of `kind` instead of the default
+    /// replacement policy. See [`PolicyConfig::segment_overrides`].
+    #[must_use]
+    pub fn segment_override(mut self, segment: u64, kind: ReplacementKind) -> Self {
+        self.cfg.policy.segment_overrides.push((segment, kind));
+        self
+    }
+
+    /// WSClock working-set age threshold τ, in victim-selection rounds.
+    /// See [`PolicyConfig::wsclock_tau`].
+    #[must_use]
+    pub fn wsclock_tau(mut self, tau: u64) -> Self {
+        self.cfg.policy.wsclock_tau = tau;
+        self
+    }
+
+    /// Candidate batch size per external-policy `victimAdvice` upcall.
+    /// See [`PolicyConfig::external_batch`].
+    #[must_use]
+    pub fn external_batch(mut self, batch: u64) -> Self {
+        self.cfg.policy.external_batch = batch;
+        self
+    }
+}
+
+macro_rules! sections {
+    ($($(#[$meta:meta])* $name:ident: $proxy:ident,)*) => {
+        $(
+            $(#[$meta])*
+            #[must_use]
+            pub fn $name(mut self, f: impl FnOnce($proxy) -> $proxy) -> Self {
+                self.config = f($proxy { cfg: self.config }).cfg;
+                self
+            }
+        )*
+    };
+}
+
+impl PvmConfigBuilder {
+    sections! {
+        /// Core paging mechanics: clustering, readahead window bounds,
+        /// map sharding, fast paths. See [`PagingSection`].
+        paging: PagingSection,
+        /// The asynchronous upcall engine and mapper-health
+        /// escalation. See [`AsyncSection`].
+        r#async: AsyncSection,
+        /// Memory-pressure survival: laundering watermarks,
+        /// backpressure, reserves, OOM killer. See [`PressureSection`].
+        pressure: PressureSection,
+        /// Buddy contiguous runs and large-page promotion. See
+        /// [`LargePagesSection`].
+        large_pages: LargePagesSection,
+        /// Dimensional telemetry, gauge sampling and tracing. See
+        /// [`TelemetrySection`].
+        telemetry: TelemetrySection,
+        /// Replacement/readahead policy selection. See
+        /// [`PolicySection`].
+        policy: PolicySection,
+    }
+
+    flat_forwards! {
+        per_page_max_pages: u64 => "paging",
+        enable_pageout: bool => "paging",
+        check_invariants: bool => "paging",
+        collapse_zombies: bool => "paging",
+        pull_cluster_pages: u64 => "paging",
+        retry: RetryPolicy => "async",
+        quarantine_on_permanent_failure: bool => "async",
+        emergency_pageout: bool => "pressure",
+        fast_path: bool => "paging",
+        global_map_shards: usize => "paging",
+        trace: TraceConfig => "telemetry",
+        push_cluster_pages: u64 => "paging",
+        writeback_daemon: bool => "pressure",
+        writeback_low_frames: u32 => "pressure",
+        writeback_high_frames: u32 => "pressure",
+        readahead_adaptive: bool => "paging",
+        readahead_max_pages: u64 => "paging",
+        async_upcalls: bool => "async",
+        max_inflight_upcalls: u64 => "async",
+        upcall_watchdog: bool => "async",
+        suspect_after_timeouts: u32 => "async",
+        quarantine_after_timeouts: u32 => "async",
+        max_pending_pulls: u64 => "pressure",
+        emergency_reserve_frames: u32 => "pressure",
+        oom_killer: bool => "pressure",
+        buddy_runs: bool => "large_pages",
+        promote_threshold_pages: u64 => "large_pages",
+        telemetry_sample_ns: u64 => "telemetry",
+        parallel_faults: bool => "paging",
+    }
+    // `large_pages(bool)` and `telemetry(bool)` could not survive as
+    // forwards: their names ARE the section entry points now. Use
+    // `.large_pages(|l| l.large_pages(true))` / `.telemetry(|t|
+    // t.telemetry(true))`.
 
     /// Validates the assembled configuration.
     ///
@@ -399,6 +630,26 @@ impl PvmConfigBuilder {
                 "telemetry_sample_ns must be at least 1 when telemetry is on",
             ));
         }
+        if c.policy.wsclock_tau < 1 {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "policy.wsclock_tau must be at least 1",
+            ));
+        }
+        if c.policy.external_batch < 1 {
+            return Err(chorus_gmi::GmiError::Unsupported(
+                "policy.external_batch must be at least 1",
+            ));
+        }
+        for (i, &(seg, _)) in c.policy.segment_overrides.iter().enumerate() {
+            if c.policy.segment_overrides[..i]
+                .iter()
+                .any(|&(s, _)| s == seg)
+            {
+                return Err(chorus_gmi::GmiError::Unsupported(
+                    "policy.segment_overrides names a segment twice",
+                ));
+            }
+        }
         Ok(self.config)
     }
 }
@@ -449,27 +700,43 @@ mod tests {
         if std::env::var_os("CHORUS_PARALLEL_FAULTS").is_none() {
             assert!(!c.parallel_faults, "parallel hard faults are opt-in");
         }
+        assert_eq!(
+            c.policy.replacement,
+            ReplacementKind::Clock,
+            "the default replacement policy is the classic clock"
+        );
+        assert_eq!(
+            c.policy.readahead,
+            ReadaheadKind::Doubling,
+            "the default readahead policy is the doubling window"
+        );
+        assert!(c.policy.segment_overrides.is_empty());
     }
 
     #[test]
     fn builder_accepts_defaults_and_valid_tweaks() {
         let c = PvmConfig::builder()
-            .pull_cluster_pages(4)
-            .readahead_max_pages(16)
-            .writeback_daemon(true)
-            .writeback_low_frames(4)
-            .writeback_high_frames(8)
-            .async_upcalls(true)
-            .max_inflight_upcalls(2)
-            .upcall_watchdog(true)
-            .suspect_after_timeouts(1)
-            .quarantine_after_timeouts(3)
-            .max_pending_pulls(16)
-            .emergency_reserve_frames(2)
-            .oom_killer(true)
-            .telemetry(true)
-            .telemetry_sample_ns(500_000)
-            .parallel_faults(true)
+            .paging(|p| {
+                p.pull_cluster_pages(4)
+                    .readahead_max_pages(16)
+                    .parallel_faults(true)
+            })
+            .pressure(|p| {
+                p.writeback_daemon(true)
+                    .writeback_low_frames(4)
+                    .writeback_high_frames(8)
+                    .max_pending_pulls(16)
+                    .emergency_reserve_frames(2)
+                    .oom_killer(true)
+            })
+            .r#async(|a| {
+                a.async_upcalls(true)
+                    .max_inflight_upcalls(2)
+                    .upcall_watchdog(true)
+                    .suspect_after_timeouts(1)
+                    .quarantine_after_timeouts(3)
+            })
+            .telemetry(|t| t.telemetry(true).telemetry_sample_ns(500_000))
             .build()
             .expect("valid config");
         assert_eq!(c.pull_cluster_pages, 4);
@@ -488,55 +755,115 @@ mod tests {
     }
 
     #[test]
-    fn builder_rejects_invalid_combinations() {
-        assert!(PvmConfig::builder().pull_cluster_pages(0).build().is_err());
-        assert!(PvmConfig::builder().push_cluster_pages(0).build().is_err());
-        assert!(PvmConfig::builder().global_map_shards(0).build().is_err());
-        assert!(PvmConfig::builder()
-            .writeback_low_frames(8)
+    fn policy_section_selects_and_routes() {
+        let c = PvmConfig::builder()
+            .policy(|p| {
+                p.replacement(ReplacementKind::Lru)
+                    .readahead(ReadaheadKind::Fifo)
+                    .segment_override(7, ReplacementKind::WsClock)
+                    .wsclock_tau(3)
+                    .external_batch(4)
+            })
+            .build()
+            .expect("valid policy config");
+        assert_eq!(c.policy.replacement, ReplacementKind::Lru);
+        assert_eq!(c.policy.readahead, ReadaheadKind::Fifo);
+        assert_eq!(
+            c.policy.segment_overrides,
+            vec![(7, ReplacementKind::WsClock)]
+        );
+        assert_eq!(c.policy.wsclock_tau, 3);
+        assert_eq!(c.policy.external_batch, 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_flat_setters_still_forward() {
+        let c = PvmConfig::builder()
+            .pull_cluster_pages(2)
+            .async_upcalls(true)
+            .writeback_daemon(true)
             .writeback_high_frames(4)
             .build()
-            .is_err());
-        assert!(PvmConfig::builder()
+            .expect("flat forwards still build");
+        assert_eq!(c.pull_cluster_pages, 2);
+        assert!(c.writeback_daemon);
+        assert!(c.async_upcalls);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        let paging_err =
+            |f: fn(PagingSection) -> PagingSection| PvmConfig::builder().paging(f).build().is_err();
+        assert!(paging_err(|p| p.pull_cluster_pages(0)));
+        assert!(paging_err(|p| p.push_cluster_pages(0)));
+        assert!(paging_err(|p| p.global_map_shards(0)));
+        assert!(paging_err(|p| p
             .pull_cluster_pages(8)
-            .readahead_max_pages(4)
+            .readahead_max_pages(4)));
+        assert!(PvmConfig::builder()
+            .pressure(|p| p.writeback_low_frames(8).writeback_high_frames(4))
             .build()
             .is_err());
         assert!(PvmConfig::builder()
-            .max_inflight_upcalls(0)
+            .r#async(|a| a.max_inflight_upcalls(0))
             .build()
             .is_err());
         assert!(PvmConfig::builder()
-            .suspect_after_timeouts(0)
+            .r#async(|a| a.suspect_after_timeouts(0))
             .build()
             .is_err());
         assert!(PvmConfig::builder()
-            .suspect_after_timeouts(5)
-            .quarantine_after_timeouts(2)
-            .build()
-            .is_err());
-        assert!(PvmConfig::builder().large_pages(true).build().is_err());
-        assert!(PvmConfig::builder()
-            .promote_threshold_pages(48)
+            .r#async(|a| a.suspect_after_timeouts(5).quarantine_after_timeouts(2))
             .build()
             .is_err());
         assert!(PvmConfig::builder()
-            .promote_threshold_pages(1)
+            .large_pages(|l| l.large_pages(true))
             .build()
             .is_err());
         assert!(PvmConfig::builder()
-            .telemetry(true)
-            .telemetry_sample_ns(0)
+            .large_pages(|l| l.promote_threshold_pages(48))
+            .build()
+            .is_err());
+        assert!(PvmConfig::builder()
+            .large_pages(|l| l.promote_threshold_pages(1))
+            .build()
+            .is_err());
+        assert!(PvmConfig::builder()
+            .telemetry(|t| t.telemetry(true).telemetry_sample_ns(0))
             .build()
             .is_err());
         assert!(
-            PvmConfig::builder().telemetry_sample_ns(0).build().is_ok(),
+            PvmConfig::builder()
+                .telemetry(|t| t.telemetry_sample_ns(0))
+                .build()
+                .is_ok(),
             "a zero cadence is only rejected once telemetry is on"
         );
+        assert!(PvmConfig::builder()
+            .policy(|p| p.wsclock_tau(0))
+            .build()
+            .is_err());
+        assert!(PvmConfig::builder()
+            .policy(|p| p.external_batch(0))
+            .build()
+            .is_err());
+        assert!(
+            PvmConfig::builder()
+                .policy(|p| {
+                    p.segment_override(3, ReplacementKind::Lru)
+                        .segment_override(3, ReplacementKind::Arc)
+                })
+                .build()
+                .is_err(),
+            "duplicate per-segment overrides are ambiguous"
+        );
         let c = PvmConfig::builder()
-            .buddy_runs(true)
-            .large_pages(true)
-            .promote_threshold_pages(16)
+            .large_pages(|l| {
+                l.buddy_runs(true)
+                    .large_pages(true)
+                    .promote_threshold_pages(16)
+            })
             .build()
             .expect("valid large-page config");
         assert!(c.large_pages);

@@ -88,21 +88,21 @@ impl PvmState {
         );
     }
 
-    /// Ring/pages bijection: every resident page is in the clock ring
-    /// and every ring entry is a live page.
+    /// Policy/pages bijection: every resident page is tracked by the
+    /// replacement policy engine and every tracked key is a live page.
     fn check_clock_ring(&self) {
         assert_eq!(
-            self.resident.len(),
+            self.policy.tracked(),
             self.pages.len(),
-            "clock ring size != live pages"
+            "policy tracked size != live pages"
         );
-        for k in self.resident.iter() {
-            assert!(self.pages.contains(k), "dead page key in clock ring");
+        for k in self.policy.keys() {
+            assert!(self.pages.contains(k), "dead page key in policy engine");
         }
         for (k, _) in self.pages.iter() {
             assert!(
-                self.resident.contains(k),
-                "live page {k:?} missing from clock ring"
+                self.policy.contains(k),
+                "live page {k:?} missing from policy engine"
             );
         }
     }

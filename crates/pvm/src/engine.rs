@@ -341,6 +341,19 @@ impl PvmState {
                     }
                 }
             }
+            UpcallKind::VictimAdvice => {
+                // The advice round trip: the segment manager already
+                // answered eagerly at submit; the masked candidate
+                // batch waits in `rec.pages`. A cancelled/failed round
+                // approves nothing but still releases the external
+                // policy's in-flight latch so selection can re-request.
+                if rec.result.is_ok() {
+                    self.model.count_only(OpKind::IpcOp);
+                    self.approve_external_victims(&rec.pages);
+                } else {
+                    self.approve_external_victims(&[]);
+                }
+            }
             UpcallKind::GetWriteAccess => unreachable!("write access is never asynchronous"),
         }
         match &rec.result {

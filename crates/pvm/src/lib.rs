@@ -43,6 +43,7 @@ mod large;
 mod modelcheck;
 mod pageout;
 mod perpage;
+pub mod policy;
 mod pvm;
 pub mod pvmtop;
 mod regions;
@@ -52,8 +53,12 @@ mod stats;
 pub mod telemetry;
 pub mod trace;
 
-pub use config::{PvmConfig, PvmConfigBuilder};
+pub use config::{
+    AsyncSection, LargePagesSection, PagingSection, PolicySection, PressureSection, PvmConfig,
+    PvmConfigBuilder, TelemetrySection,
+};
 pub use debug::{CacheDump, SlotDump, TreeDump};
+pub use policy::{PolicyConfig, ReadaheadKind, ReplacementKind};
 pub use pvm::{MmuChoice, Pvm, PvmOptions};
 pub use pvmtop::{CacheHeat, DomainHeat, MapperHealth, MapperState, PhaseLatency, PvmTop};
 pub use stats::{Counter, PvmStats, StatsRegistry};

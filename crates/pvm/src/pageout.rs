@@ -10,11 +10,23 @@
 
 use crate::descriptors::Slot;
 use crate::keys::PageKey;
+use crate::policy::{PolicyEngine, StateView};
 use crate::state::{blocked, done, Attempt, Blocked, Outcome, PushOrigin, PvmState, StubsTo};
 use crate::stats::Counter;
 use crate::trace::TraceEvent;
 use chorus_gmi::GmiError;
 use chorus_hal::{FrameNo, OpKind};
+
+/// Result of one victim-selection round against the policy engine.
+enum Pick {
+    /// A page to clean or evict right now.
+    Victim(PageKey),
+    /// The external policy wants the segment manager's advice on this
+    /// candidate batch before anything is evicted (blocked action).
+    Advice(Vec<PageKey>),
+    /// Nothing evictable.
+    None,
+}
 
 impl PvmState {
     /// Allocates a frame, running page replacement when the pool is dry.
@@ -54,7 +66,7 @@ impl PvmState {
             }
             if self.config.enable_pageout {
                 match self.select_victim() {
-                    Some(victim) => {
+                    Pick::Victim(victim) => {
                         if self.page(victim).dirty {
                             match self.start_clean(victim, PushOrigin::Demand)? {
                                 Outcome::Blocked(b) => return blocked(b),
@@ -65,7 +77,10 @@ impl PvmState {
                             continue;
                         }
                     }
-                    None => {
+                    Pick::Advice(pages) => {
+                        return blocked(self.victim_advice_blocked(pages));
+                    }
+                    Pick::None => {
                         // No victim, but the completion engine owes work
                         // (e.g. every candidate is `cleaning` under an
                         // in-flight laundering push): delivering a
@@ -105,50 +120,61 @@ impl PvmState {
         result
     }
 
-    /// One clock sweep over the resident ring: clears reference bits and
-    /// skips pinned/cleaning pages. Every ring entry is a live page
-    /// (freed pages leave the ring eagerly), so there is no stale-key
-    /// compaction — each `advance` examines a real candidate.
-    fn select_victim(&mut self) -> Option<PageKey> {
-        if self.resident.is_empty() {
-            return None;
+    /// One victim-selection call into the policy engine (the default
+    /// `Clock` policy reproduces the classic two-sweep clock, reference
+    /// bit clearing and `ClockFullSweeps` accounting included). Every
+    /// tracked entry is a live page (freed pages leave the policy
+    /// eagerly), so no stale-key compaction is needed.
+    fn select_victim(&mut self) -> Pick {
+        self.stats.bump(Counter::PolicyVictimRequests);
+        let mut engine = core::mem::replace(&mut self.policy, PolicyEngine::placeholder());
+        let out = engine.select_victims(
+            1,
+            &mut StateView {
+                pages: &mut self.pages,
+                caches: &self.caches,
+            },
+        );
+        self.policy = engine;
+        // The clock's sweep bookkeeping, exactly as before the policy
+        // split: `step / n` full sweeps on success, two on exhaustion,
+        // a trace event whenever the count is positive.
+        self.stats.add(Counter::ClockFullSweeps, out.full_sweeps);
+        if out.full_sweeps > 0 {
+            let sweeps = out.full_sweeps;
+            self.trace.event(|| TraceEvent::ClockSweep { sweeps });
         }
-        let n = self.resident.len();
-        // Two full sweeps: the first clears reference bits, the second
-        // finds a victim even if everything was recently referenced.
-        for step in 0..(2 * n) {
-            let key = self.resident.advance().expect("ring emptied mid-sweep");
-            let page = self.pages.get_mut(key).expect("dead key in clock ring");
-            if page.lock_count > 0 || page.cleaning {
-                continue;
-            }
-            if page.ref_bit {
-                page.ref_bit = false;
-                continue;
-            }
-            // A quarantined cache's dirty page cannot be cleaned (its
-            // mapper failed permanently); picking it would leak the
-            // mapper error into an unrelated allocation. Clean pages of
-            // quarantined caches are still evictable.
-            if page.dirty
-                && self
-                    .caches
-                    .get(page.cache)
-                    .map(|c| c.poisoned)
-                    .unwrap_or(false)
-            {
-                continue;
-            }
-            let sweeps = (step / n) as u64;
-            self.stats.add(Counter::ClockFullSweeps, sweeps);
-            if sweeps > 0 {
-                self.trace.event(|| TraceEvent::ClockSweep { sweeps });
-            }
-            return Some(key);
+        if out.external_fallback {
+            self.stats.bump(Counter::PolicyExternalFallbacks);
         }
-        self.stats.add(Counter::ClockFullSweeps, 2);
-        self.trace.event(|| TraceEvent::ClockSweep { sweeps: 2 });
-        None
+        if let Some(&victim) = out.victims.first() {
+            self.stats.bump(Counter::PolicyVictims);
+            if self.telemetry.enabled() {
+                self.dim_cache(
+                    self.page(victim).cache,
+                    crate::telemetry::DimCounter::PolicyVictims,
+                    1,
+                );
+            }
+            return Pick::Victim(victim);
+        }
+        if let Some(pages) = out.need_advice {
+            return Pick::Advice(pages);
+        }
+        Pick::None
+    }
+
+    /// Builds the blocked `victimAdvice` action for a candidate batch:
+    /// resolves each page's public identity for the segment manager.
+    fn victim_advice_blocked(&self, pages: Vec<PageKey>) -> Blocked {
+        let idents = pages
+            .iter()
+            .map(|&p| {
+                let d = self.page(p);
+                (crate::keys::pub_cache(d.cache), d.offset)
+            })
+            .collect();
+        Blocked::VictimAdvice { pages, idents }
     }
 
     /// Emergency eviction pass (fault-recovery degradation): evicts every
@@ -160,8 +186,9 @@ impl PvmState {
     /// the number of frames freed.
     pub fn emergency_evict(&mut self) -> u64 {
         let candidates: Vec<PageKey> = self
-            .resident
-            .iter()
+            .policy
+            .keys()
+            .into_iter()
             .filter(|&k| {
                 self.pages
                     .get(k)
@@ -273,16 +300,21 @@ impl PvmState {
             if self.phys.lock().free_frames() >= high {
                 return done(());
             }
-            let Some(victim) = self.select_victim() else {
-                return done(());
-            };
-            if self.page(victim).dirty {
-                match self.start_clean(victim, PushOrigin::Daemon)? {
-                    Outcome::Blocked(b) => return blocked(b),
-                    Outcome::Done(()) => {}
+            match self.select_victim() {
+                Pick::Victim(victim) => {
+                    if self.page(victim).dirty {
+                        match self.start_clean(victim, PushOrigin::Daemon)? {
+                            Outcome::Blocked(b) => return blocked(b),
+                            Outcome::Done(()) => {}
+                        }
+                    } else {
+                        self.evict(victim);
+                    }
                 }
-            } else {
-                self.evict(victim);
+                Pick::Advice(pages) => {
+                    return blocked(self.victim_advice_blocked(pages));
+                }
+                Pick::None => return done(()),
             }
         }
     }
@@ -296,6 +328,7 @@ impl PvmState {
                 p.dirty = false;
                 // Make it an immediate eviction candidate.
                 p.ref_bit = false;
+                self.policy.cleaned(page);
             }
             self.stats.add(Counter::PushOuts, success as u64);
         }

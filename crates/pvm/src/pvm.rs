@@ -24,8 +24,7 @@ use crate::telemetry::{Dim, DimCounter, Telemetry, TelemetrySample};
 use crate::trace::{Phase, Resolution, TraceEvent, Tracer, UpcallKind, UpcallOutcome};
 use chorus_gmi::{
     Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, PullRequest,
-    PushRequest, RegionId, RegionStatus, Result, SegmentId, SegmentManager, SegmentManagerV2,
-    SyncShim, VirtAddr,
+    PushRequest, RegionId, RegionStatus, Result, SegmentId, SegmentManagerV2, VirtAddr,
 };
 use chorus_hal::{
     fx_hash_one, CostModel, CostParams, FrameStore, Mmu, PhysicalMemory, SoftMmu, TwoLevelMmu,
@@ -134,17 +133,12 @@ pub struct Pvm {
 }
 
 impl Pvm {
-    /// Creates a PVM with the given options and a classic synchronous
-    /// segment manager, adapted through the blanket
-    /// [`chorus_gmi::SyncShim`] so existing managers work unchanged.
-    pub fn new(options: PvmOptions, seg_mgr: Arc<dyn SegmentManager>) -> Pvm {
-        Pvm::new_v2(options, Arc::new(SyncShim::new(seg_mgr)))
-    }
-
-    /// Creates a PVM over a typed v2 segment manager
+    /// Creates a PVM over a v2 segment manager
     /// ([`chorus_gmi::SegmentManagerV2`]) — the native front of the
-    /// asynchronous upcall engine.
-    pub fn new_v2(options: PvmOptions, seg_mgr: Arc<dyn SegmentManagerV2>) -> Pvm {
+    /// asynchronous upcall engine. Classic synchronous (v1) managers
+    /// attach through [`chorus_gmi::SyncShim::wrap`], the only
+    /// remaining v1 bridge.
+    pub fn new(options: PvmOptions, seg_mgr: Arc<dyn SegmentManagerV2>) -> Pvm {
         let model = Arc::new(CostModel::new(options.cost.clone()));
         // With large pages on, the promotion threshold becomes the
         // geometry's large factor so the HAL tiers (buddy runs, large
@@ -1048,6 +1042,81 @@ impl Pvm {
                     }
                 }
             }
+            Blocked::VictimAdvice { pages, idents } => {
+                guard.stats.bump(Counter::PolicyExternalBatches);
+                if pages.is_empty() {
+                    guard.approve_external_victims(&[]);
+                    return Ok(guard);
+                }
+                // Candidates are live here: selection returned this
+                // action under the lock we still hold. They may die
+                // while the advice round trip runs below;
+                // `approve_external_victims` re-filters on return.
+                let cache = guard.page(pages[0]).cache;
+                if guard.config.async_upcalls {
+                    // Fire-and-collect, like a laundering push: the
+                    // mapper answers eagerly, the approval bookkeeping
+                    // waits for the completion's due time. Selection
+                    // falls back to the internal clock meanwhile, so
+                    // allocation never stalls on the advisor.
+                    let segment = ADVICE_SEGMENT;
+                    let id = guard.engine.register(segment);
+                    let inflight = guard.engine.inflight();
+                    guard.stats.bump(Counter::AsyncSubmits);
+                    guard.trace.event(|| TraceEvent::UpcallSubmit {
+                        kind: UpcallKind::VictimAdvice,
+                        segment: segment.0,
+                        offset: 0,
+                        size: 0,
+                        inflight,
+                    });
+                    let policy = guard.config.retry;
+                    let service = guard.upcall_service_ns(idents.len() as u64);
+                    let deadline_ns = request_deadline(guard.model.now().nanos(), &policy);
+                    drop(guard);
+                    let verdicts = self.seg_mgr.advise_victims(&idents);
+                    let approved = approved_victims(&pages, &verdicts);
+                    let mut guard = self.state.lock();
+                    let due = guard.model.now().nanos() + service;
+                    guard.engine.queue.insert(
+                        due,
+                        id,
+                        CompletionRecord {
+                            kind: UpcallKind::VictimAdvice,
+                            cache,
+                            segment,
+                            offset: 0,
+                            size: 0,
+                            pages: approved,
+                            result: Ok(()),
+                            retries: 0,
+                            deadline_ns,
+                        },
+                    );
+                    return Ok(guard);
+                }
+                drop(guard);
+                let t0 = self.trace.phase_start();
+                self.trace.event(|| TraceEvent::UpcallStart {
+                    kind: UpcallKind::VictimAdvice,
+                    segment: ADVICE_SEGMENT.0,
+                    offset: 0,
+                    size: idents.len() as u64,
+                });
+                let verdicts = self.seg_mgr.advise_victims(&idents);
+                self.trace.event(|| TraceEvent::UpcallEnd {
+                    kind: UpcallKind::VictimAdvice,
+                    outcome: UpcallOutcome::Ok,
+                    retries: 0,
+                });
+                self.trace.phase_end(Phase::PushOut, t0);
+                let approved = approved_victims(&pages, &verdicts);
+                let mut guard = self.state.lock();
+                // One advisory round trip on the wire.
+                guard.charge(chorus_hal::OpKind::IpcOp);
+                guard.approve_external_victims(&approved);
+                Ok(guard)
+            }
             Blocked::NeedSegment { cache } => {
                 drop(guard);
                 let segment = self.seg_mgr.create_segment_v2(pub_cache(cache));
@@ -1123,8 +1192,19 @@ impl CacheIo for Pvm {
             guard.cache(key)?;
             guard.ps()
         };
+        // Pages already landed by this delivery are pinned until the
+        // whole delivery completes: the evictions that later pages'
+        // frame allocations trigger must not take earlier pages of the
+        // same window (a clustered pull would eat its own head and the
+        // faulter would see "pullIn returned without fillUp"). The
+        // last — and in the unclustered case only — page needs no pin:
+        // nothing fills after it. Pins are dropped on every exit path.
+        let mut pinned: Vec<crate::keys::PageKey> = Vec::new();
         let mut cur = 0u64;
-        while cur < data.len() as u64 {
+        let result = loop {
+            if cur >= data.len() as u64 {
+                break Ok(());
+            }
             let page_off = offset + cur;
             debug_assert!(
                 page_off.is_multiple_of(ps),
@@ -1137,13 +1217,30 @@ impl CacheIo for Pvm {
             // then publish the landing frame. When the claim would
             // block (frame pool dry), fall back to the classic
             // blocked-action driver, which knows how to evict.
-            if !(self.parallel && self.fill_one_parallel(key, page_off, chunk)?) {
-                self.run(|s| s.fill_up_page_attempt(key, page_off, chunk))?;
-            }
+            let landed = if self.parallel && self.fill_one_parallel(key, page_off, chunk)? {
+                true
+            } else {
+                match self.run(|s| s.fill_up_page_attempt(key, page_off, chunk)) {
+                    Ok(()) => true,
+                    Err(e) => break Err(e),
+                }
+            };
             self.stub_cv.notify_all();
             cur += n;
+            if landed && cur < data.len() as u64 {
+                let mut guard = self.state.lock();
+                if let Some(p) = guard.pin_resident(key, page_off) {
+                    pinned.push(p);
+                }
+            }
+        };
+        if !pinned.is_empty() {
+            let mut guard = self.state.lock();
+            guard.unpin_pages(&pinned);
+            drop(guard);
+            self.stub_cv.notify_all();
         }
-        Ok(())
+        result
     }
 
     fn copy_back(&self, cache: CacheId, offset: u64, buf: &mut [u8]) -> Result<()> {
@@ -1600,6 +1697,26 @@ fn request_deadline(submit_ns: u64, policy: &chorus_gmi::RetryPolicy) -> u64 {
     } else {
         submit_ns.saturating_add(policy.deadline_ns)
     }
+}
+
+/// Sentinel segment id that carries `victimAdvice` completions through
+/// the engine's in-flight table: advice is addressed to the manager as
+/// a whole, not to any one segment, and no real segment ever gets this
+/// id (segment ids are small sequential integers).
+const ADVICE_SEGMENT: SegmentId = SegmentId(u64::MAX);
+
+/// Applies a `victimAdvice` verdict mask to its candidate batch: a
+/// candidate survives only where the mapper answered `true`; a short
+/// reply vetoes the missing tail.
+fn approved_victims(
+    pages: &[crate::keys::PageKey],
+    verdicts: &[bool],
+) -> Vec<crate::keys::PageKey> {
+    pages
+        .iter()
+        .zip(verdicts.iter().copied().chain(std::iter::repeat(false)))
+        .filter_map(|(&p, ok)| ok.then_some(p))
+        .collect()
 }
 
 /// Maps an upcall's final result onto the traced outcome.

@@ -39,6 +39,8 @@ pub struct CacheHeat {
     pub push_outs: u64,
     /// Pages evicted from this cache by the clock.
     pub evictions: u64,
+    /// Victims the replacement policy engine picked from this cache.
+    pub policy_victims: u64,
     /// Sequential-stream readahead window hits.
     pub readahead_hits: u64,
     /// Fault-stripe acquisitions for this cache (`parallel_faults`).
@@ -143,6 +145,30 @@ pub struct DomainHeat {
     pub contended: u64,
 }
 
+/// The replacement/readahead policy engine's identity and decision
+/// counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyHeat {
+    /// Label of the default replacement policy (`clock`, `lru`,
+    /// `wsclock`, `arc`, `external`).
+    pub replacement: &'static str,
+    /// Label of the readahead policy (`doubling`, `fifo`).
+    pub readahead: &'static str,
+    /// Per-segment replacement overrides in effect.
+    pub segment_overrides: u64,
+    /// Victim-selection rounds requested.
+    pub victim_requests: u64,
+    /// Victims actually produced.
+    pub victims: u64,
+    /// `victimAdvice` batches shipped to the external policy's manager.
+    pub external_batches: u64,
+    /// Candidates approved when advice was applied.
+    pub external_approvals: u64,
+    /// Selections served from the internal fallback clock while advice
+    /// was in flight.
+    pub external_fallbacks: u64,
+}
+
 /// The full `pvmtop` snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PvmTop {
@@ -163,6 +189,8 @@ pub struct PvmTop {
     /// Per-domain lock heat (state, phys, trans, fault stripes, gmap
     /// shards), in a fixed order.
     pub lock_domains: Vec<DomainHeat>,
+    /// The policy engine's identity and decision counters.
+    pub policy: PolicyHeat,
 }
 
 impl PvmTop {
@@ -206,6 +234,7 @@ pub(crate) fn snapshot(state: &PvmState) -> PvmTop {
                 pull_ins: dim(Dim::Cache, id, DimCounter::PullIns),
                 push_outs: dim(Dim::Cache, id, DimCounter::PushOuts),
                 evictions: dim(Dim::Cache, id, DimCounter::Evictions),
+                policy_victims: dim(Dim::Cache, id, DimCounter::PolicyVictims),
                 readahead_hits: dim(Dim::Cache, id, DimCounter::ReadaheadHits),
                 lock_acqs: dim(Dim::Cache, id, DimCounter::LockAcqs),
                 lock_contended: dim(Dim::Cache, id, DimCounter::LockContended),
@@ -292,6 +321,17 @@ pub(crate) fn snapshot(state: &PvmState) -> PvmTop {
         },
     ];
 
+    let policy = PolicyHeat {
+        replacement: state.policy.default_kind().label(),
+        readahead: state.policy.readahead.kind().label(),
+        segment_overrides: state.policy.override_count() as u64,
+        victim_requests: state.stats.get(C::PolicyVictimRequests),
+        victims: state.stats.get(C::PolicyVictims),
+        external_batches: state.stats.get(C::PolicyExternalBatches),
+        external_approvals: state.stats.get(C::PolicyExternalApprovals),
+        external_fallbacks: state.stats.get(C::PolicyExternalFallbacks),
+    };
+
     PvmTop {
         sim_ns: state.model.now().nanos(),
         caches,
@@ -300,6 +340,7 @@ pub(crate) fn snapshot(state: &PvmState) -> PvmTop {
         sample: state.live_sample(),
         gmap_shards: state.gmap.shard_occupancy(),
         lock_domains,
+        policy,
     }
 }
 
@@ -332,19 +373,43 @@ pub fn render(top: &PvmTop, n: usize) -> String {
         }
         out.push('\n');
     }
+    let pol = &top.policy;
+    out.push_str(&format!(
+        "        policy: {} (+{} overrides)  readahead={}  victims {}/{} req  \
+         external {}/{} appr  fallbacks {}\n",
+        pol.replacement,
+        pol.segment_overrides,
+        pol.readahead,
+        pol.victims,
+        pol.victim_requests,
+        pol.external_approvals,
+        pol.external_batches,
+        pol.external_fallbacks,
+    ));
 
     out.push_str(&format!(
-        "\n  {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}  {}\n",
-        "CACHE", "FAULTS", "PULLS", "PUSHES", "EVICT", "RAHIT", "LOCKHEAT", "RES", "DIRTY", "FLAGS"
+        "\n  {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}  {}\n",
+        "CACHE",
+        "FAULTS",
+        "PULLS",
+        "PUSHES",
+        "EVICT",
+        "PVICT",
+        "RAHIT",
+        "LOCKHEAT",
+        "RES",
+        "DIRTY",
+        "FLAGS"
     ));
     for c in top.caches.iter().take(n.max(1)) {
         out.push_str(&format!(
-            "  {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}  {}\n",
+            "  {:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}  {}\n",
             c.index,
             c.faults,
             c.pull_ins,
             c.push_outs,
             c.evictions,
+            c.policy_victims,
             c.readahead_hits,
             format!("{}/{}", c.lock_contended, c.lock_acqs),
             c.resident_pages,
@@ -403,6 +468,7 @@ mod tests {
             pull_ins: 0,
             push_outs: 0,
             evictions: 0,
+            policy_victims: 0,
             readahead_hits: 0,
             lock_acqs: 0,
             lock_contended: 0,
@@ -449,9 +515,21 @@ mod tests {
                     contended: 1,
                 },
             ],
+            policy: PolicyHeat {
+                replacement: "clock",
+                readahead: "doubling",
+                segment_overrides: 0,
+                victim_requests: 3,
+                victims: 2,
+                external_batches: 0,
+                external_approvals: 0,
+                external_fallbacks: 0,
+            },
         };
         let text = render(&top, 2);
         assert!(text.contains("pvmtop  sim=42 ns"));
+        assert!(text.contains("policy: clock (+0 overrides)  readahead=doubling  victims 2/3 req"));
+        assert!(text.contains("PVICT"));
         assert!(text.contains("... 1 more caches"));
         assert!(text.contains("lock heat (contended/acqs): state 3/12 stripe 1/4"));
         assert!(text.contains("LOCKHEAT"));

@@ -164,32 +164,38 @@ impl PvmState {
 
     /// The pull cluster window (in pages) for a miss of `cache` at
     /// `off`. Static `pull_cluster_pages` unless adaptive readahead is
-    /// on; then a miss landing exactly where the cache's previous
-    /// clustered pull ended continues a sequential stream and doubles
-    /// the window (up to `readahead_max_pages`), while any other
-    /// pattern resets it to the static base.
+    /// on; then the configured [`ReadaheadPolicy`] decides from the
+    /// cache's stream state (the default `DoublingWindow` doubles the
+    /// window up to `readahead_max_pages` when a miss lands exactly
+    /// where the previous clustered pull ended, and resets to the
+    /// static base otherwise).
+    ///
+    /// [`ReadaheadPolicy`]: crate::policy::ReadaheadPolicy
     fn pull_window(&mut self, cache: CacheKey, off: u64) -> chorus_gmi::Result<u64> {
         if !self.config.readahead_adaptive {
             return Ok(self.config.pull_cluster_pages);
         }
         let base = self.config.pull_cluster_pages.max(1);
         let cap = self.config.readahead_max_pages.max(base);
-        let (prev, ra_next) = {
+        let (window, next) = {
             let d = self.cache(cache)?;
-            let prev = if d.ra_window == 0 { base } else { d.ra_window };
-            (prev, d.ra_next)
+            (d.ra_window, d.ra_next)
         };
-        if ra_next != 0 && off == ra_next {
+        let dec = self.policy.readahead.window(&crate::policy::RaInput {
+            offset: off,
+            base,
+            cap,
+            window,
+            next,
+        });
+        if dec.hit {
             self.stats.bump(Counter::ReadaheadHits);
             self.dim_cache(cache, crate::telemetry::DimCounter::ReadaheadHits, 1);
-            let grown = prev.saturating_mul(2).min(cap);
-            if grown > prev {
-                self.stats.bump(Counter::ReadaheadRamps);
-            }
-            Ok(grown)
-        } else {
-            Ok(base)
         }
+        if dec.ramped {
+            self.stats.bump(Counter::ReadaheadRamps);
+        }
+        Ok(dec.pages)
     }
 
     /// True if the fragment policy of `cache` at `off` is

@@ -8,13 +8,13 @@
 //! [`Blocked`] action; the driver in `pvm.rs` releases the lock, performs
 //! the action, and retries the attempt.
 
-use crate::clock::ClockRing;
 use crate::config::PvmConfig;
 use crate::descriptors::{CacheDesc, ContextDesc, CowSource, Mapping, PageDesc, RegionDesc, Slot};
 use crate::domains::DomainLock;
 use crate::fastpath::TranslationCache;
 use crate::gmap::GlobalMap;
 use crate::keys::{CacheKey, CtxKey, PageKey, RegKey};
+use crate::policy::{PageIdent, PolicyEngine};
 use crate::stats::{Counter, StatsRegistry};
 use crate::telemetry::{Dim, DimCounter, SeriesRing, Telemetry, TelemetrySample, SERIES_CAP};
 use crate::trace::{TraceEvent, Tracer};
@@ -80,6 +80,18 @@ pub(crate) enum Blocked {
     /// (feeding a pending pull into the freed slot) and retries —
     /// instead of letting the queue grow without bound.
     Throttled,
+    /// The external replacement policy needs a `victimAdvice` upcall:
+    /// present the candidate batch to the segment manager and deliver
+    /// the approved subset back through
+    /// [`PvmState::approve_external_victims`] (directly in synchronous
+    /// mode; via a completion-engine record when `async_upcalls` is on).
+    VictimAdvice {
+        /// Candidate pages, in policy order.
+        pages: Vec<PageKey>,
+        /// Their public identities (cache id, offset), parallel to
+        /// `pages` — what the segment manager actually sees.
+        idents: Vec<(chorus_gmi::CacheId, u64)>,
+    },
     /// Ask the segment manager for write access (`getWriteAccess`).
     GetWriteAccess {
         /// The cache whose page needs write access (kept for telemetry
@@ -168,9 +180,11 @@ pub(crate) struct PvmState {
     pub fast: Arc<TranslationCache>,
     /// Owner page of each allocated frame (reverse of `PageDesc.frame`).
     pub frame_owner: FxHashMap<u32, PageKey>,
-    /// Clock-replacement candidate ring (every entry is a live page;
-    /// freed pages are removed eagerly).
-    pub resident: ClockRing,
+    /// The replacement/readahead policy engine (every tracked entry is a
+    /// live page; freed pages are removed eagerly). The default
+    /// configuration is one clock ring plus the doubling readahead
+    /// window — the pre-policy behaviour, bit for bit.
+    pub policy: PolicyEngine,
     /// The current user context.
     pub current: Option<CtxKey>,
     pub config: PvmConfig,
@@ -256,7 +270,7 @@ impl PvmState {
                 telemetry.clone(),
             )),
             frame_owner: FxHashMap::default(),
-            resident: ClockRing::new(),
+            policy: PolicyEngine::new(&config.policy),
             current: None,
             config,
             stats,
@@ -405,6 +419,33 @@ impl PvmState {
         self.pages.get_mut(k).expect("dangling page key")
     }
 
+    /// Pins the page resident at `(cache, offset)`, if any, and returns
+    /// its key. Used by `fillUp` to keep the already-landed pages of a
+    /// clustered delivery out of the victim pool while the rest of the
+    /// window is still landing.
+    pub fn pin_resident(&mut self, cache: CacheKey, offset: u64) -> Option<PageKey> {
+        // Uncharged lookup: the pin is kernel bookkeeping, not a
+        // modeled global-map operation (`slot()` would bill one).
+        match self.gmap.get(cache, offset) {
+            Some(Slot::Present(p)) => {
+                self.page_mut(p).lock_count += 1;
+                Some(p)
+            }
+            _ => None,
+        }
+    }
+
+    /// Releases pins taken with [`Self::pin_resident`]. Pages may have
+    /// died with their cache in the meantime; dead keys are skipped
+    /// (arena generations make reuse detection exact).
+    pub fn unpin_pages(&mut self, keys: &[PageKey]) {
+        for &p in keys {
+            if self.pages.contains(p) {
+                self.page_mut(p).lock_count -= 1;
+            }
+        }
+    }
+
     // ----- geometry helpers ------------------------------------------------
 
     #[inline]
@@ -480,7 +521,15 @@ impl PvmState {
             c.owned.insert(offset);
         }
         self.frame_owner.insert(frame.0, key);
-        self.resident.insert(key);
+        let segment = self.caches.get(cache).and_then(|c| c.segment).map(|s| s.0);
+        self.policy.insert(
+            key,
+            PageIdent {
+                cache: cache.index(),
+                offset,
+            },
+            segment,
+        );
         key
     }
 
@@ -510,7 +559,13 @@ impl PvmState {
             self.clear_slot(desc.cache, desc.offset);
         }
         self.frame_owner.remove(&desc.frame.0);
-        self.resident.remove(key);
+        self.policy.remove(
+            key,
+            PageIdent {
+                cache: desc.cache.index(),
+                offset: desc.offset,
+            },
+        );
         if release_frame {
             self.phys.lock().release(desc.frame);
         }
@@ -529,6 +584,9 @@ impl PvmState {
         let page = self.page_mut(key);
         page.mappings.push(Mapping { ctx, vpn, via });
         page.ref_bit = true;
+        // The policy's use signal (the clock reads the reference bit set
+        // above; recency policies queue the touch).
+        self.policy.touch(key);
         // Publish the translation so later soft faults on it skip the
         // state mutex. Only non-COW, non-stub resident pages ever get
         // here with the protection actually installed in the MMU.
@@ -730,7 +788,7 @@ impl PvmState {
             free_blocks_per_order: self.phys.lock().free_blocks_per_order(),
             inflight_upcalls: self.engine.inflight(),
             pending_pulls: self.engine.pending_pulls.len() as u64,
-            clock_ring_pages: self.resident.len() as u64,
+            clock_ring_pages: self.policy.tracked() as u64,
             gmap_slots: self.gmap.len() as u64,
             reserve_free: free.min(self.config.emergency_reserve_frames),
         }
@@ -753,6 +811,26 @@ impl PvmState {
         let sample = self.live_sample();
         self.series.push(sample);
         self.stats.bump(Counter::TelemetrySamples);
+    }
+
+    // ----- external replacement policy --------------------------------------
+
+    /// Delivers the approved subset of a `victimAdvice` batch to the
+    /// policy engine, dropping pages that died while the advice was in
+    /// flight. An empty delivery (failed or cancelled advice) still
+    /// clears the policy's in-flight flag so it can re-request.
+    pub(crate) fn approve_external_victims(&mut self, pages: &[PageKey]) {
+        let live: Vec<PageKey> = pages
+            .iter()
+            .copied()
+            .filter(|&p| self.pages.contains(p))
+            .collect();
+        self.stats
+            .add(Counter::PolicyExternalApprovals, live.len() as u64);
+        if live.is_empty() && !pages.is_empty() {
+            self.stats.bump(Counter::PolicyExternalFallbacks);
+        }
+        self.policy.approve_victims(&live);
     }
 
     // ----- charging ----------------------------------------------------------

@@ -218,6 +218,22 @@ counters! {
     /// Fault-stripe acquisitions that were contended (two faults raced
     /// on the same cache's stripe).
     cache_stripe_contended => CacheStripeContended,
+    /// Victim-selection rounds requested from the replacement policy
+    /// engine (demand allocation and the laundering daemon both count).
+    policy_victim_requests => PolicyVictimRequests,
+    /// Victims the policy engine actually produced (a request can come
+    /// up empty when every candidate is pinned or cleaning).
+    policy_victims => PolicyVictims,
+    /// Candidate batches shipped to an external policy's segment
+    /// manager through the `victimAdvice` upcall.
+    policy_external_batches => PolicyExternalBatches,
+    /// Candidate pages approved (still live) when external victim
+    /// advice was applied.
+    policy_external_approvals => PolicyExternalApprovals,
+    /// Selections the external policy served from its internal
+    /// fallback clock because advice was still in flight (or an entire
+    /// approved batch had died by delivery time).
+    policy_external_fallbacks => PolicyExternalFallbacks,
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();
@@ -324,7 +340,8 @@ mod tests {
     #[test]
     fn counter_labels_match_snapshot_fields() {
         assert_eq!(Counter::FastPathHits.label(), "fast_path_hits");
-        assert_eq!(Counter::ALL.len(), 51);
+        assert_eq!(Counter::ALL.len(), 56);
+        assert_eq!(Counter::PolicyVictims.label(), "policy_victims");
         assert_eq!(Counter::TelemetrySamples.label(), "telemetry_samples");
         assert_eq!(Counter::StateLockAcqs.label(), "state_lock_acqs");
         assert_eq!(Counter::PhysLockContended.label(), "phys_lock_contended");

@@ -112,6 +112,9 @@ dim_counters! {
     /// Fault-stripe acquisitions that missed the uncontended try-lock
     /// and had to block (per cache) — the "lock heat" of the entity.
     LockContended => "lock_contended",
+    /// Victims the replacement policy engine selected from the entity
+    /// (per cache).
+    PolicyVictims => "policy_victims",
 }
 
 /// Number of counters in one dimensional row.
@@ -399,7 +402,7 @@ mod tests {
         assert_eq!(Dim::Mapper.label(), "mapper");
         assert_eq!(DimCounter::Faults.label(), "faults");
         assert_eq!(DimCounter::ReadaheadHits.label(), "readahead_hits");
-        assert_eq!(N_DIM_COUNTERS, 11);
+        assert_eq!(N_DIM_COUNTERS, 12);
         assert_eq!(DimCounter::LockAcqs.label(), "lock_acqs");
         assert_eq!(DimCounter::LockContended.label(), "lock_contended");
     }

@@ -2,6 +2,7 @@
 
 use chorus_gmi::conformance::{self, Fixture};
 use chorus_gmi::testing::MemSegmentManager;
+use chorus_gmi::SyncShim;
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
 use std::sync::Arc;
@@ -16,12 +17,12 @@ fn pvm_passes_gmi_conformance() {
                 frames: 128,
                 cost: CostParams::zero(),
                 config: PvmConfig::builder()
-                    .check_invariants(true)
+                    .paging(|p| p.check_invariants(true))
                     .build()
                     .expect("valid config"),
                 ..PvmOptions::default()
             },
-            mgr.clone(),
+            SyncShim::wrap(mgr.clone()),
         ));
         Fixture { gmi, mgr }
     });
@@ -38,12 +39,12 @@ fn pvm_passes_gmi_conformance_under_pressure() {
                 frames: 6,
                 cost: CostParams::zero(),
                 config: PvmConfig::builder()
-                    .check_invariants(true)
+                    .paging(|p| p.check_invariants(true))
                     .build()
                     .expect("valid config"),
                 ..PvmOptions::default()
             },
-            mgr.clone(),
+            SyncShim::wrap(mgr.clone()),
         ));
         Fixture { gmi, mgr }
     });
@@ -61,15 +62,21 @@ fn pvm_passes_gmi_conformance_through_v2() {
         // into asynchronous submissions and the laundering daemon
         // issues fire-and-collect pushes.
         let config = PvmConfig::builder()
-            .check_invariants(true)
-            .pull_cluster_pages(4)
-            .readahead_max_pages(8)
-            .push_cluster_pages(4)
-            .writeback_daemon(true)
-            .writeback_low_frames(4)
-            .writeback_high_frames(8)
-            .async_upcalls(mode == V2Mode::NativeAsync)
-            .max_inflight_upcalls(2)
+            .paging(|p| {
+                p.check_invariants(true)
+                    .pull_cluster_pages(4)
+                    .readahead_max_pages(8)
+                    .push_cluster_pages(4)
+            })
+            .pressure(|p| {
+                p.writeback_daemon(true)
+                    .writeback_low_frames(4)
+                    .writeback_high_frames(8)
+            })
+            .r#async(|a| {
+                a.async_upcalls(mode == V2Mode::NativeAsync)
+                    .max_inflight_upcalls(2)
+            })
             .build()
             .expect("valid config");
         let options = PvmOptions {
@@ -80,9 +87,9 @@ fn pvm_passes_gmi_conformance_through_v2() {
             ..PvmOptions::default()
         };
         let gmi = Arc::new(match mode {
-            V2Mode::Shim => Pvm::new(options, mgr.clone()),
+            V2Mode::Shim => Pvm::new(options, SyncShim::wrap(mgr.clone())),
             V2Mode::NativeAsync => {
-                Pvm::new_v2(options, Arc::new(MemSegmentManagerV2::new(mgr.clone())))
+                Pvm::new(options, Arc::new(MemSegmentManagerV2::new(mgr.clone())))
             }
         });
         Fixture { gmi, mgr }

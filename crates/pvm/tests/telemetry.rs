@@ -18,9 +18,8 @@ fn telemetry_pvm(frames: u32, on: bool) -> Arc<Pvm> {
     let (pvm, _mgr) = setup_with(frames, |o| {
         o.cost = CostParams::sun3();
         o.config = PvmConfig::builder()
-            .check_invariants(true)
-            .telemetry(on)
-            .telemetry_sample_ns(100_000)
+            .paging(|p| p.check_invariants(true))
+            .telemetry(|t| t.telemetry(on).telemetry_sample_ns(100_000))
             .build()
             .expect("valid config");
     });
@@ -110,15 +109,13 @@ fn inflight_gauge_matches_completion_table() {
         cost: CostParams::sun3(),
         mmu: MmuChoice::Soft,
         config: PvmConfig::builder()
-            .check_invariants(true)
-            .telemetry(true)
-            .async_upcalls(true)
-            .pull_cluster_pages(4)
-            .max_inflight_upcalls(2)
+            .paging(|p| p.check_invariants(true).pull_cluster_pages(4))
+            .telemetry(|t| t.telemetry(true))
+            .r#async(|a| a.async_upcalls(true).max_inflight_upcalls(2))
             .build()
             .expect("valid config"),
     };
-    let pvm = Arc::new(Pvm::new_v2(
+    let pvm = Arc::new(Pvm::new(
         options,
         Arc::new(MemSegmentManagerV2::new(mgr.clone())),
     ));

@@ -2,8 +2,7 @@
 
 use chorus_gmi::{
     Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, PullRequest,
-    PushRequest, RegionId, RegionStatus, Result, SegmentId, SegmentManager, SegmentManagerV2,
-    SyncShim, VirtAddr,
+    PushRequest, RegionId, RegionStatus, Result, SegmentId, SegmentManagerV2, VirtAddr,
 };
 use chorus_hal::{
     Arena, CostModel, CostParams, FrameNo, Id, Mmu, MmuCtx, OpKind, PhysicalMemory, SoftMmu,
@@ -121,15 +120,10 @@ fn region_key(id: RegionId) -> Id<RtRegion> {
 }
 
 impl MinimalMm {
-    /// Creates the manager over a v1 [`SegmentManager`], adapted through
-    /// the [`SyncShim`] (submissions complete synchronously).
-    pub fn new(options: MinimalOptions, seg_mgr: Arc<dyn SegmentManager>) -> MinimalMm {
-        MinimalMm::new_v2(options, Arc::new(SyncShim::new(seg_mgr)))
-    }
-
     /// Creates the manager over a typed v2 segment manager
-    /// ([`SegmentManagerV2`]), the native request interface.
-    pub fn new_v2(options: MinimalOptions, seg_mgr: Arc<dyn SegmentManagerV2>) -> MinimalMm {
+    /// ([`SegmentManagerV2`]), the native request interface. v1
+    /// managers attach through `SyncShim::wrap`.
+    pub fn new(options: MinimalOptions, seg_mgr: Arc<dyn SegmentManagerV2>) -> MinimalMm {
         let model = Arc::new(CostModel::new(options.cost.clone()));
         let phys = PhysicalMemory::new(options.geometry, options.frames, model.clone());
         let mmu: Box<dyn Mmu> = Box::new(SoftMmu::new(options.geometry, model.clone()));
@@ -973,7 +967,7 @@ mod tests {
                     frames,
                     cost: CostParams::zero(),
                 },
-                mgr.clone(),
+                chorus_gmi::SyncShim::wrap(mgr.clone()),
             ),
             mgr,
         )

@@ -23,12 +23,12 @@ fn minimal_mm_passes_gmi_conformance_both_v2_modes() {
     conformance::run_v2(|mode| {
         let mgr = Arc::new(MemSegmentManager::new());
         let gmi = Arc::new(match mode {
-            // `MinimalMm::new` adapts the v1 manager through SyncShim.
-            V2Mode::Shim => MinimalMm::new(options(), mgr.clone()),
+            // The v1 manager attaches through the SyncShim bridge.
+            V2Mode::Shim => MinimalMm::new(options(), SyncShim::wrap(mgr.clone())),
             // The minimal manager has no completion engine; "native"
             // means a first-class v2 implementation, still synchronous.
             V2Mode::NativeAsync => {
-                MinimalMm::new_v2(options(), Arc::new(MemSegmentManagerV2::new(mgr.clone())))
+                MinimalMm::new(options(), Arc::new(MemSegmentManagerV2::new(mgr.clone())))
             }
         });
         Fixture { gmi, mgr }
@@ -45,7 +45,7 @@ fn sync_shim_adapter_passes_gmi_conformance() {
         let mgr = Arc::new(MemSegmentManager::new());
         let v1: Arc<dyn SegmentManager> = mgr.clone();
         let shim: Arc<dyn SegmentManagerV2> = Arc::new(SyncShim::new(v1));
-        let gmi = Arc::new(MinimalMm::new_v2(options(), shim));
+        let gmi = Arc::new(MinimalMm::new(options(), shim));
         Fixture { gmi, mgr }
     });
 }

@@ -13,8 +13,7 @@ use crate::objects::{
 };
 use chorus_gmi::{
     Access, CacheId, CacheIo, CopyMode, CtxId, Gmi, GmiError, PageGeometry, Prot, PullRequest,
-    PushRequest, RegionId, RegionStatus, Result, SegmentId, SegmentManager, SegmentManagerV2,
-    SyncShim, VirtAddr,
+    PushRequest, RegionId, RegionStatus, Result, SegmentId, SegmentManagerV2, VirtAddr,
 };
 use chorus_hal::{
     Arena, CostModel, CostParams, FrameNo, Id, Mmu, OpKind, PhysicalMemory, SoftMmu, Vpn,
@@ -162,14 +161,9 @@ fn sregion_key(id: RegionId) -> SRegKey {
 }
 
 impl ShadowVm {
-    /// Creates a shadow-object manager over a v1 [`SegmentManager`],
-    /// adapted through [`SyncShim`].
-    pub fn new(options: ShadowOptions, seg_mgr: Arc<dyn SegmentManager>) -> ShadowVm {
-        ShadowVm::new_v2(options, Arc::new(SyncShim::new(seg_mgr)))
-    }
-
     /// Creates a shadow-object manager over a v2 [`SegmentManagerV2`].
-    pub fn new_v2(options: ShadowOptions, seg_mgr: Arc<dyn SegmentManagerV2>) -> ShadowVm {
+    /// v1 managers attach through `SyncShim::wrap`.
+    pub fn new(options: ShadowOptions, seg_mgr: Arc<dyn SegmentManagerV2>) -> ShadowVm {
         let model = Arc::new(CostModel::new(options.cost.clone()));
         let phys = PhysicalMemory::new(options.geometry, options.frames, model.clone());
         let mmu: Box<dyn Mmu> = Box::new(SoftMmu::new(options.geometry, model.clone()));

@@ -3,6 +3,7 @@
 
 use chorus_gmi::conformance::{self, Fixture};
 use chorus_gmi::testing::MemSegmentManager;
+use chorus_gmi::SyncShim;
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_shadow::{ShadowOptions, ShadowVm};
 use std::sync::Arc;
@@ -18,7 +19,7 @@ fn shadow_passes_gmi_conformance() {
                 cost: CostParams::zero(),
                 collapse_chains: true,
             },
-            mgr.clone(),
+            SyncShim::wrap(mgr.clone()),
         ));
         Fixture { gmi, mgr }
     });
@@ -41,9 +42,9 @@ fn shadow_passes_gmi_conformance_through_v2() {
         // the native mode checks the typed v2 requests it emits
         // directly, and the shim mode checks the blanket adapter.
         let gmi = Arc::new(match mode {
-            V2Mode::Shim => ShadowVm::new(options, mgr.clone()),
+            V2Mode::Shim => ShadowVm::new(options, SyncShim::wrap(mgr.clone())),
             V2Mode::NativeAsync => {
-                ShadowVm::new_v2(options, Arc::new(MemSegmentManagerV2::new(mgr.clone())))
+                ShadowVm::new(options, Arc::new(MemSegmentManagerV2::new(mgr.clone())))
             }
         });
         Fixture { gmi, mgr }

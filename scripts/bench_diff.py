@@ -9,10 +9,20 @@ reference against a fresh run — and prints the per-field deltas:
 
     scripts/bench_diff.py BENCH_largepages.json /tmp/fresh.json
 
+Fields split into two classes:
+
+* **Gating** — simulated clocks, fault/eviction/upcall counters and
+  every other product of the deterministic cost model. The workloads
+  are seedless and the determinism rule forbids observability from
+  advancing the clock, so any drift here is a behaviour change; the
+  exit status is 1 and verify.sh fails.
+* **Warn-only** — wall-clock times and their derivatives (throughputs,
+  speedups, lock contention, machine core counts). These move with the
+  host; they are reported but never fail the run.
+
 Rows are matched positionally after checking that their identifying
-(non-numeric) fields agree; a shape mismatch is an error, not a
-silent skip. Exit status is 1 when any numeric field differs, so the
-script doubles as a regression tripwire in shell pipelines.
+fields (non-numeric, non-warn) agree; a shape mismatch is an error,
+not a silent skip.
 
 Stdlib only — no third-party imports.
 """
@@ -20,9 +30,30 @@ Stdlib only — no third-party imports.
 import json
 import sys
 
+# Substrings that mark a field as machine-dependent (wall-clock time or
+# anything derived from it). Matched case-insensitively against the
+# final key segment.
+WARN_PATTERNS = (
+    "wall",
+    "fps",
+    "per_sec",
+    "speedup",
+    "contended",
+    "contention",
+    "overhead",
+    "cores",
+    "reason",
+    "asserted",
+)
+
 
 def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_warn_field(key):
+    k = key.lower()
+    return any(p in k for p in WARN_PATTERNS)
 
 
 def fmt(v):
@@ -31,7 +62,13 @@ def fmt(v):
     return str(v)
 
 
-def diff_scalar(path, a, b, changes):
+def sink(path, key, gating, warns):
+    """The list a difference at `path` (final segment `key`) lands in."""
+    return warns if is_warn_field(key) else gating
+
+
+def diff_scalar(path, key, a, b, gating, warns):
+    out = sink(path, key, gating, warns)
     if is_number(a) and is_number(b):
         if a == b:
             return
@@ -40,23 +77,29 @@ def diff_scalar(path, a, b, changes):
             rel = f" ({delta / a:+.1%})"
         else:
             rel = ""
-        changes.append(f"  {path}: {fmt(a)} -> {fmt(b)} [{delta:+g}{rel}]")
+        out.append(f"  {path}: {fmt(a)} -> {fmt(b)} [{delta:+g}{rel}]")
     elif a != b:
-        changes.append(f"  {path}: {a!r} -> {b!r}")
+        out.append(f"  {path}: {a!r} -> {b!r}")
 
 
 def row_identity(row):
-    """The non-numeric fields that name a configuration row."""
-    return {k: v for k, v in row.items() if not is_number(v)}
+    """The fields that name a configuration row: non-numeric,
+    non-machine-dependent scalars (lists of numbers — e.g. per-rep
+    wall throughputs — are measurements, not identity)."""
+    return {
+        k: v
+        for k, v in row.items()
+        if not is_number(v) and not isinstance(v, list) and not is_warn_field(k)
+    }
 
 
-def diff_obj(prefix, a, b, changes):
+def diff_obj(prefix, a, b, gating, warns):
     for key in a:
         if key not in b:
-            changes.append(f"  {prefix}{key}: only in first file")
+            gating.append(f"  {prefix}{key}: only in first file")
     for key in b:
         if key not in a:
-            changes.append(f"  {prefix}{key}: only in second file")
+            gating.append(f"  {prefix}{key}: only in second file")
     for key, va in a.items():
         if key not in b:
             continue
@@ -74,13 +117,13 @@ def diff_obj(prefix, a, b, changes):
                             f"configurations: {ida} vs {idb}"
                         )
                     label = "/".join(fmt(v) for v in ida.values()) or str(i)
-                    diff_obj(f"{path}[{label}].", ra, rb, changes)
+                    diff_obj(f"{path}[{label}].", ra, rb, gating, warns)
                 else:
-                    diff_scalar(f"{path}[{i}]", ra, rb, changes)
+                    diff_scalar(f"{path}[{i}]", key, ra, rb, gating, warns)
         elif isinstance(va, dict) and isinstance(vb, dict):
-            diff_obj(f"{path}.", va, vb, changes)
+            diff_obj(f"{path}.", va, vb, gating, warns)
         else:
-            diff_scalar(path, va, vb, changes)
+            diff_scalar(path, key, va, vb, gating, warns)
 
 
 def main():
@@ -100,16 +143,22 @@ def main():
             f"error: different benches: "
             f"{a.get('bench')!r} vs {b.get('bench')!r}"
         )
-    changes = []
-    diff_obj("", a, b, changes)
+    gating = []
+    warns = []
+    diff_obj("", a, b, gating, warns)
     name = a.get("bench", "?")
-    if not changes:
+    if not gating and not warns:
         print(f"{name}: identical")
         return
-    print(f"{name}: {len(changes)} field(s) differ")
-    for line in changes:
-        print(line)
-    sys.exit(1)
+    if warns:
+        print(f"{name}: {len(warns)} wall-clock field(s) differ (warn-only)")
+        for line in warns:
+            print(line)
+    if gating:
+        print(f"{name}: {len(gating)} deterministic field(s) differ")
+        for line in gating:
+            print(line)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

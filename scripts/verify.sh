@@ -15,7 +15,10 @@
 # smoke (retries must heal transient faults with zero client errors),
 # the telemetry smoke (the knob must be free when off — bit-identical
 # sim clocks — and cost <=5% wall when on, with pvmtop attributing a
-# seeded hot-cache/sick-mapper scenario), the pvmtop render smoke, the
+# seeded hot-cache/sick-mapper scenario), the policy-matrix smoke
+# (every built-in replacement policy races the three ablation_policies
+# scenarios with per-combo determinism self-checks and byte-verified
+# workloads), the pvmtop render smoke, the
 # release-mode concurrency stress, and the tracing
 # bit-identity check (Table 5 regenerated with CHORUS_TRACE=1 must
 # match the committed reports/table5.txt byte for byte — the
@@ -23,8 +26,9 @@
 #
 # Every ablation smoke tees its --json output to a stable
 # BENCH_<name>.json at the repo root; the committed copies are the
-# reference artifacts, and the final warn-only step runs
-# scripts/bench_diff.py fresh-vs-committed to surface drift.
+# reference artifacts, and the final step runs scripts/bench_diff.py
+# fresh-vs-committed: deterministic (sim-clock / fault-counter) drift
+# fails the run, wall-clock drift is warn-only.
 #
 # Usage: scripts/verify.sh            (from the repo root or anywhere)
 
@@ -183,6 +187,32 @@ print("ok: pullIn upcalls %d -> %d, sim %.1f -> %.1f ms"
          base["sim_ms"], clustered["sim_ms"]))
 '
 
+step "ablation_policies --quick: every replacement policy raced"
+# The bench asserts internally that every combination re-runs
+# bit-identically (per-combo determinism self-check on the writeback
+# scenario), that a config which never names the policy section is
+# bit-identical to an explicit clock+doubling selection, and that each
+# workload's bytes survive every policy (no dirty-page loss).
+cargo run --release -q -p chorus-bench --bin ablation_policies -- --json --quick |
+  tee BENCH_policies.json |
+  python3 -c '
+import json, sys
+out = json.load(sys.stdin)
+rows = out["rows"]
+kinds = {"clock", "lru", "wsclock", "arc", "external"}
+for scenario in ("scale", "writeback", "pressure"):
+    have = {r["replacement"] for r in rows if r["scenario"] == scenario}
+    assert have >= kinds, (scenario, have)
+assert all(r["victims"] >= r["evictions"] > 0 for r in rows), \
+    "an eviction bypassed the policy engine"
+ext = [r for r in rows if r["replacement"] == "external"]
+assert ext and all(r["external_batches"] > 0 for r in ext), ext
+best = min((r for r in rows if r["scenario"] == "pressure"),
+           key=lambda r: r["faults"])
+print("ok: %d rows, every eviction policy-driven; hot/cold winner %s (%d faults)"
+      % (len(rows), best["replacement"], best["faults"]))
+'
+
 step "ablation_mapper_faults: retries heal transient faults"
 cargo run --release -q -p chorus-bench --bin ablation_mapper_faults -- --json |
   tee BENCH_mapper_faults.json |
@@ -247,16 +277,25 @@ diff -u reports/table5.txt "$tmp" ||
   { echo "FAIL: table5 output with tracing on differs from reports/table5.txt"; exit 1; }
 echo "ok"
 
-step "bench drift vs committed references (warn-only)"
-# Wall-clock fields move with the machine; this report surfaces the
-# deltas without failing the run. A missing reference just means the
-# bench is new this cycle.
+step "bench drift vs committed references (sim/fault fields gate)"
+# The deterministic fields — simulated clocks, fault and upcall
+# counters — must match the committed references bit for bit; any
+# drift there is a behaviour change and fails the run (regenerate and
+# commit the references when the change is intended). Wall-clock
+# fields and their derivatives move with the machine and stay
+# warn-only. A missing reference just means the bench is new this
+# cycle.
+drift=0
 for f in BENCH_*.json; do
   if [ -f "$refdir/$f" ]; then
-    python3 scripts/bench_diff.py "$refdir/$f" "$f" || true
+    python3 scripts/bench_diff.py "$refdir/$f" "$f" || drift=1
   else
     echo "  $f: no committed reference (new bench)"
   fi
 done
+if [ "$drift" -ne 0 ]; then
+  echo "FAIL: deterministic bench fields drifted from the committed references"
+  exit 1
+fi
 
 printf '\nverify: all checks passed\n'

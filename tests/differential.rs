@@ -11,7 +11,7 @@
 //! during the random walks.
 
 use chorus_gmi::testing::MemSegmentManager;
-use chorus_gmi::{CacheId, CopyMode, Gmi};
+use chorus_gmi::{CacheId, CopyMode, Gmi, SyncShim};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_pvm::trace::{Resolution, TraceEvent};
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions, TraceConfig};
@@ -336,16 +336,18 @@ fn pvm_with_manager(frames: u32) -> (Arc<Pvm>, Arc<MemSegmentManager>) {
             frames,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(true)
-                .trace(TraceConfig {
-                    enabled: true,
-                    ..TraceConfig::default()
+                .paging(|p| p.check_invariants(true))
+                .telemetry(|t| {
+                    t.trace(TraceConfig {
+                        enabled: true,
+                        ..TraceConfig::default()
+                    })
                 })
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        mgr.clone(),
+        SyncShim::wrap(mgr.clone()),
     ));
     (pvm, mgr)
 }
@@ -359,7 +361,7 @@ fn shadow_under_test(frames: u32) -> Arc<chorus_shadow::ShadowVm> {
             cost: CostParams::zero(),
             collapse_chains: true,
         },
-        mgr,
+        SyncShim::wrap(mgr),
     ))
 }
 

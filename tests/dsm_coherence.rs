@@ -2,7 +2,7 @@
 //! `chorus_nucleus::dsm` single-writer/multiple-reader manager with real
 //! PVM sites.
 
-use chorus_gmi::{Gmi, Prot, SegmentId, VirtAddr};
+use chorus_gmi::{Gmi, Prot, SegmentId, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_nucleus::{DsmDirectory, DsmSiteManager};
 use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
@@ -29,12 +29,12 @@ fn build(sites: usize, pages: u64) -> (Arc<DsmDirectory>, Vec<Site>) {
                 frames: 64,
                 cost: CostParams::zero(),
                 config: PvmConfig::builder()
-                    .check_invariants(true)
+                    .paging(|p| p.check_invariants(true))
                     .build()
                     .expect("valid config"),
                 ..PvmOptions::default()
             },
-            mgr,
+            SyncShim::wrap(mgr),
         ));
         let cache = pvm.cache_create(Some(SegmentId(1))).unwrap();
         let ctx = pvm.context_create().unwrap();

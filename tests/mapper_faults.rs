@@ -10,7 +10,7 @@
 //! with an error rather than deadlocking, and a failed pageout never
 //! loses a dirty page that a later successful retry can write back.
 
-use chorus_gmi::{Gmi, GmiError, Prot, RetryPolicy, VirtAddr};
+use chorus_gmi::{Gmi, GmiError, Prot, RetryPolicy, SyncShim, VirtAddr};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_nucleus::{
     FaultPlan, FaultyMapper, MemMapper, NucleusSegmentManager, PortName, SwapMapper,
@@ -54,10 +54,12 @@ fn stack(
     // The whole fault-injection suite runs traced: recovery must be
     // byte-identical with observability on.
     let mut config = PvmConfig::builder()
-        .check_invariants(true)
-        .trace(TraceConfig {
-            enabled: true,
-            ..TraceConfig::default()
+        .paging(|p| p.check_invariants(true))
+        .telemetry(|t| {
+            t.trace(TraceConfig {
+                enabled: true,
+                ..TraceConfig::default()
+            })
         })
         .build()
         .expect("valid config");
@@ -70,7 +72,7 @@ fn stack(
             config,
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     faulty_files.attach_clock(pvm.cost_model());
     faulty_swap.attach_clock(pvm.cost_model());
@@ -826,13 +828,13 @@ fn ooo_stack() -> FaultStack {
     seg_mgr.register_mapper(PortName(2), faulty_swap.clone());
     seg_mgr.set_default_mapper(PortName(2));
     let config = PvmConfig::builder()
-        .check_invariants(true)
-        .push_cluster_pages(8)
-        .writeback_daemon(true)
-        .writeback_low_frames(4)
-        .writeback_high_frames(6)
-        .async_upcalls(true)
-        .max_inflight_upcalls(4)
+        .paging(|p| p.check_invariants(true).push_cluster_pages(8))
+        .r#async(|a| a.async_upcalls(true).max_inflight_upcalls(4))
+        .pressure(|pr| {
+            pr.writeback_daemon(true)
+                .writeback_low_frames(4)
+                .writeback_high_frames(6)
+        })
         .build()
         .expect("valid config");
     let pvm = Arc::new(Pvm::new(
@@ -843,7 +845,7 @@ fn ooo_stack() -> FaultStack {
             config,
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     faulty_files.attach_clock(pvm.cost_model());
     faulty_swap.attach_clock(pvm.cost_model());

@@ -9,11 +9,13 @@
 //! identical observable behaviour. The stack is written once, generic
 //! over `Gmi`; only the constructor below differs.
 
-use chorus_gmi::Gmi;
+use chorus_gmi::{Gmi, Prot, RetryPolicy, SyncShim};
 use chorus_hal::{CostParams, PageGeometry};
 use chorus_mix::{ProcessManager, ProgramStore};
-use chorus_nucleus::{MemMapper, Nucleus, NucleusSegmentManager, PortName, SwapMapper};
-use chorus_pvm::{Pvm, PvmConfig, PvmOptions};
+use chorus_nucleus::{
+    FaultPlan, FaultyMapper, MemMapper, Nucleus, NucleusSegmentManager, PortName, SwapMapper,
+};
+use chorus_pvm::{Pvm, PvmConfig, PvmOptions, ReadaheadKind, ReplacementKind};
 use chorus_shadow::{ShadowOptions, ShadowVm};
 use chorus_vm::gmi::VirtAddr;
 use std::sync::Arc;
@@ -110,12 +112,12 @@ fn nucleus_and_mix_behave_identically_over_both_memory_managers() {
             frames: 1024,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(true)
+                .paging(|p| p.check_invariants(true))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let pm = stack(pvm, seg_mgr, files);
     let pvm_obs = unix_workload(&pm);
@@ -129,7 +131,7 @@ fn nucleus_and_mix_behave_identically_over_both_memory_managers() {
             cost: CostParams::zero(),
             collapse_chains: true,
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let pm = stack(shadow, seg_mgr, files);
     let shadow_obs = unix_workload(&pm);
@@ -152,7 +154,7 @@ fn minimal_rt_mm_runs_the_same_workload() {
             frames: 4096,
             cost: CostParams::zero(),
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let pm = stack(rt, seg_mgr, files);
     let rt_obs = unix_workload(&pm);
@@ -164,12 +166,12 @@ fn minimal_rt_mm_runs_the_same_workload() {
             frames: 1024,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(true)
+                .paging(|p| p.check_invariants(true))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let pm = stack(pvm, seg_mgr, files);
     assert_eq!(rt_obs, unix_workload(&pm));
@@ -187,11 +189,11 @@ fn mmu_backends_behave_identically_under_the_full_stack() {
                 cost: CostParams::zero(),
                 mmu,
                 config: PvmConfig::builder()
-                    .check_invariants(true)
+                    .paging(|p| p.check_invariants(true))
                     .build()
                     .expect("valid config"),
             },
-            seg_mgr.clone(),
+            SyncShim::wrap(seg_mgr.clone()),
         ));
         let pm = stack(pvm, seg_mgr, files);
         results.push(unix_workload(&pm));
@@ -210,12 +212,12 @@ fn workload_survives_memory_pressure_on_the_pvm() {
             frames: 4,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(true)
+                .paging(|p| p.check_invariants(true))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let pm = stack(pvm.clone(), seg_mgr, files);
     let pressured = unix_workload(&pm);
@@ -229,14 +231,267 @@ fn workload_survives_memory_pressure_on_the_pvm() {
             frames: 1024,
             cost: CostParams::zero(),
             config: PvmConfig::builder()
-                .check_invariants(true)
+                .paging(|p| p.check_invariants(true))
                 .build()
                 .expect("valid config"),
             ..PvmOptions::default()
         },
-        seg_mgr.clone(),
+        SyncShim::wrap(seg_mgr.clone()),
     ));
     let pm = stack(roomy, seg_mgr, files);
     assert_eq!(pressured, unix_workload(&pm));
-    let _ = VirtAddr(0); // Imported for symmetry with sibling tests.
+}
+
+// ===== replaceable policies: the same claim one layer down ==================
+//
+// §5.2's replaceable-unit argument applies inside the PVM too: the
+// replacement and readahead policies are trait objects behind
+// `PolicyConfig`, and swapping them may change *performance* but never
+// observable behaviour. These tests race every built-in policy through
+// the identical Nucleus + MIX stack.
+
+/// A PVM squeezed far below the working set, with the given policies.
+fn pressured_pvm(
+    seg_mgr: Arc<NucleusSegmentManager>,
+    replacement: ReplacementKind,
+    readahead: ReadaheadKind,
+) -> Arc<Pvm> {
+    Arc::new(Pvm::new(
+        PvmOptions {
+            geometry: PageGeometry::new(PS),
+            frames: 4,
+            cost: CostParams::zero(),
+            config: PvmConfig::builder()
+                .paging(|p| p.check_invariants(true))
+                .policy(|p| p.replacement(replacement).readahead(readahead))
+                .build()
+                .expect("valid config"),
+            ..PvmOptions::default()
+        },
+        SyncShim::wrap(seg_mgr),
+    ))
+}
+
+#[test]
+fn every_replacement_policy_preserves_workload_behaviour_under_pressure() {
+    // Roomy reference with the default (clock/doubling) policies.
+    let (seg_mgr, files) = managers();
+    let roomy = Arc::new(Pvm::new(
+        PvmOptions {
+            geometry: PageGeometry::new(PS),
+            frames: 1024,
+            cost: CostParams::zero(),
+            config: PvmConfig::builder()
+                .paging(|p| p.check_invariants(true))
+                .build()
+                .expect("valid config"),
+            ..PvmOptions::default()
+        },
+        SyncShim::wrap(seg_mgr.clone()),
+    ));
+    let pm = stack(roomy, seg_mgr, files);
+    let reference = unix_workload(&pm);
+
+    // Every replacement policy, plus the fifo readahead baseline.
+    let mut combos: Vec<(ReplacementKind, ReadaheadKind)> = ReplacementKind::ALL
+        .into_iter()
+        .map(|r| (r, ReadaheadKind::Doubling))
+        .collect();
+    combos.push((ReplacementKind::Clock, ReadaheadKind::Fifo));
+
+    for (replacement, readahead) in combos {
+        let label = format!("{}/{}", replacement.label(), readahead.label());
+        let (seg_mgr, files) = managers();
+        let pvm = pressured_pvm(seg_mgr.clone(), replacement, readahead);
+        let pm = stack(pvm.clone(), seg_mgr, files);
+        assert_eq!(unix_workload(&pm), reference, "{label} diverged");
+
+        let stats = pvm.stats();
+        assert!(stats.evictions > 0, "{label}: pressure must actually evict");
+        assert!(
+            stats.policy_victim_requests > 0 && stats.policy_victims >= stats.evictions,
+            "{label}: victim selection bypassed the policy engine: {stats:?}"
+        );
+        if replacement == ReplacementKind::External {
+            assert!(
+                stats.policy_external_batches > 0,
+                "{label}: external policy never consulted the manager: {stats:?}"
+            );
+        } else {
+            assert_eq!(
+                stats.policy_external_batches, 0,
+                "{label}: kernel-resident policy issued victimAdvice upcalls"
+            );
+        }
+    }
+}
+
+/// A tiny deterministic PRNG for the differential fault workload (the
+/// mapper's own fault schedule uses its independent seeded RNG).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+#[test]
+fn no_policy_loses_dirty_pages_under_mapper_faults() {
+    // Cross-policy differential: the same seeded workload over faulty
+    // mappers, once per replacement policy. Different policies evict
+    // different pages — so the pageout/re-pull traffic, and hence the
+    // points where faults strike, differ completely — yet every policy
+    // must end with zero dirty-page loss: the bytes each run leaves on
+    // the backing segments equal the oracle, and therefore each other.
+    const SEG_PAGES: u64 = 4;
+    const SEG_SIZE: usize = (PS * SEG_PAGES) as usize;
+    const N_SEGS: usize = 3;
+    const OPS: usize = 40;
+
+    let healable = |seed: u64| FaultPlan {
+        seed,
+        transient_per_mille: 150,
+        permanent_per_mille: 0,
+        delay_per_mille: 100,
+        delay_ns: 20_000,
+        truncate_per_mille: 100,
+        crash_at_op: Some(seed % 17 + 3),
+        hang_at_op: None,
+    };
+
+    for seed in 0..3u64 {
+        let mut images: Vec<(&'static str, Vec<Vec<u8>>)> = Vec::new();
+        for replacement in ReplacementKind::ALL {
+            let seg_mgr = Arc::new(NucleusSegmentManager::new());
+            let files = Arc::new(MemMapper::new(PortName(1)));
+            let faulty_files = Arc::new(FaultyMapper::new(files.clone(), healable(seed)));
+            let swap = Arc::new(SwapMapper::new(PortName(2)));
+            let faulty_swap = Arc::new(FaultyMapper::new(swap, healable(!seed)));
+            seg_mgr.register_mapper(PortName(1), faulty_files.clone());
+            seg_mgr.register_mapper(PortName(2), faulty_swap.clone());
+            seg_mgr.set_default_mapper(PortName(2));
+            let mut config = PvmConfig::builder()
+                .paging(|p| p.check_invariants(true))
+                .policy(|p| p.replacement(replacement))
+                .build()
+                .expect("valid config");
+            // Generous enough that the ~250‰ per-attempt fault rate
+            // cannot plausibly exhaust it (0.25^10 ≈ 1e-6 per upcall).
+            config.retry = RetryPolicy {
+                max_attempts: 10,
+                ..RetryPolicy::default()
+            };
+            let pvm = Arc::new(Pvm::new(
+                PvmOptions {
+                    geometry: PageGeometry::new(PS),
+                    frames: 8,
+                    cost: CostParams::zero(),
+                    config,
+                    ..PvmOptions::default()
+                },
+                SyncShim::wrap(seg_mgr.clone()),
+            ));
+            faulty_files.attach_clock(pvm.cost_model());
+            faulty_swap.attach_clock(pvm.cost_model());
+
+            // File-backed segments plus a byte oracle. The working set
+            // (12 pages) overflows the 8-frame pool, so the policies
+            // actually steer pageout traffic through the faulty mapper.
+            let ctx = pvm.context_create().unwrap();
+            let mut oracle = Vec::new();
+            let mut caps = Vec::new();
+            let mut caches = Vec::new();
+            for i in 0..N_SEGS {
+                let init: Vec<u8> = (0..SEG_SIZE)
+                    .map(|k| (k as u8).wrapping_mul(7).wrapping_add(i as u8))
+                    .collect();
+                let cap = files.create_segment(&init);
+                let seg = seg_mgr.segment_for(cap);
+                let cache = pvm.cache_create(Some(seg)).unwrap();
+                let base = 0x10_0000 * (i as u64 + 1);
+                pvm.region_create(ctx, VirtAddr(base), SEG_SIZE as u64, Prot::RW, cache, 0)
+                    .unwrap();
+                oracle.push(init);
+                caps.push(cap);
+                caches.push(cache);
+            }
+            let mut rng = Lcg(seed.wrapping_mul(2).wrapping_add(1));
+            for _ in 0..OPS {
+                let i = (rng.next() as usize) % N_SEGS;
+                let off = (rng.next() as usize) % (SEG_SIZE - 32);
+                let len = 1 + (rng.next() as usize) % 31;
+                let base = 0x10_0000 * (i as u64 + 1);
+                if rng.next().is_multiple_of(3) {
+                    let byte = rng.next() as u8;
+                    let data: Vec<u8> = (0..len).map(|k| byte.wrapping_add(k as u8)).collect();
+                    pvm.vm_write(ctx, VirtAddr(base + off as u64), &data)
+                        .unwrap_or_else(|e| {
+                            panic!("{} seed={seed}: write failed: {e}", replacement.label())
+                        });
+                    oracle[i][off..off + len].copy_from_slice(&data);
+                } else {
+                    let mut buf = vec![0u8; len];
+                    pvm.vm_read(ctx, VirtAddr(base + off as u64), &mut buf)
+                        .unwrap_or_else(|e| {
+                            panic!("{} seed={seed}: read failed: {e}", replacement.label())
+                        });
+                    assert_eq!(
+                        buf,
+                        &oracle[i][off..off + len],
+                        "{} seed={seed} diverged from oracle",
+                        replacement.label()
+                    );
+                }
+            }
+
+            // Flush every cache through the still-faulty mapper and
+            // read back the *segment's* bytes: zero dirty-page loss
+            // means the backing store, not just the page cache, holds
+            // exactly the oracle.
+            let mut final_images = Vec::new();
+            for (i, (&cap, &cache)) in caps.iter().zip(&caches).enumerate() {
+                pvm.cache_sync(cache, 0, SEG_SIZE as u64)
+                    .unwrap_or_else(|e| {
+                        panic!("{} seed={seed}: sync failed: {e}", replacement.label())
+                    });
+                let bytes = files.segment_data(cap);
+                assert_eq!(
+                    bytes,
+                    oracle[i],
+                    "{} seed={seed}: segment {i} lost dirty bytes",
+                    replacement.label()
+                );
+                final_images.push(bytes);
+            }
+            let stats = pvm.stats();
+            assert_eq!(
+                stats.quarantined_caches,
+                0,
+                "{} seed={seed}",
+                replacement.label()
+            );
+            assert!(
+                stats.evictions > 0,
+                "{} seed={seed}: no pressure, the policies were never exercised",
+                replacement.label()
+            );
+            pvm.check_invariants();
+            images.push((replacement.label(), final_images));
+        }
+
+        // The differential closure: every policy left identical file
+        // bytes, however differently it routed the pages there.
+        let (first_label, first) = &images[0];
+        for (label, image) in &images[1..] {
+            assert_eq!(
+                image, first,
+                "seed={seed}: {label} and {first_label} left different file bytes"
+            );
+        }
+    }
 }
